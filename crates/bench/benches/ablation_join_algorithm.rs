@@ -1,0 +1,23 @@
+//! Ablation: operator-level energy — hash join vs sort-merge join on
+//! the same input (paper §2: "rethinking join algorithms in this
+//! context").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::BENCH_SCALE;
+use eco_core::experiments;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = experiments::operator_energy(BENCH_SCALE);
+    println!("{}", experiments::operator_energy_report(&rows));
+
+    let mut g = c.benchmark_group("ablation_join_algorithm");
+    g.sample_size(10);
+    g.bench_function("study", |b| {
+        b.iter(|| black_box(experiments::operator_energy(black_box(0.004))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

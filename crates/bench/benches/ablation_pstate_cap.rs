@@ -1,0 +1,48 @@
+//! Ablation: p-state capping vs FSB underclocking (paper §3's
+//! motivating comparison — capping is coarse and loses upper p-states;
+//! underclocking is fine-grained and keeps them all).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::bench_db_memory;
+use eco_simhw::cpu::{CpuConfig, VoltageSetting};
+use eco_simhw::machine::MachineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let db = bench_db_memory();
+    let (_, trace) = db.trace_q5_workload();
+    let stock = db.price(&trace, MachineConfig::stock());
+
+    println!("Ablation: p-state capping vs underclocking (medium voltage)");
+    let settings = [
+        ("cap x9", CpuConfig::capped(9.0, VoltageSetting::Medium)),
+        ("cap x8", CpuConfig::capped(8.0, VoltageSetting::Medium)),
+        ("cap x7", CpuConfig::capped(7.0, VoltageSetting::Medium)),
+        ("5% UC", CpuConfig::underclocked(0.05, VoltageSetting::Medium)),
+        ("10% UC", CpuConfig::underclocked(0.10, VoltageSetting::Medium)),
+        ("15% UC", CpuConfig::underclocked(0.15, VoltageSetting::Medium)),
+    ];
+    for (name, cfg) in settings {
+        let m = db.price(&trace, MachineConfig::with_cpu(cfg));
+        println!(
+            "  {name:7}: {:.2} GHz, E ratio {:.3}, T ratio {:.3}, EDP ratio {:.3}",
+            cfg.top_freq_hz(&db.machine().cpu_spec) / 1e9,
+            m.cpu_joules / stock.cpu_joules,
+            m.elapsed_s / stock.elapsed_s,
+            (m.cpu_joules * m.elapsed_s) / (stock.cpu_joules * stock.elapsed_s)
+        );
+    }
+    println!();
+
+    c.bench_function("ablation_pstate/price_capped", |b| {
+        b.iter(|| {
+            black_box(db.price(
+                black_box(&trace),
+                MachineConfig::with_cpu(CpuConfig::capped(7.0, VoltageSetting::Medium)),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation: the paper's 1 Hz GUI-sampling methodology vs exact energy
+//! integration (§3.1 discusses the sensor's drawbacks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::bench_db_memory;
+use eco_simhw::machine::MachineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let db = bench_db_memory();
+    let (_, trace) = db.trace_q5_workload();
+    let m = db.price(&trace, MachineConfig::stock());
+    let err = (m.cpu_joules_epu - m.cpu_joules).abs() / m.cpu_joules;
+    println!("Ablation: EPU 1 Hz sampling vs exact integration");
+    println!(
+        "  exact {:.2} J, sampled {:.2} J, relative error {:.2}% over {:.2}s\n",
+        m.cpu_joules,
+        m.cpu_joules_epu,
+        err * 100.0,
+        m.elapsed_s
+    );
+
+    c.bench_function("ablation_sampling/measure_with_epu", |b| {
+        b.iter(|| black_box(db.price(black_box(&trace), MachineConfig::stock())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

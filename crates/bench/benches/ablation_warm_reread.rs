@@ -1,0 +1,37 @@
+//! Ablation: residual warm-run disk traffic (paper §3.5 observes the
+//! disk stays busy even with a warm, memory-resident database).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::bench_db_commercial;
+use eco_simhw::machine::MachineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("Ablation: warm re-read interval (commercial profile)");
+    for every in [None, Some(5000u64), Some(2500), Some(500)] {
+        let db = bench_db_commercial();
+        db.catalog().pool().set_warm_reread_every(every);
+        db.warm_up();
+        let r = db.run_q5_workload(MachineConfig::stock());
+        println!(
+            "  every {:>6}: {:.3}s, disk {:.2} J, disk/CPU {:.3}",
+            every.map_or("off".to_string(), |e| e.to_string()),
+            r.measurement.elapsed_s,
+            r.measurement.disk_joules,
+            r.measurement.disk_joules / r.measurement.cpu_joules
+        );
+    }
+    println!();
+
+    let db = bench_db_commercial();
+    db.warm_up();
+    let mut g = c.benchmark_group("ablation_warm_reread");
+    g.sample_size(10);
+    g.bench_function("warm_workload", |b| {
+        b.iter(|| black_box(db.run_q5_workload(MachineConfig::stock())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig 1: TPC-H Q5 workload on the commercial profile — joules vs
+//! seconds for stock + settings A/B/C (5/10/15 % underclock, medium
+//! voltage downgrade).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::{bench_db_commercial, BENCH_SCALE};
+use eco_core::experiments;
+use eco_core::pvc::PvcSweep;
+use eco_simhw::cpu::VoltageSetting;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        experiments::pvc_report(
+            "Fig 1: Q5 workload, commercial profile (medium voltage)",
+            &experiments::fig1(BENCH_SCALE)
+        )
+    );
+
+    let db = bench_db_commercial();
+    db.warm_up();
+    let (_, trace) = db.trace_q5_workload();
+
+    // The sweep itself: price the workload under the A/B/C settings.
+    c.bench_function("fig1/pvc_sweep_medium", |b| {
+        b.iter(|| {
+            black_box(PvcSweep::run(
+                db.machine(),
+                black_box(&trace),
+                &[0.05, 0.10, 0.15],
+                &[VoltageSetting::Medium],
+            ))
+        })
+    });
+
+    // The workload execution that produces the trace (engine work).
+    let mut g = c.benchmark_group("fig1/execute");
+    g.sample_size(10);
+    g.bench_function("q5_workload_warm", |b| {
+        b.iter(|| black_box(db.trace_q5_workload()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

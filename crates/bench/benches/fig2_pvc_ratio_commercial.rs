@@ -1,0 +1,31 @@
+//! Fig 2: commercial profile — energy-ratio vs time-ratio for small and
+//! medium voltage settings, with the iso-EDP reference curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::{bench_db_commercial, BENCH_SCALE};
+use eco_core::experiments;
+use eco_core::metrics::{distance_to_iso_edp, iso_edp_curve};
+use eco_core::pvc::PvcSweep;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let fig = experiments::fig2(BENCH_SCALE);
+    println!(
+        "{}",
+        experiments::pvc_report("Fig 2: commercial profile, small + medium voltage", &fig)
+    );
+    println!("iso-EDP curve samples: {:?}\n", iso_edp_curve(&[0.4, 0.6, 0.8, 1.0]));
+
+    let db = bench_db_commercial();
+    db.warm_up();
+    let (_, trace) = db.trace_q5_workload();
+    c.bench_function("fig2/paper_grid_sweep", |b| {
+        b.iter(|| black_box(PvcSweep::paper_grid(db.machine(), black_box(&trace))))
+    });
+    c.bench_function("fig2/iso_edp_distance", |b| {
+        b.iter(|| black_box(distance_to_iso_edp(black_box(0.61), black_box(1.03))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

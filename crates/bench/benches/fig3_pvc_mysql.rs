@@ -1,0 +1,33 @@
+//! Fig 3: MySQL memory-engine profile — energy vs time ratios for the
+//! PVC grid (the CPU-bound case with smaller savings).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::{bench_db_memory, BENCH_SCALE};
+use eco_core::experiments;
+use eco_core::pvc::PvcSweep;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        experiments::pvc_report(
+            "Fig 3: MySQL memory-engine profile",
+            &experiments::fig3(BENCH_SCALE)
+        )
+    );
+
+    let db = bench_db_memory();
+    let (_, trace) = db.trace_q5_workload();
+    c.bench_function("fig3/paper_grid_sweep", |b| {
+        b.iter(|| black_box(PvcSweep::paper_grid(db.machine(), black_box(&trace))))
+    });
+    let mut g = c.benchmark_group("fig3/execute");
+    g.sample_size(10);
+    g.bench_function("q5_workload_memory", |b| {
+        b.iter(|| black_box(db.trace_q5_workload()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

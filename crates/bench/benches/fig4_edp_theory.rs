@@ -1,0 +1,27 @@
+//! Fig 4: observed EDP vs the theoretical `EDP ∝ V²/F` model for the
+//! small and medium voltage settings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::{bench_db_memory, BENCH_SCALE};
+use eco_core::experiments;
+use eco_core::pvc::theoretical_edp_ratio;
+use eco_simhw::cpu::{CpuConfig, VoltageSetting};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig4_report(&experiments::fig4(BENCH_SCALE)));
+
+    let db = bench_db_memory();
+    c.bench_function("fig4/theoretical_model", |b| {
+        b.iter(|| {
+            black_box(theoretical_edp_ratio(
+                db.machine(),
+                black_box(&CpuConfig::underclocked(0.10, VoltageSetting::Medium)),
+                black_box(0.94),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig 5: disk throughput and energy/KB for random vs sequential reads
+//! at 4/8/16/32 KB block sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_core::experiments;
+use eco_simhw::disk::{AccessPattern, DiskSpec};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig5_report(&experiments::fig5()));
+
+    let disk = DiskSpec::default();
+    let total: u64 = (16u64 << 30) / 10;
+    for pattern in [AccessPattern::Sequential, AccessPattern::Random] {
+        for block in [4u64 << 10, 32 << 10] {
+            let name = format!("fig5/{}_{}k", pattern.name(), block >> 10);
+            c.bench_function(&name, |b| {
+                b.iter(|| {
+                    black_box(disk.access_cost(
+                        black_box(pattern),
+                        black_box(total),
+                        black_box(block),
+                    ))
+                })
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig 6: QED energy vs average per-query response time for batch
+//! sizes 35/40/45/50 against the sequential baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::{bench_db_memory, BENCH_SCALE};
+use eco_core::experiments;
+use eco_core::qed::run_qed;
+use eco_simhw::machine::MachineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::fig6_report(&experiments::fig6(BENCH_SCALE)));
+
+    let db = bench_db_memory();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    // Real engine work: merged scan vs the 35 individual scans.
+    g.bench_function("merged_batch_35", |b| {
+        b.iter(|| black_box(db.trace_merged_selection(&eco_tpch::qed_workload(35), true)))
+    });
+    g.bench_function("sequential_35", |b| {
+        b.iter(|| {
+            for q in eco_tpch::qed_workload(35) {
+                black_box(db.trace_selection(&q));
+            }
+        })
+    });
+    g.bench_function("qed_experiment_batch_50", |b| {
+        b.iter(|| black_box(run_qed(&db, 50, MachineConfig::stock(), true)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 1: system power breakdown — bench the component power model
+//! and print the reproduced build-up rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_core::experiments;
+use eco_simhw::power::{table1_breakdown, CpuPowerModel};
+use eco_simhw::psu::PsuSpec;
+use eco_simhw::CpuSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", experiments::table1_report());
+    let model = CpuPowerModel::new(CpuSpec::e8500());
+    let psu = PsuSpec::default();
+    c.bench_function("table1/power_breakdown", |b| {
+        b.iter(|| black_box(table1_breakdown(black_box(&model), black_box(&psu))))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

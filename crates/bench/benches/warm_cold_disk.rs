@@ -1,0 +1,32 @@
+//! §3.5: warm vs cold runs — CPU vs disk joules split.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::{bench_db_commercial, BENCH_SCALE};
+use eco_core::experiments;
+use eco_simhw::machine::MachineConfig;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "{}",
+        experiments::warm_cold_report(&experiments::warm_cold(BENCH_SCALE))
+    );
+
+    let db = bench_db_commercial();
+    let mut g = c.benchmark_group("warm_cold");
+    g.sample_size(10);
+    g.bench_function("cold_workload", |b| {
+        b.iter(|| {
+            db.flush_cache();
+            black_box(db.run_q5_workload(MachineConfig::stock()))
+        })
+    });
+    db.warm_up();
+    g.bench_function("warm_workload", |b| {
+        b.iter(|| black_box(db.run_q5_workload(MachineConfig::stock())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p eco-bench --bin repro --release [-- <scale>] [table1|fig1|...|all]
+//! ```
+//!
+//! Prints the same rows/series the paper reports, at a configurable
+//! scale factor (default 0.02; the paper used SF 1.0 for the commercial
+//! DBMS, 0.125 for MySQL, 0.5 for QED on real hardware).
+
+use eco_core::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = exp::DEFAULT_SCALE;
+    let mut which: Vec<String> = Vec::new();
+    for a in &args {
+        if let Ok(s) = a.parse::<f64>() {
+            scale = s;
+        } else {
+            which.push(a.to_lowercase());
+        }
+    }
+    if which.is_empty() || which.iter().any(|w| w == "all") {
+        which = [
+            "table1", "fig1", "fig2", "fig3", "fig4", "warmcold", "fig5", "fig6", "openergy",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    println!("ecoDB reproduction of Lang & Patel, CIDR 2009 (scale factor {scale})");
+    println!("====================================================================\n");
+
+    for w in which {
+        match w.as_str() {
+            "table1" => println!("{}", exp::table1_report()),
+            "fig1" => println!(
+                "{}",
+                exp::pvc_report(
+                    "Fig 1: TPC-H Q5 workload on the commercial profile (medium voltage)",
+                    &exp::fig1(scale)
+                )
+            ),
+            "fig2" => println!(
+                "{}",
+                exp::pvc_report(
+                    "Fig 2: commercial profile, small + medium voltage (ratios vs stock)",
+                    &exp::fig2(scale)
+                )
+            ),
+            "fig3" => println!(
+                "{}",
+                exp::pvc_report(
+                    "Fig 3: MySQL memory-engine profile (ratios vs stock)",
+                    &exp::fig3(scale)
+                )
+            ),
+            "fig4" => println!("{}", exp::fig4_report(&exp::fig4(scale))),
+            "warmcold" => println!("{}", exp::warm_cold_report(&exp::warm_cold(scale))),
+            "fig5" => println!("{}", exp::fig5_report(&exp::fig5())),
+            "fig6" => println!("{}", exp::fig6_report(&exp::fig6(scale))),
+            "openergy" => println!(
+                "{}",
+                exp::operator_energy_report(&exp::operator_energy(scale))
+            ),
+            other => eprintln!("unknown experiment {other:?} (try: table1 fig1..fig6 warmcold openergy all)"),
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The energy advisor: pick operating points under SLA constraints and
+//! watch for mis-predictions.
+//!
+//! Paper §1: "Factors such as Service Level Agreements (SLAs) may
+//! restrict the choices … when the data center is not operating at peak
+//! capacity it may have the option of using an operating point that can
+//! save energy", and "it may also be interesting to consider cases
+//! where our initial prediction for energy consumption are incorrect
+//! and then to dynamically adapt".
+
+use eco_query::estimate::estimate_selection_batch;
+use eco_simhw::machine::{Machine, MachineConfig};
+
+use crate::pvc::PvcSweep;
+
+/// A response-time service-level agreement, expressed as the maximum
+/// tolerable slowdown relative to the stock setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sla {
+    /// Maximum response-time ratio (1.0 = no slowdown allowed).
+    pub max_time_ratio: f64,
+}
+
+impl Sla {
+    /// SLA allowing `pct` percent slowdown.
+    pub fn slack_pct(pct: f64) -> Self {
+        assert!(pct >= 0.0);
+        Self {
+            max_time_ratio: 1.0 + pct / 100.0,
+        }
+    }
+}
+
+/// Choose the PVC setting from a sweep: the most energy-saving point
+/// within the SLA, or stock when nothing qualifies (a data center "near
+/// peak may have no choice but to aim for the fastest query response
+/// time").
+pub fn choose_pvc(sweep: &PvcSweep, sla: Sla) -> MachineConfig {
+    sweep
+        .best_energy_under_sla(sla.max_time_ratio)
+        .map(|p| p.point.config)
+        .unwrap_or(sweep.stock.config)
+}
+
+/// Estimated QED trade-off for a batch size, from the cost model alone
+/// (no execution).
+#[derive(Debug, Clone, Copy)]
+pub struct QedEstimate {
+    /// Batch size.
+    pub batch_size: usize,
+    /// Estimated QED/sequential energy ratio.
+    pub energy_ratio: f64,
+    /// Estimated QED/sequential average-response ratio.
+    pub response_ratio: f64,
+}
+
+/// Estimate QED ratios for batch size `k` using the optimizer cost
+/// model (mirrors `qed::run_qed` semantics: sequential average
+/// completion `(k+1)/2 · t₁` vs merged execution time).
+pub fn estimate_qed(
+    catalog: &eco_storage::Catalog,
+    machine: &Machine,
+    k: usize,
+    short_circuit: bool,
+) -> QedEstimate {
+    let cfg = MachineConfig::stock();
+    let single = estimate_selection_batch(catalog, 1, short_circuit).measure(machine, &cfg);
+    let merged = estimate_selection_batch(catalog, k, short_circuit).measure(machine, &cfg);
+    let t1 = single.elapsed_s;
+    let tk = merged.elapsed_s;
+    let kf = k as f64;
+    QedEstimate {
+        batch_size: k,
+        energy_ratio: merged.cpu_joules / (kf * single.cpu_joules),
+        response_ratio: tk / ((kf + 1.0) / 2.0 * t1),
+    }
+}
+
+/// Choose the largest batch size in `1..=max_batch` whose estimated
+/// response degradation stays within the SLA; larger batches always
+/// save more energy, so largest-feasible is energy-optimal.
+pub fn choose_qed_batch(
+    catalog: &eco_storage::Catalog,
+    machine: &Machine,
+    max_batch: usize,
+    sla: Sla,
+    short_circuit: bool,
+) -> Option<QedEstimate> {
+    (2..=max_batch.min(50))
+        .rev()
+        .map(|k| estimate_qed(catalog, machine, k, short_circuit))
+        .find(|e| e.response_ratio <= sla.max_time_ratio)
+}
+
+/// One candidate plan's measured cost (energy-aware plan comparison —
+/// paper §2: "considering the effect of different query plans for the
+/// energy versus response time tradeoff").
+#[derive(Debug, Clone)]
+pub struct PlanEnergy {
+    /// Candidate label.
+    pub name: String,
+    /// Response time, seconds.
+    pub seconds: f64,
+    /// CPU energy, joules.
+    pub cpu_joules: f64,
+    /// Result rows (callers verify all candidates agree).
+    pub rows: Vec<eco_storage::Tuple>,
+}
+
+impl PlanEnergy {
+    /// Energy-delay product.
+    pub fn edp(&self) -> f64 {
+        self.cpu_joules * self.seconds
+    }
+}
+
+/// Execute and price each candidate plan for the same query, returning
+/// them sorted by CPU energy (cheapest first). All candidates must be
+/// semantically equivalent; the caller can assert equal `rows`.
+pub fn rank_plans_by_energy(
+    db: &crate::server::EcoDb,
+    candidates: Vec<(&str, eco_query::ops::BoxedOp)>,
+    config: MachineConfig,
+) -> Vec<PlanEnergy> {
+    let mut out: Vec<PlanEnergy> = candidates
+        .into_iter()
+        .map(|(name, mut plan)| {
+            let mut ctx = eco_query::context::ExecCtx::new();
+            let rows = eco_query::exec::execute(plan.as_mut(), &mut ctx);
+            let phase = ctx.take_phase(eco_simhw::trace::PhaseKind::Execute, name);
+            let mut trace = eco_simhw::trace::WorkTrace::new();
+            trace.push(phase);
+            let m = db.machine().measure(&trace, &config);
+            PlanEnergy {
+                name: name.to_string(),
+                seconds: m.elapsed_s,
+                cpu_joules: m.cpu_joules,
+                rows,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.cpu_joules.partial_cmp(&b.cpu_joules).expect("no NaN"));
+    out
+}
+
+/// Drift verdict from comparing a prediction to a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adaptation {
+    /// Prediction held; keep the current plan/setting.
+    Keep,
+    /// Prediction was off beyond tolerance; re-plan ("dynamically adapt
+    /// our query plan midflight", §1).
+    Replan,
+}
+
+/// Monitors prediction accuracy over a run.
+#[derive(Debug, Clone)]
+pub struct PredictionMonitor {
+    tolerance: f64,
+    observations: Vec<f64>,
+}
+
+impl PredictionMonitor {
+    /// Monitor that requests a re-plan when |actual/predicted − 1|
+    /// exceeds `tolerance`.
+    pub fn new(tolerance: f64) -> Self {
+        assert!(tolerance > 0.0);
+        Self {
+            tolerance,
+            observations: Vec::new(),
+        }
+    }
+
+    /// Record one prediction/actual pair and decide.
+    pub fn observe(&mut self, predicted: f64, actual: f64) -> Adaptation {
+        assert!(predicted > 0.0, "prediction must be positive");
+        let ratio = actual / predicted;
+        self.observations.push(ratio);
+        if (ratio - 1.0).abs() > self.tolerance {
+            Adaptation::Replan
+        } else {
+            Adaptation::Keep
+        }
+    }
+
+    /// Mean actual/predicted ratio so far (1.0 = perfectly calibrated).
+    pub fn calibration(&self) -> f64 {
+        if self.observations.is_empty() {
+            1.0
+        } else {
+            self.observations.iter().sum::<f64>() / self.observations.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qed::run_qed;
+    use crate::server::{EcoDb, EngineProfile};
+    use eco_simhw::cpu::VoltageSetting;
+
+    #[test]
+    fn pvc_choice_respects_sla() {
+        let db = EcoDb::tpch(EngineProfile::MemoryEngine, 0.004);
+        let (_, trace) = db.trace_q5_workload();
+        let sweep = PvcSweep::paper_grid(db.machine(), &trace);
+        // Tight SLA: stock.
+        let tight = choose_pvc(&sweep, Sla::slack_pct(0.0));
+        assert_eq!(tight.cpu.underclock, 0.0);
+        // Loose SLA: an underclocked setting with medium downgrade.
+        let loose = choose_pvc(&sweep, Sla::slack_pct(25.0));
+        assert!(loose.cpu.underclock > 0.0);
+        assert_eq!(loose.cpu.voltage, VoltageSetting::Medium);
+    }
+
+    #[test]
+    fn qed_estimate_tracks_measured_outcome() {
+        let db = EcoDb::tpch(EngineProfile::MemoryEngine, 0.004);
+        let est = estimate_qed(db.catalog(), db.machine(), 35, true);
+        let actual = run_qed(&db, 35, MachineConfig::stock(), true);
+        // The estimator omits gaps/parse/split detail; demand agreement
+        // within 35 % — enough to rank batch sizes.
+        let e_rel = (est.energy_ratio - actual.energy_ratio).abs() / actual.energy_ratio;
+        assert!(e_rel < 0.35, "energy est {} vs {}", est.energy_ratio, actual.energy_ratio);
+        let r_rel = (est.response_ratio - actual.response_ratio).abs() / actual.response_ratio;
+        assert!(r_rel < 0.35, "resp est {} vs {}", est.response_ratio, actual.response_ratio);
+    }
+
+    #[test]
+    fn qed_batch_choice_is_largest_within_sla() {
+        let db = EcoDb::tpch(EngineProfile::MemoryEngine, 0.004);
+        let chosen = choose_qed_batch(db.catalog(), db.machine(), 50, Sla::slack_pct(100.0), true);
+        let e = chosen.expect("some batch fits a 2x response SLA");
+        assert!(e.batch_size >= 2);
+        assert!(e.response_ratio <= 2.0);
+        // A hopeless SLA yields nothing.
+        let none = choose_qed_batch(db.catalog(), db.machine(), 50, Sla::slack_pct(-0.0), true);
+        assert!(none.is_none() || none.unwrap().response_ratio <= 1.0);
+    }
+
+    #[test]
+    fn plan_ranking_prefers_early_filtering() {
+        let db = EcoDb::tpch(EngineProfile::MemoryEngine, 0.004);
+        let params = eco_tpch::Q5Params::new("ASIA", 1994);
+        let ranked = rank_plans_by_energy(
+            &db,
+            vec![
+                ("late-filter", eco_query::plans::q5_plan_late_filter(db.catalog(), &params)),
+                ("pushdown", eco_query::plans::q5_plan(db.catalog(), &params)),
+            ],
+            MachineConfig::stock(),
+        );
+        assert_eq!(ranked[0].name, "pushdown", "filter pushdown must win on energy");
+        assert!(ranked[0].cpu_joules < ranked[1].cpu_joules * 0.7);
+        // Both plans agree on the answer (order-insensitive compare).
+        let mut a = eco_query::plans::q5_rows_to_pairs(&ranked[0].rows);
+        a.sort();
+        let mut b = eco_query::plans::q5_rows_to_pairs(&ranked[1].rows);
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prediction_monitor_flags_drift() {
+        let mut m = PredictionMonitor::new(0.2);
+        assert_eq!(m.observe(10.0, 11.0), Adaptation::Keep);
+        assert_eq!(m.observe(10.0, 14.0), Adaptation::Replan);
+        assert!(m.calibration() > 1.0);
+    }
+}

@@ -1,0 +1,690 @@
+//! The reproduction harness: one typed experiment per table/figure in
+//! the paper's evaluation, each returning structured rows and printing
+//! the same series the paper reports.
+//!
+//! | id | paper artifact |
+//! |----|----------------|
+//! | [`table1`] | Table 1 — system power breakdown |
+//! | [`fig1`]   | Fig 1 — Q5 joules vs seconds, commercial DBMS |
+//! | [`fig2`]   | Fig 2 — energy/time ratios + iso-EDP, commercial |
+//! | [`fig3`]   | Fig 3 — energy/time ratios, MySQL memory engine |
+//! | [`fig4`]   | Fig 4 — observed vs theoretical (`V²/F`) EDP |
+//! | [`warm_cold`] | §3.5 — CPU vs disk joules, warm vs cold |
+//! | [`fig5`]   | Fig 5 — disk throughput & energy/KB by pattern |
+//! | [`fig6`]   | Fig 6 — QED energy vs average response time |
+//! | [`operator_energy`] | extension — join-algorithm energy (§2) |
+//!
+//! Scale factors are configurable (the paper used SF 1.0 / 0.125 / 0.5
+//! on real hardware; simulation shapes are scale-free, so tests and
+//! benches default to smaller SFs for runtime sanity).
+
+use eco_simhw::cpu::VoltageSetting;
+use eco_simhw::disk::{AccessPattern, DiskSpec};
+use eco_simhw::machine::MachineConfig;
+use eco_simhw::power::{table1_breakdown, CpuPowerModel};
+use eco_simhw::psu::PsuSpec;
+use eco_simhw::CpuSpec;
+
+use crate::pvc::{theoretical_edp_ratio, PvcSweep};
+use crate::qed::{run_qed, QedOutcome};
+use crate::server::{EcoDb, EngineProfile};
+
+/// Default scale factor for quick experiment runs.
+pub const DEFAULT_SCALE: f64 = 0.02;
+
+/// Render an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&line(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+/// One row of the Table-1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Build stage label.
+    pub label: String,
+    /// Modeled wall watts.
+    pub modeled_w: f64,
+    /// The paper's measured watts.
+    pub paper_w: f64,
+}
+
+/// Reproduce Table 1: wall power as the machine is built up.
+pub fn table1() -> Vec<Table1Row> {
+    let paper = [9.2, 20.1, 49.7, 54.0, 55.7, 69.3];
+    let model = CpuPowerModel::new(CpuSpec::e8500());
+    table1_breakdown(&model, &PsuSpec::default())
+        .into_iter()
+        .zip(paper)
+        .map(|(row, paper_w)| Table1Row {
+            label: row.label,
+            modeled_w: row.wall_w,
+            paper_w,
+        })
+        .collect()
+}
+
+/// Format the Table-1 reproduction.
+pub fn table1_report() -> String {
+    let rows: Vec<Vec<String>> = table1()
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.1}", r.modeled_w),
+                format!("{:.1}", r.paper_w),
+            ]
+        })
+        .collect();
+    render_table(
+        "Table 1: system power breakdown (watts at the wall)",
+        &["build stage", "modeled W", "paper W"],
+        &rows,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figures 1-3: PVC
+// ---------------------------------------------------------------------------
+
+/// One PVC operating point for the figure reports.
+#[derive(Debug, Clone)]
+pub struct PvcFigPoint {
+    /// Setting label.
+    pub label: String,
+    /// Underclock fraction.
+    pub underclock: f64,
+    /// Voltage setting name.
+    pub voltage: String,
+    /// Absolute seconds.
+    pub seconds: f64,
+    /// Absolute CPU joules.
+    pub cpu_joules: f64,
+    /// Ratios vs stock.
+    pub energy_ratio: f64,
+    /// Time ratio vs stock.
+    pub time_ratio: f64,
+    /// EDP ratio vs stock.
+    pub edp_ratio: f64,
+}
+
+/// PVC figure data: stock + grid points for one engine profile.
+#[derive(Debug, Clone)]
+pub struct PvcFigure {
+    /// Which engine profile was measured.
+    pub profile: &'static str,
+    /// Stock seconds.
+    pub stock_seconds: f64,
+    /// Stock CPU joules.
+    pub stock_joules: f64,
+    /// Grid points.
+    pub points: Vec<PvcFigPoint>,
+}
+
+fn pvc_figure(profile: EngineProfile, scale: f64, voltages: &[VoltageSetting]) -> PvcFigure {
+    let db = EcoDb::tpch(profile, scale);
+    if profile == EngineProfile::CommercialDisk {
+        db.warm_up(); // the paper's Figs 1-3 are warm runs
+    }
+    let (_, trace) = db.trace_q5_workload();
+    let sweep = PvcSweep::run(db.machine(), &trace, &[0.05, 0.10, 0.15], voltages);
+    PvcFigure {
+        profile: profile.name(),
+        stock_seconds: sweep.stock.seconds,
+        stock_joules: sweep.stock.cpu_joules,
+        points: sweep
+            .points
+            .iter()
+            .map(|p| PvcFigPoint {
+                label: p.point.label.clone(),
+                underclock: p.underclock,
+                voltage: p.voltage.name().to_string(),
+                seconds: p.point.seconds,
+                cpu_joules: p.point.cpu_joules,
+                energy_ratio: p.energy_ratio,
+                time_ratio: p.time_ratio,
+                edp_ratio: p.edp_ratio,
+            })
+            .collect(),
+    }
+}
+
+/// Fig 1: Q5 workload on the commercial profile — absolute CPU joules
+/// vs seconds for stock and the medium-voltage settings A/B/C.
+pub fn fig1(scale: f64) -> PvcFigure {
+    pvc_figure(EngineProfile::CommercialDisk, scale, &[VoltageSetting::Medium])
+}
+
+/// Fig 2: commercial profile, small + medium voltage, ratio axes.
+pub fn fig2(scale: f64) -> PvcFigure {
+    pvc_figure(
+        EngineProfile::CommercialDisk,
+        scale,
+        &[VoltageSetting::Small, VoltageSetting::Medium],
+    )
+}
+
+/// Fig 3: MySQL memory-engine profile, small + medium voltage.
+pub fn fig3(scale: f64) -> PvcFigure {
+    pvc_figure(
+        EngineProfile::MemoryEngine,
+        scale,
+        &[VoltageSetting::Small, VoltageSetting::Medium],
+    )
+}
+
+/// Format a PVC figure as a table.
+pub fn pvc_report(title: &str, fig: &PvcFigure) -> String {
+    let mut rows = vec![vec![
+        "stock".to_string(),
+        format!("{:.2}", fig.stock_seconds),
+        format!("{:.1}", fig.stock_joules),
+        "1.000".into(),
+        "1.000".into(),
+        "1.000".into(),
+    ]];
+    for p in &fig.points {
+        rows.push(vec![
+            p.label.clone(),
+            format!("{:.2}", p.seconds),
+            format!("{:.1}", p.cpu_joules),
+            format!("{:.3}", p.energy_ratio),
+            format!("{:.3}", p.time_ratio),
+            format!("{:.3}", p.edp_ratio),
+        ]);
+    }
+    render_table(
+        title,
+        &["setting", "seconds", "CPU J", "E ratio", "T ratio", "EDP ratio"],
+        &rows,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: observed vs theoretical EDP
+// ---------------------------------------------------------------------------
+
+/// One Fig-4 point: observed EDP ratio vs the `V²/F` model.
+#[derive(Debug, Clone)]
+pub struct Fig4Point {
+    /// Voltage setting name.
+    pub voltage: String,
+    /// Underclock fraction.
+    pub underclock: f64,
+    /// Observed EDP ratio vs stock.
+    pub observed_edp_ratio: f64,
+    /// Theoretical `V²/F` ratio vs stock.
+    pub theoretical_ratio: f64,
+}
+
+/// Fig 4: on the MySQL profile (as in the paper), compare observed EDP
+/// with the theoretical model for small (a) and medium (b) settings.
+pub fn fig4(scale: f64) -> Vec<Fig4Point> {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, scale);
+    let (_, trace) = db.trace_q5_workload();
+    let sweep = PvcSweep::paper_grid(db.machine(), &trace);
+    let util = db.price(&trace, MachineConfig::stock()).utilization;
+    let mut out = Vec::new();
+    for v in [VoltageSetting::Small, VoltageSetting::Medium] {
+        for p in sweep.points_for(v) {
+            out.push(Fig4Point {
+                voltage: v.name().to_string(),
+                underclock: p.underclock,
+                observed_edp_ratio: p.edp_ratio,
+                theoretical_ratio: theoretical_edp_ratio(
+                    db.machine(),
+                    &p.point.config.cpu,
+                    util,
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Format Fig 4.
+pub fn fig4_report(points: &[Fig4Point]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.voltage.clone(),
+                format!("{:.0}%", p.underclock * 100.0),
+                format!("{:.3}", p.observed_edp_ratio),
+                format!("{:.3}", p.theoretical_ratio),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fig 4: observed EDP vs theoretical V²/F (ratios vs stock)",
+        &["voltage", "underclock", "observed EDP", "V²/F model"],
+        &rows,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// §3.5: warm vs cold
+// ---------------------------------------------------------------------------
+
+/// Warm/cold run measurements (paper §3.5's CPU-vs-disk split).
+#[derive(Debug, Clone, Copy)]
+pub struct WarmColdRun {
+    /// Workload seconds.
+    pub seconds: f64,
+    /// CPU joules.
+    pub cpu_joules: f64,
+    /// Disk joules.
+    pub disk_joules: f64,
+}
+
+/// Warm vs cold comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct WarmCold {
+    /// Warm-database run.
+    pub warm: WarmColdRun,
+    /// Cold (post-"reboot") run.
+    pub cold: WarmColdRun,
+}
+
+/// §3.5: run the Q5 workload on the commercial profile cold (flushed
+/// buffer pool) and warm.
+pub fn warm_cold(scale: f64) -> WarmCold {
+    let db = EcoDb::tpch(EngineProfile::CommercialDisk, scale);
+    db.flush_cache();
+    let cold_run = db.run_q5_workload(MachineConfig::stock());
+    let warm_run = db.run_q5_workload(MachineConfig::stock());
+    let to = |m: &eco_simhw::machine::Measurement| WarmColdRun {
+        seconds: m.elapsed_s,
+        cpu_joules: m.cpu_joules,
+        disk_joules: m.disk_joules,
+    };
+    WarmCold {
+        warm: to(&warm_run.measurement),
+        cold: to(&cold_run.measurement),
+    }
+}
+
+/// Format the warm/cold comparison.
+pub fn warm_cold_report(wc: &WarmCold) -> String {
+    let rows = vec![
+        vec![
+            "warm".to_string(),
+            format!("{:.2}", wc.warm.seconds),
+            format!("{:.1}", wc.warm.cpu_joules),
+            format!("{:.1}", wc.warm.disk_joules),
+            format!("{:.2}", wc.warm.disk_joules / wc.warm.cpu_joules),
+        ],
+        vec![
+            "cold".to_string(),
+            format!("{:.2}", wc.cold.seconds),
+            format!("{:.1}", wc.cold.cpu_joules),
+            format!("{:.1}", wc.cold.disk_joules),
+            format!("{:.2}", wc.cold.disk_joules / wc.cold.cpu_joules),
+        ],
+    ];
+    render_table(
+        "§3.5: warm vs cold Q5 workload (commercial profile)",
+        &["run", "seconds", "CPU J", "disk J", "disk/CPU"],
+        &rows,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: disk access patterns
+// ---------------------------------------------------------------------------
+
+/// One Fig-5 row.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Access pattern name.
+    pub pattern: String,
+    /// Read block size, bytes.
+    pub block: u64,
+    /// Throughput, MB/s.
+    pub throughput_mb_s: f64,
+    /// Energy per KB retrieved, millijoules.
+    pub mj_per_kb: f64,
+}
+
+/// Fig 5: read 1.6 GB of a 4 GB file sequentially and randomly at
+/// 4/8/16/32 KB blocks; report throughput and energy per KB.
+pub fn fig5() -> Vec<Fig5Row> {
+    let disk = DiskSpec::default();
+    let total: u64 = (16u64 << 30) / 10; // 1.6 GB
+    let mut out = Vec::new();
+    for pattern in [AccessPattern::Sequential, AccessPattern::Random] {
+        for block in [4u64 << 10, 8 << 10, 16 << 10, 32 << 10] {
+            out.push(Fig5Row {
+                pattern: pattern.name().to_string(),
+                block,
+                throughput_mb_s: disk.throughput(pattern, total, block) / 1e6,
+                mj_per_kb: disk.energy_per_kb(pattern, total, block) * 1e3,
+            });
+        }
+    }
+    out
+}
+
+/// Format Fig 5.
+pub fn fig5_report(rows: &[Fig5Row]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.pattern.clone(),
+                format!("{}K", r.block >> 10),
+                format!("{:.2}", r.throughput_mb_s),
+                format!("{:.3}", r.mj_per_kb),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fig 5: disk throughput and energy per KB (1.6 GB of a 4 GB file)",
+        &["pattern", "block", "MB/s", "mJ/KB"],
+        &table,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: QED
+// ---------------------------------------------------------------------------
+
+/// Fig 6: QED vs sequential for the paper's batch sizes 35/40/45/50 on
+/// the MySQL memory-engine profile at stock settings.
+pub fn fig6(scale: f64) -> Vec<QedOutcome> {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, scale);
+    [35usize, 40, 45, 50]
+        .iter()
+        .map(|&k| run_qed(&db, k, MachineConfig::stock(), true))
+        .collect()
+}
+
+/// Format Fig 6.
+pub fn fig6_report(outcomes: &[QedOutcome]) -> String {
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.batch_size.to_string(),
+                format!("{:.3}", o.energy_ratio),
+                format!("{:.3}", o.response_ratio),
+                format!("{:.3}", o.edp_ratio),
+                o.results_match.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Fig 6: QED vs sequential (MySQL memory-engine profile, stock)",
+        &["batch", "E ratio", "avg-resp ratio", "EDP ratio", "results ok"],
+        &rows,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Operator-level energy (extension; paper §2: "rethinking join
+// algorithms in this context")
+// ---------------------------------------------------------------------------
+
+/// One join algorithm's measured cost on the same input.
+#[derive(Debug, Clone)]
+pub struct JoinAlgoRow {
+    /// Algorithm name.
+    pub algo: String,
+    /// Execution seconds.
+    pub seconds: f64,
+    /// CPU joules.
+    pub cpu_joules: f64,
+    /// Average package watts while executing.
+    pub avg_watts: f64,
+    /// Output rows.
+    pub rows: usize,
+}
+
+/// Hash vs sort-merge join on `lineitem ⋈ orders`: same answer,
+/// different cycle mix, different watts — the operator-level trade an
+/// energy-aware optimizer must weigh.
+pub fn operator_energy(scale: f64) -> Vec<JoinAlgoRow> {
+    use eco_query::context::ExecCtx;
+    use eco_query::exec::execute;
+    use eco_query::expr::{AggFunc, Expr};
+    use eco_query::ops::{AggSpec, BoxedOp, HashAggregate, HashJoin, SeqScan, SortMergeJoin};
+    use eco_simhw::trace::{PhaseKind, WorkTrace};
+
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, scale);
+    let cat = db.catalog();
+    let orders = cat.expect("orders");
+    let lineitem = cat.expect("lineitem");
+    let o_orderkey = orders.schema().expect_index("o_orderkey");
+    let l_orderkey = lineitem.schema().expect_index("l_orderkey");
+
+    let mk_scan = |t: &std::sync::Arc<eco_storage::StoredTable>| -> BoxedOp {
+        Box::new(SeqScan::new(std::sync::Arc::clone(t)))
+    };
+
+    let candidates: Vec<(&str, BoxedOp)> = vec![
+        (
+            "hash join",
+            Box::new(HashJoin::new(
+                mk_scan(&orders),
+                mk_scan(&lineitem),
+                vec![o_orderkey],
+                vec![l_orderkey],
+            )),
+        ),
+        (
+            "sort-merge join",
+            Box::new(SortMergeJoin::new(
+                mk_scan(&orders),
+                mk_scan(&lineitem),
+                vec![o_orderkey],
+                vec![l_orderkey],
+            )),
+        ),
+    ];
+
+    candidates
+        .into_iter()
+        .map(|(name, plan)| {
+            // COUNT on top keeps the (identical) result path out of the
+            // comparison — the join itself is what's being priced.
+            let mut counted = Box::new(HashAggregate::new(
+                plan,
+                vec![],
+                vec![AggSpec {
+                    func: AggFunc::Count,
+                    input: Expr::int(1),
+                    name: "n".to_string(),
+                }],
+            )) as BoxedOp;
+            let mut ctx = ExecCtx::new();
+            let rows = execute(counted.as_mut(), &mut ctx);
+            let joined = rows[0][0].as_int().expect("count") as usize;
+            let mut trace = WorkTrace::new();
+            trace.push(ctx.take_phase(PhaseKind::Execute, name));
+            let m = db.machine().measure(&trace, &MachineConfig::stock());
+            JoinAlgoRow {
+                algo: name.to_string(),
+                seconds: m.elapsed_s,
+                cpu_joules: m.cpu_joules,
+                avg_watts: m.avg_cpu_w,
+                rows: joined,
+            }
+        })
+        .collect()
+}
+
+/// Format the operator-level study.
+pub fn operator_energy_report(rows: &[JoinAlgoRow]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.algo.clone(),
+                format!("{:.4}", r.seconds),
+                format!("{:.3}", r.cpu_joules),
+                format!("{:.1}", r.avg_watts),
+                r.rows.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Operator-level energy: lineitem ⋈ orders by join algorithm",
+        &["algorithm", "seconds", "CPU J", "avg W", "rows"],
+        &table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE: f64 = 0.004;
+
+    #[test]
+    fn table1_within_model_bands() {
+        for r in table1() {
+            let rel = (r.modeled_w - r.paper_w).abs() / r.paper_w;
+            assert!(rel < 0.15, "{}: {:.1} vs {:.1}", r.label, r.modeled_w, r.paper_w);
+        }
+        assert!(!table1_report().is_empty());
+    }
+
+    #[test]
+    fn fig1_setting_a_shape() {
+        // Fig 1's headline: 5 % + medium saves big energy for a small
+        // time penalty; deeper settings are strictly worse on both axes.
+        let f = fig1(SCALE);
+        assert_eq!(f.points.len(), 3);
+        let a = &f.points[0];
+        assert!(a.energy_ratio < 0.65, "A saves a lot: {}", a.energy_ratio);
+        assert!(a.time_ratio < 1.10, "A costs little: {}", a.time_ratio);
+        for w in f.points.windows(2) {
+            assert!(w[1].cpu_joules > w[0].cpu_joules, "B, C consume more energy");
+            assert!(w[1].seconds > w[0].seconds, "B, C are slower");
+        }
+    }
+
+    #[test]
+    fn fig3_mysql_saves_less_than_commercial() {
+        let commercial = fig2(SCALE);
+        let mysql = fig3(SCALE);
+        // Compare the 5 % medium point across profiles.
+        let c = commercial
+            .points
+            .iter()
+            .find(|p| p.voltage == "medium" && p.underclock == 0.05)
+            .unwrap();
+        let m = mysql
+            .points
+            .iter()
+            .find(|p| p.voltage == "medium" && p.underclock == 0.05)
+            .unwrap();
+        assert!(
+            m.energy_ratio > c.energy_ratio + 0.1,
+            "MySQL {} vs commercial {}",
+            m.energy_ratio,
+            c.energy_ratio
+        );
+        // MySQL's time penalty is larger (CPU-bound workload).
+        assert!(m.time_ratio > c.time_ratio);
+    }
+
+    #[test]
+    fn fig4_observed_and_theory_agree_in_shape() {
+        let pts = fig4(SCALE);
+        assert_eq!(pts.len(), 6);
+        for chunk in pts.chunks(3) {
+            for w in chunk.windows(2) {
+                assert!(w[1].observed_edp_ratio > w[0].observed_edp_ratio);
+                assert!(w[1].theoretical_ratio > w[0].theoretical_ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cold_matches_paper_shape() {
+        // Paper §3.5: cold ≈ 3× slower; warm disk/CPU ≈ 1/6; cold
+        // disk/CPU > 1/2.
+        let wc = warm_cold(SCALE);
+        let slowdown = wc.cold.seconds / wc.warm.seconds;
+        assert!(slowdown > 1.8, "cold must be much slower: {slowdown}");
+        let warm_ratio = wc.warm.disk_joules / wc.warm.cpu_joules;
+        let cold_ratio = wc.cold.disk_joules / wc.cold.cpu_joules;
+        assert!(cold_ratio > 2.0 * warm_ratio, "{warm_ratio} vs {cold_ratio}");
+    }
+
+    #[test]
+    fn fig5_ratios() {
+        let rows = fig5();
+        assert_eq!(rows.len(), 8);
+        let seq: Vec<&Fig5Row> = rows.iter().filter(|r| r.pattern == "sequential").collect();
+        let rnd: Vec<&Fig5Row> = rows.iter().filter(|r| r.pattern == "random").collect();
+        // Sequential flat; random rises just under proportionally.
+        assert!((seq[0].throughput_mb_s - seq[3].throughput_mb_s).abs() < 0.01);
+        let r8 = rnd[1].throughput_mb_s / rnd[0].throughput_mb_s;
+        assert!((1.7..2.0).contains(&r8), "8K/4K = {r8}");
+        for (s, r) in seq.iter().zip(&rnd) {
+            assert!(r.mj_per_kb > s.mj_per_kb);
+        }
+    }
+
+    #[test]
+    fn join_algorithms_agree_but_differ_in_power() {
+        let rows = operator_energy(SCALE);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].rows, rows[1].rows, "same join cardinality");
+        // Different algorithms, different work: the energy bills differ
+        // substantially for the same answer.
+        let e_rel = (rows[0].cpu_joules - rows[1].cpu_joules).abs()
+            / rows[0].cpu_joules.min(rows[1].cpu_joules);
+        assert!(
+            e_rel > 0.15,
+            "hash {} J vs merge {} J",
+            rows[0].cpu_joules,
+            rows[1].cpu_joules
+        );
+        assert!(!operator_energy_report(&rows).is_empty());
+    }
+
+    #[test]
+    fn fig6_trades_energy_for_response() {
+        let outcomes = fig6(SCALE);
+        assert_eq!(outcomes.len(), 4);
+        for o in &outcomes {
+            assert!(o.results_match);
+            assert!(o.energy_ratio < 0.75, "batch {}: {}", o.batch_size, o.energy_ratio);
+            assert!(o.response_ratio > 1.0, "batch {}: {}", o.batch_size, o.response_ratio);
+        }
+        // Best EDP at the largest batch.
+        assert!(outcomes[3].edp_ratio < outcomes[0].edp_ratio);
+    }
+}

@@ -1,0 +1,121 @@
+//! The execution context: the work ledger every operator charges into.
+
+use eco_simhw::trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind};
+
+/// Per-execution accounting state, threaded through every operator call.
+#[derive(Debug, Clone, Default)]
+pub struct ExecCtx {
+    /// CPU operations performed so far.
+    pub cpu: CpuWork,
+    /// Bytes streamed through memory (scans, materializations, copies).
+    pub mem_stream_bytes: u64,
+    /// Latency-bound random memory accesses (hash probes into tables
+    /// that exceed cache).
+    pub mem_random_accesses: u64,
+    /// Disk I/O drained from the buffer pool.
+    pub disk: DiskWork,
+    /// Whether OR-lists short-circuit on the first true arm. MySQL-style
+    /// evaluation short-circuits; the `ablation_qed_shortcircuit` bench
+    /// flips this to study its effect on QED.
+    pub short_circuit_or: bool,
+    /// Number of predicate-term evaluations (for introspection/tests).
+    pub pred_evals: u64,
+}
+
+impl ExecCtx {
+    /// Fresh context with MySQL-style short-circuit OR evaluation.
+    pub fn new() -> Self {
+        Self {
+            short_circuit_or: true,
+            ..Self::default()
+        }
+    }
+
+    /// Fresh context with exhaustive OR evaluation.
+    pub fn exhaustive() -> Self {
+        Self {
+            short_circuit_or: false,
+            ..Self::default()
+        }
+    }
+
+    /// Charge `n` operations of `class`.
+    #[inline]
+    pub fn charge(&mut self, class: OpClass, n: u64) {
+        self.cpu.add(class, n);
+    }
+
+    /// Charge bytes streamed through the memory system.
+    #[inline]
+    pub fn charge_mem_bytes(&mut self, bytes: u64) {
+        self.mem_stream_bytes += bytes;
+    }
+
+    /// Charge latency-bound random memory accesses.
+    #[inline]
+    pub fn charge_mem_random(&mut self, n: u64) {
+        self.mem_random_accesses += n;
+    }
+
+    /// Merge disk I/O (drained from the buffer pool) into the ledger.
+    pub fn charge_disk(&mut self, io: DiskWork) {
+        self.disk.merge(&io);
+    }
+
+    /// Convert the accumulated ledger into a trace phase, leaving the
+    /// context empty for reuse.
+    pub fn take_phase(&mut self, kind: PhaseKind, label: impl Into<String>) -> Phase {
+        let mut phase = match kind {
+            PhaseKind::Execute => Phase::execute(label),
+            PhaseKind::ClientCompute => Phase::client_compute(label),
+            PhaseKind::ClientGap => Phase::client_gap(0),
+        };
+        phase.cpu = std::mem::take(&mut self.cpu);
+        phase.mem_stream_bytes = std::mem::take(&mut self.mem_stream_bytes);
+        phase.mem_random_accesses = std::mem::take(&mut self.mem_random_accesses);
+        phase.disk = std::mem::take(&mut self.disk);
+        self.pred_evals = 0;
+        phase
+    }
+
+    /// True when nothing has been charged yet.
+    pub fn is_empty(&self) -> bool {
+        self.cpu.is_empty()
+            && self.mem_stream_bytes == 0
+            && self.mem_random_accesses == 0
+            && self.disk.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_and_draining() {
+        let mut ctx = ExecCtx::new();
+        assert!(ctx.is_empty());
+        ctx.charge(OpClass::TupleFetch, 10);
+        ctx.charge_mem_bytes(100);
+        ctx.charge_mem_random(3);
+        ctx.charge_disk(DiskWork {
+            sequential_bytes: 8192,
+            random_ios: 1,
+            random_bytes: 8192,
+        });
+        assert!(!ctx.is_empty());
+
+        let phase = ctx.take_phase(PhaseKind::Execute, "t");
+        assert_eq!(phase.cpu.count(OpClass::TupleFetch), 10);
+        assert_eq!(phase.mem_stream_bytes, 100);
+        assert_eq!(phase.mem_random_accesses, 3);
+        assert_eq!(phase.disk.random_ios, 1);
+        assert!(ctx.is_empty(), "take_phase must drain");
+    }
+
+    #[test]
+    fn default_modes() {
+        assert!(ExecCtx::new().short_circuit_or);
+        assert!(!ExecCtx::exhaustive().short_circuit_or);
+    }
+}

@@ -1,0 +1,214 @@
+//! Cardinality estimation and the energy/time cost model — the
+//! "energy-aware optimizer" building block of the paper's vision
+//! (§1: the DBMS "must be aware of system hardware capabilities …
+//! and take that into account during query optimization").
+//!
+//! Estimates mirror the executor's charging rules over *estimated*
+//! cardinalities, producing a synthetic [`WorkTrace`] the machine model
+//! can price. The same machinery therefore answers both "how long will
+//! this take?" and "how many joules will this cost?" under any PVC
+//! setting — without executing.
+
+use eco_simhw::machine::{Machine, MachineConfig, Measurement};
+use eco_simhw::trace::{OpClass, Phase, WorkTrace};
+use eco_storage::Catalog;
+use eco_tpch::Q5Params;
+
+/// An estimated work profile (mirrors the executor's ledger).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkEstimate {
+    /// Estimated result rows.
+    pub out_rows: f64,
+    /// The estimated phase (CPU ops, memory, disk).
+    pub phase: Phase,
+}
+
+impl WorkEstimate {
+    fn new(label: &str) -> Self {
+        Self {
+            out_rows: 0.0,
+            phase: Phase::execute(label),
+        }
+    }
+
+    /// Convert into a single-phase trace.
+    pub fn into_trace(self) -> WorkTrace {
+        let mut t = WorkTrace::new();
+        t.push(self.phase);
+        t
+    }
+
+    /// Price this estimate on a machine under a configuration.
+    pub fn measure(&self, machine: &Machine, config: &MachineConfig) -> Measurement {
+        machine.measure(&self.clone().into_trace(), config)
+    }
+
+    fn charge(&mut self, class: OpClass, n: f64) {
+        self.phase.cpu.add(class, n.max(0.0).round() as u64);
+    }
+
+    fn charge_mem(&mut self, bytes: f64) {
+        self.phase.mem_stream_bytes += bytes.max(0.0).round() as u64;
+    }
+}
+
+/// Selectivity of a one-year `o_orderdate` window (orders span the
+/// 7-year TPC-H window minus 151 days).
+pub fn order_year_selectivity() -> f64 {
+    365.25 / (7.0 * 365.25 - 151.0)
+}
+
+/// Estimate the merged (or single, `k = 1`) QED selection over
+/// `lineitem`: one scan, `k` equality predicates per tuple (with
+/// optional short-circuit), tagged emission of matching rows.
+pub fn estimate_selection_batch(catalog: &Catalog, k: usize, short_circuit: bool) -> WorkEstimate {
+    assert!(k >= 1);
+    let li = catalog.expect("lineitem");
+    let rows = li.len() as f64;
+    let width = li.avg_tuple_bytes() as f64;
+    let sel_each = 1.0 / 50.0; // uniform l_quantity over 50 values
+    let match_frac = (k as f64 * sel_each).min(1.0);
+
+    let mut e = WorkEstimate::new(&format!("est:selection×{k}"));
+    e.charge(OpClass::TupleFetch, rows);
+    e.charge_mem(rows * width);
+
+    // Predicate evaluations per tuple: all k when nothing matches (or
+    // when exhaustive); expected (k+1)/2 at the matching tuple.
+    let evals = if short_circuit {
+        let miss = 1.0 - match_frac;
+        rows * (miss * k as f64 + match_frac * (k as f64 + 1.0) / 2.0)
+    } else {
+        rows * k as f64
+    };
+    e.charge(OpClass::PredEval, evals);
+
+    let out = rows * match_frac;
+    e.out_rows = out;
+    e.charge(OpClass::ResultEmit, out);
+    e.charge_mem(out * width);
+    e
+}
+
+/// Estimate TPC-H Q5 under the paper's workload parameters.
+pub fn estimate_q5(catalog: &Catalog, _params: &Q5Params) -> WorkEstimate {
+    let rows = |name: &str| catalog.expect(name).len() as f64;
+    let width = |name: &str| catalog.expect(name).avg_tuple_bytes() as f64;
+
+    let mut e = WorkEstimate::new("est:q5");
+    // Scans: region, nation, customer, orders, lineitem, supplier.
+    for t in ["region", "nation", "customer", "orders", "lineitem", "supplier"] {
+        e.charge(OpClass::TupleFetch, rows(t));
+        e.charge_mem(rows(t) * width(t));
+    }
+    // Filters.
+    e.charge(OpClass::PredEval, rows("region")); // r_name
+    e.charge(OpClass::PredEval, 2.0 * rows("orders")); // date range
+
+    // Join cardinalities (FK containment + uniform regions).
+    let nations_in_region = rows("nation") / 5.0;
+    let cust_in_region = rows("customer") / 5.0;
+    let orders_window = rows("orders") * order_year_selectivity();
+    let orders_joined = orders_window / 5.0; // customer in region
+    let lines_per_order = rows("lineitem") / rows("orders");
+    let lineitems_joined = orders_joined * lines_per_order;
+    // Supplier nation matches customer nation with probability 1/25.
+    let q5_out_lines = lineitems_joined / 25.0;
+
+    // Hash builds: region⋈nation (tiny), customer (1/5), orders
+    // (joined), lineitem probe, supplier build.
+    e.charge(OpClass::HashBuild, 1.0 + nations_in_region + rows("supplier"));
+    e.charge(OpClass::HashProbe, rows("nation") + rows("customer"));
+    e.charge(OpClass::HashBuild, cust_in_region + orders_joined);
+    e.charge(OpClass::HashProbe, orders_window + rows("lineitem"));
+    e.phase.mem_random_accesses += (rows("customer") + rows("lineitem")) as u64;
+    // Probe the supplier table with every joined lineitem.
+    e.charge(OpClass::HashProbe, lineitems_joined);
+
+    // Aggregate + revenue arithmetic (3 ops per row) + emit ≤ 5 nations.
+    e.charge(OpClass::HashProbe, q5_out_lines);
+    e.charge(OpClass::AggUpdate, q5_out_lines);
+    e.charge(OpClass::Arith, 3.0 * q5_out_lines);
+    e.out_rows = 5.0_f64.min(q5_out_lines);
+    e.charge(OpClass::ResultEmit, e.out_rows);
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExecCtx;
+    use crate::mqo::MergedSelection;
+    use eco_storage::{load_tpch, EngineKind};
+    use eco_tpch::{qed_workload, TpchGenerator};
+
+    fn setup() -> Catalog {
+        let db = TpchGenerator::new(0.01).generate();
+        load_tpch(&db, EngineKind::Memory, 0)
+    }
+
+    #[test]
+    fn selection_estimate_tracks_actual_within_25pct() {
+        // The estimator must agree with real execution closely enough
+        // to drive QED batching decisions.
+        let cat = setup();
+        for k in [1usize, 10, 35, 50] {
+            let est = estimate_selection_batch(&cat, k, true);
+            let mut merged = MergedSelection::new(&cat, &qed_workload(k));
+            let mut ctx = ExecCtx::new();
+            let rows = merged.run(&mut ctx);
+            let actual_evals = ctx.pred_evals as f64;
+            let est_evals = est.phase.cpu.count(OpClass::PredEval) as f64;
+            let rel = (est_evals - actual_evals).abs() / actual_evals;
+            assert!(rel < 0.25, "k={k}: est {est_evals} vs actual {actual_evals}");
+            let rel_rows = (est.out_rows - rows.len() as f64).abs() / (rows.len() as f64);
+            assert!(rel_rows < 0.25, "k={k}: rows est {} vs {}", est.out_rows, rows.len());
+        }
+    }
+
+    #[test]
+    fn estimates_price_on_machine() {
+        let cat = setup();
+        let est = estimate_selection_batch(&cat, 35, true);
+        let machine = Machine::paper_sut();
+        let m = est.measure(&machine, &MachineConfig::stock());
+        assert!(m.elapsed_s > 0.0 && m.cpu_joules > 0.0);
+    }
+
+    #[test]
+    fn batch_estimate_beats_sequential_estimate_per_query() {
+        // The estimator must predict QED's energy advantage: one k-way
+        // scan costs less than k single scans.
+        let cat = setup();
+        let machine = Machine::paper_sut();
+        let cfg = MachineConfig::stock();
+        let k = 40;
+        let batch = estimate_selection_batch(&cat, k, true).measure(&machine, &cfg);
+        let single = estimate_selection_batch(&cat, 1, true).measure(&machine, &cfg);
+        assert!(
+            batch.cpu_joules < k as f64 * single.cpu_joules,
+            "batch {} !< {}",
+            batch.cpu_joules,
+            k as f64 * single.cpu_joules
+        );
+    }
+
+    #[test]
+    fn q5_estimate_is_positive_and_prices() {
+        let cat = setup();
+        let est = estimate_q5(&cat, &Q5Params::new("ASIA", 1994));
+        assert!(est.phase.cpu.total_ops() > 0);
+        let m = est.measure(&Machine::paper_sut(), &MachineConfig::stock());
+        assert!(m.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn exhaustive_estimate_exceeds_short_circuit() {
+        let cat = setup();
+        let sc = estimate_selection_batch(&cat, 30, true);
+        let ex = estimate_selection_batch(&cat, 30, false);
+        assert!(
+            ex.phase.cpu.count(OpClass::PredEval) > sc.phase.cpu.count(OpClass::PredEval)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Driving a plan to completion.
+
+use eco_simhw::trace::OpClass;
+use eco_storage::{tuple_width, Tuple};
+
+use crate::context::ExecCtx;
+use crate::ops::Operator;
+
+/// Execute a plan, returning all result tuples. Each result row charges
+/// one `ResultEmit` plus its width in memory bytes (materialization
+/// into the wire buffer — the DBMS side of the result path).
+pub fn execute(plan: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    execute_into(plan, ctx, &mut out);
+    out
+}
+
+/// Like [`execute`], appending into an existing buffer (lets callers
+/// reuse a workhorse allocation across queries).
+pub fn execute_into(plan: &mut dyn Operator, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) {
+    plan.open(ctx);
+    while let Some(t) = plan.next(ctx) {
+        ctx.charge(OpClass::ResultEmit, 1);
+        ctx.charge_mem_bytes(tuple_width(&t));
+        out.push(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+    use crate::ops::{Filter, VecSource};
+    use eco_storage::{ColumnType, Schema, Value};
+
+    #[test]
+    fn executes_and_charges_result_emission() {
+        let schema = Schema::new(&[("v", ColumnType::Int)]);
+        let src = VecSource::new(schema, (0..20).map(|i| vec![Value::Int(i)]).collect());
+        let mut plan = Filter::new(
+            Box::new(src),
+            Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(15)),
+        );
+        let mut ctx = ExecCtx::new();
+        let rows = execute(&mut plan, &mut ctx);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(ctx.cpu.count(OpClass::ResultEmit), 5);
+        assert!(ctx.mem_stream_bytes > 0);
+    }
+
+    #[test]
+    fn execute_into_reuses_buffer() {
+        let schema = Schema::new(&[("v", ColumnType::Int)]);
+        let mut out = Vec::with_capacity(64);
+        for round in 0..3 {
+            out.clear();
+            let mut src =
+                VecSource::new(schema.clone(), (0..4).map(|i| vec![Value::Int(i)]).collect());
+            let mut ctx = ExecCtx::new();
+            execute_into(&mut src, &mut ctx, &mut out);
+            assert_eq!(out.len(), 4, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Expressions: an interpreted evaluator over tuples, with work
+//! metering.
+//!
+//! Evaluation charges one [`OpClass::PredEval`] per comparison and one
+//! [`OpClass::Arith`] per arithmetic node — modelling the interpreted,
+//! `Item`-tree-style evaluators of 2008-era engines, whose per-term
+//! cost is what makes the QED disjunction scan slower (and the
+//! energy/response-time trade of paper §4 non-trivial).
+
+use eco_simhw::trace::OpClass;
+use eco_storage::{Tuple, Value};
+
+use crate::context::ExecCtx;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an ordering result.
+    fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less)
+                | (CmpOp::Ne, Greater)
+                | (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less)
+                | (CmpOp::Le, Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater)
+                | (CmpOp::Ge, Equal)
+        )
+    }
+}
+
+/// Integer arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division; panics on zero divisor)
+    Div,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by position in the input tuple.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison of two sub-expressions of the same type.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction (short-circuits on the first false arm).
+    And(Vec<Expr>),
+    /// Disjunction (short-circuit behaviour set by the context — this
+    /// is the QED merge point).
+    Or(Vec<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// Integer arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Lit(Value::Int(v))
+    }
+
+    /// String literal.
+    pub fn str(s: &str) -> Expr {
+        Expr::Lit(Value::str(s))
+    }
+
+    /// Date literal (day offset).
+    pub fn date(d: i32) -> Expr {
+        Expr::Lit(Value::Date(d))
+    }
+
+    /// `col = lit` convenience.
+    pub fn col_eq_int(i: usize, v: i64) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(Expr::col(i)), Box::new(Expr::int(v)))
+    }
+
+    /// `lhs cmp rhs` convenience.
+    pub fn cmp(op: CmpOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// `lhs op rhs` arithmetic convenience.
+    pub fn arith(op: ArithOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Arith(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Evaluate against a tuple, charging work into `ctx`.
+    pub fn eval(&self, tuple: &Tuple, ctx: &mut ExecCtx) -> Value {
+        match self {
+            Expr::Col(i) => tuple
+                .get(*i)
+                .unwrap_or_else(|| panic!("column {i} out of range {}", tuple.len()))
+                .clone(),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval(tuple, ctx);
+                let rv = r.eval(tuple, ctx);
+                ctx.charge(OpClass::PredEval, 1);
+                ctx.pred_evals += 1;
+                let ord = lv.partial_cmp_typed(&rv).unwrap_or_else(|| {
+                    panic!("type mismatch comparing {lv:?} and {rv:?}")
+                });
+                Value::Bool(op.test(ord))
+            }
+            Expr::And(arms) => {
+                for arm in arms {
+                    if !expect_bool(arm.eval(tuple, ctx)) {
+                        return Value::Bool(false);
+                    }
+                }
+                Value::Bool(true)
+            }
+            Expr::Or(arms) => {
+                if ctx.short_circuit_or {
+                    for arm in arms {
+                        if expect_bool(arm.eval(tuple, ctx)) {
+                            return Value::Bool(true);
+                        }
+                    }
+                    Value::Bool(false)
+                } else {
+                    let mut any = false;
+                    for arm in arms {
+                        any |= expect_bool(arm.eval(tuple, ctx));
+                    }
+                    Value::Bool(any)
+                }
+            }
+            Expr::Not(e) => Value::Bool(!expect_bool(e.eval(tuple, ctx))),
+            Expr::Arith(op, l, r) => {
+                let lv = l.eval(tuple, ctx).as_int().expect("arith on Int");
+                let rv = r.eval(tuple, ctx).as_int().expect("arith on Int");
+                ctx.charge(OpClass::Arith, 1);
+                Value::Int(match op {
+                    ArithOp::Add => lv + rv,
+                    ArithOp::Sub => lv - rv,
+                    ArithOp::Mul => lv * rv,
+                    ArithOp::Div => lv / rv,
+                })
+            }
+        }
+    }
+
+    /// Evaluate as a boolean predicate.
+    pub fn eval_bool(&self, tuple: &Tuple, ctx: &mut ExecCtx) -> bool {
+        expect_bool(self.eval(tuple, ctx))
+    }
+}
+
+fn expect_bool(v: Value) -> bool {
+    v.as_bool()
+        .unwrap_or_else(|| panic!("expected boolean, got {v:?}"))
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of an integer expression.
+    Sum,
+    /// Row count (argument ignored).
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Integer average (sum / count, truncating).
+    Avg,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        vec![Value::Int(10), Value::str("asia"), Value::Date(100)]
+    }
+
+    #[test]
+    fn comparisons() {
+        let mut ctx = ExecCtx::new();
+        let e = Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(5));
+        assert!(e.eval_bool(&t(), &mut ctx));
+        let e = Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::str("asia"));
+        assert!(e.eval_bool(&t(), &mut ctx));
+        let e = Expr::cmp(CmpOp::Lt, Expr::col(2), Expr::date(99));
+        assert!(!e.eval_bool(&t(), &mut ctx));
+        assert_eq!(ctx.pred_evals, 3);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut ctx = ExecCtx::new();
+        // 10 * (100 - 7) / 100 = 9
+        let e = Expr::arith(
+            ArithOp::Div,
+            Expr::arith(
+                ArithOp::Mul,
+                Expr::col(0),
+                Expr::arith(ArithOp::Sub, Expr::int(100), Expr::int(7)),
+            ),
+            Expr::int(100),
+        );
+        assert_eq!(e.eval(&t(), &mut ctx), Value::Int(9));
+        assert_eq!(ctx.cpu.count(OpClass::Arith), 3);
+    }
+
+    #[test]
+    fn and_short_circuits() {
+        let mut ctx = ExecCtx::new();
+        let e = Expr::And(vec![
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(5)), // false
+            Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::str("asia")),
+        ]);
+        assert!(!e.eval_bool(&t(), &mut ctx));
+        assert_eq!(ctx.pred_evals, 1, "second arm must not evaluate");
+    }
+
+    #[test]
+    fn or_short_circuit_vs_exhaustive() {
+        let arms: Vec<Expr> = (0..10).map(|v| Expr::col_eq_int(0, v)).collect();
+        let e = Expr::Or(arms);
+        // Tuple value 10 matches nothing: both modes evaluate all 10.
+        let mut sc = ExecCtx::new();
+        assert!(!e.eval_bool(&t(), &mut sc));
+        assert_eq!(sc.pred_evals, 10);
+        // Tuple matching arm 3 (0-indexed value 3).
+        let tup: Tuple = vec![Value::Int(3)];
+        let mut sc = ExecCtx::new();
+        assert!(e.eval_bool(&tup, &mut sc));
+        assert_eq!(sc.pred_evals, 4, "short-circuit stops at the match");
+        let mut ex = ExecCtx::exhaustive();
+        assert!(e.eval_bool(&tup, &mut ex));
+        assert_eq!(ex.pred_evals, 10, "exhaustive evaluates every arm");
+    }
+
+    #[test]
+    fn not_negates() {
+        let mut ctx = ExecCtx::new();
+        let e = Expr::Not(Box::new(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(10))));
+        assert!(!e.eval_bool(&t(), &mut ctx));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn cross_type_comparison_panics() {
+        let mut ctx = ExecCtx::new();
+        Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::str("x")).eval(&t(), &mut ctx);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_column_panics() {
+        let mut ctx = ExecCtx::new();
+        Expr::col(9).eval(&t(), &mut ctx);
+    }
+}

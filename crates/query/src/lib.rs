@@ -1,0 +1,32 @@
+//! # eco-query — the query execution engine under ecoDB
+//!
+//! A Volcano-style (iterator) executor over `eco-storage` tables. Every
+//! operator does *real* work on real tuples — scans scan, hash joins
+//! build and probe real hash tables, aggregates accumulate — and
+//! simultaneously accounts for that work in an [`context::ExecCtx`]
+//! ledger, which the machine model (`eco-simhw`) later prices in time
+//! and joules under a PVC setting.
+//!
+//! The crate also provides:
+//!
+//! * hand-built physical plans for TPC-H Q1/Q3/Q5/Q6 and simple
+//!   selections ([`plans`]) — no indexes anywhere, matching the paper's
+//!   setup ("we did not create any database indices");
+//! * the multi-query optimizer used by QED ([`mqo`]): merge a batch of
+//!   selection queries into one disjunctive scan and split the results;
+//! * a cardinality + energy/time cost model ([`estimate`]) — the
+//!   "energy-aware optimizer" piece of the paper's vision.
+
+pub mod context;
+pub mod estimate;
+pub mod exec;
+pub mod expr;
+pub mod mqo;
+pub mod ops;
+pub mod plans;
+pub mod sql;
+
+pub use context::ExecCtx;
+pub use exec::{execute, execute_into};
+pub use expr::{AggFunc, ArithOp, CmpOp, Expr};
+pub use ops::Operator;

@@ -1,0 +1,251 @@
+//! Multi-query optimization for QED (paper §4).
+//!
+//! A batch of structurally-identical selection queries is merged into
+//! *one* scan whose filter is the disjunction of the individual
+//! predicates; each emitted tuple is tagged with the index of the query
+//! it belongs to, and an application-side splitter routes rows back to
+//! their queries ("QED also has a little bit of extra work to do with
+//! respect to splitting the result, which … we do in the application
+//! logic and include the time and energy cost").
+
+use eco_simhw::trace::OpClass;
+use eco_storage::{tuple_width, Catalog, ColumnType, Schema, Tuple, Value};
+use eco_tpch::QedQuery;
+
+use crate::context::ExecCtx;
+use crate::expr::Expr;
+use crate::ops::{BoxedOp, Operator, SeqScan};
+use crate::plans::selection_predicate;
+
+/// Filter a stream against many predicates at once, tagging each output
+/// row with the (0-based) index of the matching predicate.
+///
+/// When `disjoint` is set and the context short-circuits, evaluation
+/// stops at the first matching predicate (sound only when at most one
+/// can match — true for QED's distinct `l_quantity` values). Otherwise
+/// every predicate is evaluated and a row may fan out to several
+/// queries.
+pub struct MultiFilter {
+    child: BoxedOp,
+    predicates: Vec<Expr>,
+    disjoint: bool,
+    schema: Schema,
+    pending: Vec<Tuple>,
+}
+
+impl MultiFilter {
+    /// Multi-predicate filter over `child`.
+    pub fn new(child: BoxedOp, predicates: Vec<Expr>, disjoint: bool) -> Self {
+        assert!(!predicates.is_empty(), "need at least one predicate");
+        let mut cols: Vec<(String, ColumnType)> =
+            vec![("__query_id".to_string(), ColumnType::Int)];
+        for c in child.schema().columns() {
+            cols.push((c.name.clone(), c.ty));
+        }
+        let refs: Vec<(&str, ColumnType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Self {
+            child,
+            predicates,
+            disjoint,
+            schema: Schema::new(&refs),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Number of merged predicates.
+    pub fn arity(&self) -> usize {
+        self.predicates.len()
+    }
+}
+
+impl Operator for MultiFilter {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecCtx) {
+        self.pending.clear();
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {
+        loop {
+            if let Some(t) = self.pending.pop() {
+                return Some(t);
+            }
+            let t = self.child.next(ctx)?;
+            let stop_at_first = self.disjoint && ctx.short_circuit_or;
+            for (qid, pred) in self.predicates.iter().enumerate() {
+                if pred.eval_bool(&t, ctx) {
+                    let mut tagged = Vec::with_capacity(t.len() + 1);
+                    tagged.push(Value::Int(qid as i64));
+                    tagged.extend(t.iter().cloned());
+                    self.pending.push(tagged);
+                    if stop_at_first {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A merged QED batch over the `lineitem` table.
+pub struct MergedSelection {
+    plan: MultiFilter,
+    batch_size: usize,
+}
+
+impl MergedSelection {
+    /// Merge a batch of QED selection queries into one disjunctive scan.
+    pub fn new(catalog: &Catalog, queries: &[QedQuery]) -> Self {
+        assert!(!queries.is_empty(), "empty QED batch");
+        let distinct = {
+            let mut v: Vec<i64> = queries.iter().map(|q| q.quantity).collect();
+            v.sort_unstable();
+            v.dedup();
+            v.len() == queries.len()
+        };
+        let predicates: Vec<Expr> = queries
+            .iter()
+            .map(|q| selection_predicate(catalog, q))
+            .collect();
+        let scan = Box::new(SeqScan::new(catalog.expect("lineitem"))) as BoxedOp;
+        Self {
+            plan: MultiFilter::new(scan, predicates, distinct),
+            batch_size: queries.len(),
+        }
+    }
+
+    /// Execute the merged scan, returning tagged rows.
+    pub fn run(&mut self, ctx: &mut ExecCtx) -> Vec<Tuple> {
+        crate::exec::execute(&mut self.plan, ctx)
+    }
+
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+}
+
+/// Application-side result split: route tagged rows back to their
+/// queries, stripping the tag. Charges one `SplitRoute` and one
+/// `RowCopy` plus the row's width in client-memory bytes per row — the
+/// client-side work the paper explicitly includes in QED's costs.
+pub fn split_results(tagged: Vec<Tuple>, batch_size: usize, ctx: &mut ExecCtx) -> Vec<Vec<Tuple>> {
+    let mut out: Vec<Vec<Tuple>> = (0..batch_size).map(|_| Vec::new()).collect();
+    for mut t in tagged {
+        let qid = t[0].as_int().expect("query tag") as usize;
+        assert!(qid < batch_size, "tag {qid} out of batch {batch_size}");
+        t.remove(0);
+        ctx.charge(OpClass::SplitRoute, 1);
+        ctx.charge(OpClass::RowCopy, 1);
+        ctx.charge_mem_bytes(tuple_width(&t));
+        out[qid].push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::plans::selection_plan;
+    use eco_storage::{load_tpch, EngineKind};
+    use eco_tpch::{qed_workload, TpchGenerator};
+
+    fn setup() -> Catalog {
+        let db = TpchGenerator::new(0.003).generate();
+        load_tpch(&db, EngineKind::Memory, 0)
+    }
+
+    #[test]
+    fn merged_equals_sequential() {
+        // The QED correctness invariant: merging + splitting returns
+        // exactly what the individual queries return.
+        let cat = setup();
+        let queries = qed_workload(8);
+
+        let mut merged = MergedSelection::new(&cat, &queries);
+        let mut ctx = ExecCtx::new();
+        let tagged = merged.run(&mut ctx);
+        let split = split_results(tagged, queries.len(), &mut ctx);
+
+        for (i, q) in queries.iter().enumerate() {
+            let mut plan = selection_plan(&cat, q);
+            let mut sctx = ExecCtx::new();
+            let individual = execute(plan.as_mut(), &mut sctx);
+            assert_eq!(split[i], individual, "query {i} differs");
+        }
+    }
+
+    #[test]
+    fn merged_scans_table_once() {
+        let cat = setup();
+        let n_rows = cat.expect("lineitem").len() as u64;
+        let queries = qed_workload(10);
+        let mut merged = MergedSelection::new(&cat, &queries);
+        let mut ctx = ExecCtx::new();
+        merged.run(&mut ctx);
+        assert_eq!(
+            ctx.cpu.count(OpClass::TupleFetch),
+            n_rows,
+            "one fetch per tuple, not per query"
+        );
+    }
+
+    #[test]
+    fn short_circuit_reduces_pred_evals() {
+        let cat = setup();
+        let queries = qed_workload(20);
+        let mut m1 = MergedSelection::new(&cat, &queries);
+        let mut sc = ExecCtx::new();
+        m1.run(&mut sc);
+        let mut m2 = MergedSelection::new(&cat, &queries);
+        let mut ex = ExecCtx::exhaustive();
+        m2.run(&mut ex);
+        assert!(
+            sc.pred_evals < ex.pred_evals,
+            "short-circuit {} !< exhaustive {}",
+            sc.pred_evals,
+            ex.pred_evals
+        );
+        let n_rows = cat.expect("lineitem").len() as u64;
+        assert_eq!(ex.pred_evals, 20 * n_rows, "exhaustive = k evals per row");
+    }
+
+    #[test]
+    fn split_charges_client_work() {
+        let cat = setup();
+        let queries = qed_workload(5);
+        let mut merged = MergedSelection::new(&cat, &queries);
+        let mut ctx = ExecCtx::new();
+        let tagged = merged.run(&mut ctx);
+        let n = tagged.len() as u64;
+        let mut client = ExecCtx::new();
+        let split = split_results(tagged, 5, &mut client);
+        assert_eq!(client.cpu.count(OpClass::SplitRoute), n);
+        assert_eq!(client.cpu.count(OpClass::RowCopy), n);
+        assert_eq!(split.iter().map(Vec::len).sum::<usize>() as u64, n);
+    }
+
+    #[test]
+    fn multifilter_fans_out_when_not_disjoint() {
+        use crate::ops::VecSource;
+        let schema = Schema::new(&[("v", ColumnType::Int)]);
+        let src = VecSource::new(schema, vec![vec![Value::Int(5)]]);
+        // Two overlapping predicates both match value 5.
+        let preds = vec![Expr::col_eq_int(0, 5), Expr::col_eq_int(0, 5)];
+        let mut mf = MultiFilter::new(Box::new(src), preds, false);
+        let mut ctx = ExecCtx::new();
+        let rows = execute(&mut mf, &mut ctx);
+        assert_eq!(rows.len(), 2, "row must fan out to both queries");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty QED batch")]
+    fn empty_batch_rejected() {
+        let cat = setup();
+        let _ = MergedSelection::new(&cat, &[]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Hash aggregation: GROUP BY with SUM / COUNT / MIN / MAX / AVG.
+
+use std::collections::HashMap;
+
+use eco_simhw::trace::OpClass;
+use eco_storage::{ColumnType, Schema, Tuple, Value};
+
+use crate::context::ExecCtx;
+use crate::expr::{AggFunc, Expr};
+use crate::ops::{BoxedOp, Operator};
+
+/// One aggregate output: function, input expression, output name.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Aggregate function.
+    pub func: AggFunc,
+    /// Input expression (ignored by `Count`).
+    pub input: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+#[derive(Debug, Clone)]
+enum AggState {
+    Sum(i64),
+    Count(i64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: i64, count: i64 },
+}
+
+impl AggState {
+    fn new(f: AggFunc) -> Self {
+        match f {
+            AggFunc::Sum => AggState::Sum(0),
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Min => AggState::Min(None),
+            AggFunc::Max => AggState::Max(None),
+            AggFunc::Avg => AggState::Avg { sum: 0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Option<Value>) {
+        match self {
+            AggState::Sum(acc) => {
+                *acc += v.expect("SUM input").as_int().expect("SUM over Int");
+            }
+            AggState::Count(acc) => *acc += 1,
+            AggState::Min(acc) => {
+                let v = v.expect("MIN input");
+                let replace = match acc {
+                    None => true,
+                    Some(cur) => {
+                        v.partial_cmp_typed(cur).expect("comparable MIN")
+                            == std::cmp::Ordering::Less
+                    }
+                };
+                if replace {
+                    *acc = Some(v);
+                }
+            }
+            AggState::Max(acc) => {
+                let v = v.expect("MAX input");
+                let replace = match acc {
+                    None => true,
+                    Some(cur) => {
+                        v.partial_cmp_typed(cur).expect("comparable MAX")
+                            == std::cmp::Ordering::Greater
+                    }
+                };
+                if replace {
+                    *acc = Some(v);
+                }
+            }
+            AggState::Avg { sum, count } => {
+                *sum += v.expect("AVG input").as_int().expect("AVG over Int");
+                *count += 1;
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Sum(v) | AggState::Count(v) => Value::Int(v),
+            AggState::Min(v) => v.expect("MIN of empty group is unreachable"),
+            AggState::Max(v) => v.expect("MAX of empty group is unreachable"),
+            AggState::Avg { sum, count } => Value::Int(if count == 0 { 0 } else { sum / count }),
+        }
+    }
+}
+
+/// Hash-based GROUP BY aggregation. With no group columns, produces a
+/// single global row (0 rows in ⇒ 1 output row of zero-counts for
+/// `Sum`/`Count`; `Min`/`Max` over empty input panic by design).
+pub struct HashAggregate {
+    child: BoxedOp,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    results: std::vec::IntoIter<Tuple>,
+}
+
+impl HashAggregate {
+    /// Aggregate `child` grouped by `group_cols` (indexes into the
+    /// child schema).
+    pub fn new(child: BoxedOp, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
+        let child_schema = child.schema();
+        let mut cols: Vec<(String, ColumnType)> = group_cols
+            .iter()
+            .map(|&i| {
+                let c = &child_schema.columns()[i];
+                (c.name.clone(), c.ty)
+            })
+            .collect();
+        for a in &aggs {
+            // All aggregates produce Int except MIN/MAX which preserve
+            // their input type; Int is the conservative declaration and
+            // `Schema::check` is not applied to aggregate outputs.
+            cols.push((a.name.clone(), ColumnType::Int));
+        }
+        let refs: Vec<(&str, ColumnType)> =
+            cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Self {
+            child,
+            group_cols,
+            aggs,
+            schema: Schema::new(&refs),
+            results: Vec::new().into_iter(),
+        }
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecCtx) {
+        self.child.open(ctx);
+        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+        // Preserve first-seen order for deterministic output.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+
+        while let Some(t) = self.child.next(ctx) {
+            let key: Vec<Value> = self.group_cols.iter().map(|&i| t[i].clone()).collect();
+            ctx.charge(OpClass::HashProbe, 1);
+            ctx.charge_mem_random(1);
+            let states = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                self.aggs.iter().map(|a| AggState::new(a.func)).collect()
+            });
+            for (state, spec) in states.iter_mut().zip(&self.aggs) {
+                let v = match spec.func {
+                    AggFunc::Count => None,
+                    _ => Some(spec.input.eval(&t, ctx)),
+                };
+                ctx.charge(OpClass::AggUpdate, 1);
+                state.update(v);
+            }
+        }
+
+        if groups.is_empty() && self.group_cols.is_empty() {
+            // Global aggregate over empty input.
+            let states: Vec<AggState> =
+                self.aggs.iter().map(|a| AggState::new(a.func)).collect();
+            let row: Tuple = states
+                .into_iter()
+                .map(|s| match s {
+                    AggState::Min(None) | AggState::Max(None) => Value::Int(0),
+                    other => other.finish(),
+                })
+                .collect();
+            self.results = vec![row].into_iter();
+            return;
+        }
+
+        let mut out = Vec::with_capacity(groups.len());
+        for key in order {
+            let states = groups.remove(&key).expect("group present");
+            let mut row = key;
+            for s in states {
+                row.push(s.finish());
+            }
+            out.push(row);
+        }
+        self.results = out.into_iter();
+    }
+
+    fn next(&mut self, _ctx: &mut ExecCtx) -> Option<Tuple> {
+        self.results.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::VecSource;
+
+    fn source() -> VecSource {
+        let schema = Schema::new(&[("g", ColumnType::Str), ("v", ColumnType::Int)]);
+        VecSource::new(
+            schema,
+            vec![
+                vec![Value::str("a"), Value::Int(1)],
+                vec![Value::str("b"), Value::Int(10)],
+                vec![Value::str("a"), Value::Int(2)],
+                vec![Value::str("b"), Value::Int(20)],
+                vec![Value::str("a"), Value::Int(3)],
+            ],
+        )
+    }
+
+    fn run(agg: &mut HashAggregate) -> Vec<Tuple> {
+        let mut ctx = ExecCtx::new();
+        agg.open(&mut ctx);
+        std::iter::from_fn(|| agg.next(&mut ctx)).collect()
+    }
+
+    #[test]
+    fn grouped_sum_count() {
+        let mut agg = HashAggregate::new(
+            Box::new(source()),
+            vec![0],
+            vec![
+                AggSpec {
+                    func: AggFunc::Sum,
+                    input: Expr::col(1),
+                    name: "s".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Count,
+                    input: Expr::col(1),
+                    name: "c".into(),
+                },
+            ],
+        );
+        let out = run(&mut agg);
+        assert_eq!(out.len(), 2);
+        // First-seen order: a then b.
+        assert_eq!(out[0], vec![Value::str("a"), Value::Int(6), Value::Int(3)]);
+        assert_eq!(out[1], vec![Value::str("b"), Value::Int(30), Value::Int(2)]);
+        assert_eq!(agg.schema().names(), vec!["g", "s", "c"]);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let mut agg = HashAggregate::new(
+            Box::new(source()),
+            vec![],
+            vec![
+                AggSpec {
+                    func: AggFunc::Min,
+                    input: Expr::col(1),
+                    name: "mn".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Max,
+                    input: Expr::col(1),
+                    name: "mx".into(),
+                },
+                AggSpec {
+                    func: AggFunc::Avg,
+                    input: Expr::col(1),
+                    name: "av".into(),
+                },
+            ],
+        );
+        let out = run(&mut agg);
+        assert_eq!(out, vec![vec![Value::Int(1), Value::Int(20), Value::Int(7)]]);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let schema = Schema::new(&[("v", ColumnType::Int)]);
+        let src = VecSource::new(schema, vec![]);
+        let mut agg = HashAggregate::new(
+            Box::new(src),
+            vec![],
+            vec![AggSpec {
+                func: AggFunc::Sum,
+                input: Expr::col(0),
+                name: "s".into(),
+            }],
+        );
+        let out = run(&mut agg);
+        assert_eq!(out, vec![vec![Value::Int(0)]]);
+    }
+
+    #[test]
+    fn grouped_over_empty_input_yields_nothing() {
+        let schema = Schema::new(&[("g", ColumnType::Int), ("v", ColumnType::Int)]);
+        let src = VecSource::new(schema, vec![]);
+        let mut agg = HashAggregate::new(
+            Box::new(src),
+            vec![0],
+            vec![AggSpec {
+                func: AggFunc::Sum,
+                input: Expr::col(1),
+                name: "s".into(),
+            }],
+        );
+        assert!(run(&mut agg).is_empty());
+    }
+
+    #[test]
+    fn charges_agg_updates() {
+        let mut agg = HashAggregate::new(
+            Box::new(source()),
+            vec![0],
+            vec![AggSpec {
+                func: AggFunc::Sum,
+                input: Expr::col(1),
+                name: "s".into(),
+            }],
+        );
+        let mut ctx = ExecCtx::new();
+        agg.open(&mut ctx);
+        assert_eq!(ctx.cpu.count(OpClass::AggUpdate), 5);
+        assert_eq!(ctx.cpu.count(OpClass::HashProbe), 5);
+    }
+}

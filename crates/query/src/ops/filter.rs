@@ -1,0 +1,66 @@
+//! Filter: pass tuples satisfying a predicate.
+
+use eco_storage::{Schema, Tuple};
+
+use crate::context::ExecCtx;
+use crate::expr::Expr;
+use crate::ops::{BoxedOp, Operator};
+
+/// Predicate filter. The expression evaluator itself charges one
+/// `PredEval` per comparison, so selective predicates are cheap and
+/// wide disjunctions expensive — exactly the effect QED trades on.
+pub struct Filter {
+    child: BoxedOp,
+    predicate: Expr,
+}
+
+impl Filter {
+    /// Filter `child` by `predicate` (a boolean expression over the
+    /// child's output schema).
+    pub fn new(child: BoxedOp, predicate: Expr) -> Self {
+        Self { child, predicate }
+    }
+}
+
+impl Operator for Filter {
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn open(&mut self, ctx: &mut ExecCtx) {
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {
+        loop {
+            let t = self.child.next(ctx)?;
+            if self.predicate.eval_bool(&t, ctx) {
+                return Some(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::ops::VecSource;
+    use eco_storage::{ColumnType, Value};
+
+    #[test]
+    fn filters_and_charges() {
+        let schema = Schema::new(&[("k", ColumnType::Int)]);
+        let tuples: Vec<Tuple> = (0..100).map(|i| vec![Value::Int(i)]).collect();
+        let src = VecSource::new(schema, tuples);
+        let mut f = Filter::new(
+            Box::new(src),
+            Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(10)),
+        );
+        let mut ctx = ExecCtx::new();
+        f.open(&mut ctx);
+        let out: Vec<Tuple> = std::iter::from_fn(|| f.next(&mut ctx)).collect();
+        assert_eq!(out.len(), 10);
+        assert_eq!(ctx.pred_evals, 100, "predicate evaluated per input row");
+    }
+}

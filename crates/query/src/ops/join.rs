@@ -1,0 +1,199 @@
+//! Hash join (equi-join, possibly multi-column keys).
+
+use std::collections::HashMap;
+
+use eco_simhw::trace::OpClass;
+use eco_storage::{tuple_width, Schema, Tuple, Value};
+
+use crate::context::ExecCtx;
+use crate::ops::{BoxedOp, Operator};
+
+/// In-memory hash join: materializes the build side into a hash table
+/// at `open`, then streams the probe side.
+///
+/// Work accounting: one `HashBuild` plus the tuple's width in memory
+/// bytes per build row; one `HashProbe` plus one random memory access
+/// per probe row (the table exceeds cache for any interesting input);
+/// output concatenation charges its width in memory bytes.
+pub struct HashJoin {
+    build: BoxedOp,
+    probe: BoxedOp,
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    schema: Schema,
+    table: HashMap<Vec<Value>, Vec<Tuple>>,
+    pending: Vec<Tuple>,
+}
+
+impl HashJoin {
+    /// Join `build ⋈ probe` on `build_keys = probe_keys` (positional,
+    /// same length). Output schema is build columns followed by probe
+    /// columns.
+    pub fn new(
+        build: BoxedOp,
+        probe: BoxedOp,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+    ) -> Self {
+        assert_eq!(
+            build_keys.len(),
+            probe_keys.len(),
+            "key arity mismatch: {build_keys:?} vs {probe_keys:?}"
+        );
+        assert!(!build_keys.is_empty(), "join needs at least one key");
+        let schema = build.schema().join(probe.schema());
+        Self {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            schema,
+            table: HashMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn key_of(tuple: &Tuple, keys: &[usize]) -> Vec<Value> {
+        keys.iter().map(|&i| tuple[i].clone()).collect()
+    }
+}
+
+impl Operator for HashJoin {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecCtx) {
+        self.table.clear();
+        self.pending.clear();
+        self.build.open(ctx);
+        while let Some(t) = self.build.next(ctx) {
+            ctx.charge(OpClass::HashBuild, 1);
+            ctx.charge_mem_bytes(tuple_width(&t));
+            self.table
+                .entry(Self::key_of(&t, &self.build_keys))
+                .or_default()
+                .push(t);
+        }
+        self.probe.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {
+        loop {
+            if let Some(t) = self.pending.pop() {
+                return Some(t);
+            }
+            let probe_t = self.probe.next(ctx)?;
+            ctx.charge(OpClass::HashProbe, 1);
+            ctx.charge_mem_random(1);
+            if let Some(matches) = self.table.get(&Self::key_of(&probe_t, &self.probe_keys)) {
+                for build_t in matches {
+                    let mut out = Vec::with_capacity(build_t.len() + probe_t.len());
+                    out.extend(build_t.iter().cloned());
+                    out.extend(probe_t.iter().cloned());
+                    ctx.charge_mem_bytes(tuple_width(&out));
+                    self.pending.push(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::VecSource;
+    use eco_storage::ColumnType;
+
+    fn src(name: &str, vals: &[(i64, &str)]) -> VecSource {
+        let schema = Schema::new(&[
+            (&format!("{name}_k"), ColumnType::Int),
+            (&format!("{name}_v"), ColumnType::Str),
+        ]);
+        VecSource::new(
+            schema,
+            vals.iter()
+                .map(|(k, v)| vec![Value::Int(*k), Value::str(*v)])
+                .collect(),
+        )
+    }
+
+    fn run(j: &mut HashJoin) -> Vec<Tuple> {
+        let mut ctx = ExecCtx::new();
+        j.open(&mut ctx);
+        std::iter::from_fn(|| j.next(&mut ctx)).collect()
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let build = src("a", &[(1, "x"), (2, "y")]);
+        let probe = src("b", &[(2, "p"), (3, "q"), (2, "r")]);
+        let mut j = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0]);
+        let out = run(&mut j);
+        assert_eq!(out.len(), 2, "key 2 matches twice on the probe side");
+        for t in &out {
+            assert_eq!(t[0], Value::Int(2));
+            assert_eq!(t[1], Value::str("y"));
+        }
+        assert_eq!(j.schema().names(), vec!["a_k", "a_v", "b_k", "b_v"]);
+    }
+
+    #[test]
+    fn duplicate_build_keys_fan_out() {
+        let build = src("a", &[(1, "x"), (1, "y")]);
+        let probe = src("b", &[(1, "p")]);
+        let mut j = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0]);
+        assert_eq!(run(&mut j).len(), 2);
+    }
+
+    #[test]
+    fn no_matches_empty_output() {
+        let build = src("a", &[(1, "x")]);
+        let probe = src("b", &[(9, "p")]);
+        let mut j = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0]);
+        assert!(run(&mut j).is_empty());
+    }
+
+    #[test]
+    fn multi_column_keys() {
+        let schema = Schema::new(&[("k1", ColumnType::Int), ("k2", ColumnType::Int)]);
+        let build = VecSource::new(
+            schema.clone(),
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(20)],
+            ],
+        );
+        let probe = VecSource::new(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(99)],
+            ],
+        );
+        let mut j = HashJoin::new(Box::new(build), Box::new(probe), vec![0, 1], vec![0, 1]);
+        let out = run(&mut j);
+        assert_eq!(out.len(), 1, "only the (1,10) pair joins");
+    }
+
+    #[test]
+    fn charges_build_and_probe() {
+        let build = src("a", &[(1, "x"), (2, "y"), (3, "z")]);
+        let probe = src("b", &[(1, "p"), (2, "q")]);
+        let mut j = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0]);
+        let mut ctx = ExecCtx::new();
+        j.open(&mut ctx);
+        assert_eq!(ctx.cpu.count(OpClass::HashBuild), 3);
+        while j.next(&mut ctx).is_some() {}
+        assert_eq!(ctx.cpu.count(OpClass::HashProbe), 2);
+        assert_eq!(ctx.mem_random_accesses, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "key arity mismatch")]
+    fn mismatched_keys_rejected() {
+        let build = src("a", &[]);
+        let probe = src("b", &[]);
+        let _ = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0, 1]);
+    }
+}

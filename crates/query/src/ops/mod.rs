@@ -1,0 +1,46 @@
+//! Physical operators: a Volcano-style (open/next) executor.
+//!
+//! Every operator performs real work on real tuples and charges that
+//! work into the [`ExecCtx`] ledger as it goes. No operator uses an
+//! index — the paper's experiments run index-free ("In all our
+//! experiments, we did not create any database indices"), so the access
+//! paths are sequential scans and the default join is the hash join
+//! ([`SortMergeJoin`] exists for the operator-level energy studies).
+
+mod agg;
+mod filter;
+mod join;
+mod limit;
+mod merge_join;
+mod project;
+mod scan;
+mod sort;
+mod source;
+
+pub use agg::{AggSpec, HashAggregate};
+pub use filter::Filter;
+pub use join::HashJoin;
+pub use limit::Limit;
+pub use merge_join::SortMergeJoin;
+pub use project::Project;
+pub use scan::SeqScan;
+pub use sort::{Sort, SortKey};
+pub use source::VecSource;
+
+use eco_storage::{Schema, Tuple};
+
+use crate::context::ExecCtx;
+
+/// A Volcano-style physical operator.
+pub trait Operator {
+    /// Output schema.
+    fn schema(&self) -> &Schema;
+    /// Prepare for execution (may consume children for blocking
+    /// operators such as hash build, aggregation and sort).
+    fn open(&mut self, ctx: &mut ExecCtx);
+    /// Produce the next tuple, or `None` at end of stream.
+    fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple>;
+}
+
+/// A boxed operator (plan node).
+pub type BoxedOp = Box<dyn Operator>;

@@ -1,0 +1,96 @@
+//! Projection: compute output expressions per tuple.
+
+use eco_storage::{ColumnType, Schema, Tuple};
+
+use crate::context::ExecCtx;
+use crate::expr::Expr;
+use crate::ops::{BoxedOp, Operator};
+
+/// Expression projection with named output columns.
+pub struct Project {
+    child: BoxedOp,
+    exprs: Vec<Expr>,
+    schema: Schema,
+}
+
+impl Project {
+    /// Project `child` through `(name, type, expr)` outputs.
+    pub fn new(child: BoxedOp, outputs: Vec<(String, ColumnType, Expr)>) -> Self {
+        let cols: Vec<(&str, ColumnType)> = outputs
+            .iter()
+            .map(|(n, t, _)| (n.as_str(), *t))
+            .collect();
+        let schema = Schema::new(&cols);
+        Self {
+            child,
+            exprs: outputs.into_iter().map(|(_, _, e)| e).collect(),
+            schema,
+        }
+    }
+
+    /// Pass-through projection of columns by index.
+    pub fn columns(child: BoxedOp, indices: &[usize]) -> Self {
+        let schema = child.schema().project(indices);
+        let exprs = indices.iter().map(|&i| Expr::col(i)).collect();
+        Self {
+            child,
+            exprs,
+            schema,
+        }
+    }
+}
+
+impl Operator for Project {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, ctx: &mut ExecCtx) {
+        self.child.open(ctx);
+    }
+
+    fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {
+        let t = self.child.next(ctx)?;
+        Some(self.exprs.iter().map(|e| e.eval(&t, ctx)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ArithOp;
+    use crate::ops::VecSource;
+    use eco_storage::Value;
+
+    #[test]
+    fn computes_expressions() {
+        let schema = Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Int)]);
+        let src = VecSource::new(schema, vec![vec![Value::Int(3), Value::Int(4)]]);
+        let mut p = Project::new(
+            Box::new(src),
+            vec![(
+                "sum".to_string(),
+                ColumnType::Int,
+                Expr::arith(ArithOp::Add, Expr::col(0), Expr::col(1)),
+            )],
+        );
+        let mut ctx = ExecCtx::new();
+        p.open(&mut ctx);
+        assert_eq!(p.next(&mut ctx).unwrap(), vec![Value::Int(7)]);
+        assert_eq!(p.schema().names(), vec!["sum"]);
+    }
+
+    #[test]
+    fn column_projection() {
+        let schema = Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Str)]);
+        let src = VecSource::new(
+            schema,
+            vec![vec![Value::Int(1), Value::str("x")]],
+        );
+        let mut p = Project::columns(Box::new(src), &[1]);
+        let mut ctx = ExecCtx::new();
+        p.open(&mut ctx);
+        assert_eq!(p.next(&mut ctx).unwrap(), vec![Value::str("x")]);
+        assert_eq!(p.schema().names(), vec!["b"]);
+    }
+}

@@ -1,0 +1,61 @@
+//! In-memory tuple source (tests, intermediate materializations).
+
+use eco_storage::{Schema, Tuple};
+
+use crate::context::ExecCtx;
+use crate::ops::Operator;
+
+/// Emits a fixed vector of tuples. Charges nothing — the tuples are
+/// assumed already materialized (use [`crate::ops::SeqScan`] for
+/// table access that should be priced).
+pub struct VecSource {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    idx: usize,
+}
+
+impl VecSource {
+    /// Source over `tuples` with the given schema.
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        Self {
+            schema,
+            tuples,
+            idx: 0,
+        }
+    }
+}
+
+impl Operator for VecSource {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn open(&mut self, _ctx: &mut ExecCtx) {
+        self.idx = 0;
+    }
+
+    fn next(&mut self, _ctx: &mut ExecCtx) -> Option<Tuple> {
+        let t = self.tuples.get(self.idx)?.clone();
+        self.idx += 1;
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_storage::{ColumnType, Value};
+
+    #[test]
+    fn emits_all_then_none_and_reopens() {
+        let schema = Schema::new(&[("k", ColumnType::Int)]);
+        let mut s = VecSource::new(schema, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let mut ctx = ExecCtx::new();
+        s.open(&mut ctx);
+        assert_eq!(s.next(&mut ctx).unwrap()[0], Value::Int(1));
+        assert_eq!(s.next(&mut ctx).unwrap()[0], Value::Int(2));
+        assert!(s.next(&mut ctx).is_none());
+        s.open(&mut ctx);
+        assert_eq!(s.next(&mut ctx).unwrap()[0], Value::Int(1));
+    }
+}

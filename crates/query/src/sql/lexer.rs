@@ -1,0 +1,267 @@
+//! SQL lexer: hand-written, position-reporting.
+
+use super::SqlError;
+
+/// SQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (stored lower-cased; keywords are matched
+    /// case-insensitively by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal, pre-scaled by 100 (storage convention:
+    /// `0.07` lexes as `Decimal(7)`).
+    Decimal(i64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `.` (qualified names)
+    Dot,
+    /// `;`
+    Semi,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let b: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Line comment `--`.
+                if b.get(i + 1) == Some(&'-') {
+                    while i < b.len() && b[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex(format!("unexpected '!' at {i}")));
+                }
+            }
+            '<' => match b.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if b.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match b.get(i) {
+                        None => return Err(SqlError::Lex("unterminated string".into())),
+                        Some('\'') => {
+                            // Doubled quote = escaped quote.
+                            if b.get(i + 1) == Some(&'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == '.' && b.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    // Decimal: scale by 100 (two fraction digits max).
+                    let whole: i64 = b[start..i]
+                        .iter()
+                        .collect::<String>()
+                        .parse()
+                        .map_err(|e| SqlError::Lex(format!("bad number: {e}")))?;
+                    i += 1; // '.'
+                    let fstart = i;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let frac_str: String = b[fstart..i].iter().collect();
+                    if frac_str.len() > 2 {
+                        return Err(SqlError::Lex(format!(
+                            "decimal '{whole}.{frac_str}' has more than 2 fraction digits \
+                             (storage keeps hundredths)"
+                        )));
+                    }
+                    let mut frac: i64 = frac_str.parse().unwrap_or(0);
+                    if frac_str.len() == 1 {
+                        frac *= 10;
+                    }
+                    out.push(Token::Decimal(whole * 100 + frac));
+                } else {
+                    let n: i64 = b[start..i]
+                        .iter()
+                        .collect::<String>()
+                        .parse()
+                        .map_err(|e| SqlError::Lex(format!("bad number: {e}")))?;
+                    out.push(Token::Int(n));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(
+                    b[start..i].iter().collect::<String>().to_lowercase(),
+                ));
+            }
+            other => return Err(SqlError::Lex(format!("unexpected character {other:?} at {i}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("SELECT a, b FROM t WHERE x >= 10 AND y <> 'it''s'").unwrap();
+        assert!(t.contains(&Token::Ident("select".into())));
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Ne));
+        assert!(t.contains(&Token::Str("it's".into())));
+        assert!(t.contains(&Token::Int(10)));
+    }
+
+    #[test]
+    fn decimals_scale_to_hundredths() {
+        let t = tokenize("0.07 1.5 2.25").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Decimal(7), Token::Decimal(150), Token::Decimal(225)]
+        );
+    }
+
+    #[test]
+    fn too_many_fraction_digits_rejected() {
+        assert!(matches!(tokenize("0.071"), Err(SqlError::Lex(_))));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tokenize("SELECT -- comment here\n 1").unwrap();
+        assert_eq!(t, vec![Token::Ident("select".into()), Token::Int(1)]);
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(matches!(tokenize("'abc"), Err(SqlError::Lex(_))));
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("a < b <= c > d >= e = f != g").unwrap();
+        assert_eq!(
+            t.iter()
+                .filter(|t| matches!(
+                    t,
+                    Token::Lt | Token::Le | Token::Gt | Token::Ge | Token::Eq | Token::Ne
+                ))
+                .count(),
+            6
+        );
+    }
+}

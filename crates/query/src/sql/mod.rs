@@ -1,0 +1,54 @@
+//! SQL front-end: lexer, parser, binder and a generic planner.
+//!
+//! The paper's clients submit SQL over JDBC; this module gives ecoDB a
+//! real statement path: `SELECT`-`FROM`-`WHERE`-`GROUP BY`-`ORDER BY`-
+//! `LIMIT` over the TPC-H catalog, with implicit (comma + `WHERE`
+//! equality) joins planned greedily by estimated cardinality. TPC-H Q5
+//! as published parses and plans directly (see the tests).
+//!
+//! Conventions: the storage layer keeps money in integer cents and
+//! percentages in integer hundredths, so SQL literals follow suit
+//! (`l_discount <= 7` means 7 %). Decimal literals are scaled by 100
+//! (`0.07` ⇒ 7). Dates are written `DATE '1994-01-01'`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::{BinOp, SelectItem, SelectStmt, SqlExpr};
+pub use lexer::{tokenize, Token};
+pub use parser::parse_select;
+pub use plan::plan_select;
+
+/// Errors from the SQL path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error with position.
+    Lex(String),
+    /// Parse error.
+    Parse(String),
+    /// Binder/planner error (unknown table/column, unsupported shape).
+    Bind(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lexical error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Bind(m) => write!(f, "binding error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Parse and plan a SQL `SELECT` against a catalog in one step.
+pub fn compile(
+    catalog: &eco_storage::Catalog,
+    sql: &str,
+) -> Result<crate::ops::BoxedOp, SqlError> {
+    let stmt = parse_select(sql)?;
+    plan_select(catalog, &stmt)
+}

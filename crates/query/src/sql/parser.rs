@@ -1,0 +1,489 @@
+//! Recursive-descent SQL parser.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! select   := SELECT items FROM name (',' name)*
+//!             [WHERE or_expr] [GROUP BY name (',' name)*]
+//!             [ORDER BY key (',' key)*] [LIMIT int] [';']
+//! items    := '*' | item (',' item)*
+//! item     := or_expr [AS ident | ident]
+//! or_expr  := and_expr (OR and_expr)*
+//! and_expr := not_expr (AND not_expr)*
+//! not_expr := NOT not_expr | cmp
+//! cmp      := add ((=|<>|<|<=|>|>=) add
+//!           | BETWEEN add AND add | IN '(' add (',' add)* ')')?
+//! add      := mul (('+'|'-') mul)*
+//! mul      := atom (('*'|'/') atom)*
+//! atom     := int | decimal | string | DATE string | '(' or_expr ')'
+//!           | SUM|COUNT|MIN|MAX|AVG '(' (or_expr | '*') ')'
+//!           | ident ['.' ident]
+//! ```
+
+use super::ast::{BinOp, OrderKey, SelectItem, SelectStmt, SqlExpr};
+use super::lexer::{tokenize, Token};
+use super::SqlError;
+use crate::expr::AggFunc;
+use eco_tpch::Date;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse one `SELECT` statement.
+pub fn parse_select(sql: &str) -> Result<SelectStmt, SqlError> {
+    let mut p = Parser {
+        toks: tokenize(sql)?,
+        pos: 0,
+    };
+    let stmt = p.select()?;
+    p.eat_if(&Token::Semi);
+    if !p.at_end() {
+        return Err(SqlError::Parse(format!(
+            "trailing input at token {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s == kw {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {}, found {:?}",
+                kw.to_uppercase(),
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), SqlError> {
+        if self.eat_if(&t) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_keyword("select")?;
+
+        let mut items = Vec::new();
+        if self.eat_if(&Token::Star) {
+            items.push(SelectItem::Star);
+        } else {
+            loop {
+                let expr = self.or_expr()?;
+                let alias = if self.keyword("as") {
+                    Some(self.ident()?)
+                } else if let Some(Token::Ident(s)) = self.peek() {
+                    // Bare alias, as long as it's not a clause keyword.
+                    if !matches!(s.as_str(), "from" | "where" | "group" | "order" | "limit") {
+                        Some(self.ident()?)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        self.expect_keyword("from")?;
+        let mut from = vec![self.ident()?];
+        while self.eat_if(&Token::Comma) {
+            from.push(self.ident()?);
+        }
+
+        let where_clause = if self.keyword("where") {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.keyword("group") {
+            self.expect_keyword("by")?;
+            group_by.push(self.ident()?);
+            while self.eat_if(&Token::Comma) {
+                group_by.push(self.ident()?);
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let name = self.ident()?;
+                let desc = if self.keyword("desc") {
+                    true
+                } else {
+                    self.keyword("asc");
+                    false
+                };
+                order_by.push(OrderKey { name, desc });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.keyword("limit") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn or_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.and_expr()?;
+        while self.keyword("or") {
+            let rhs = self.and_expr()?;
+            lhs = SqlExpr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.not_expr()?;
+        while self.peek_keyword("and") {
+            self.keyword("and");
+            let rhs = self.not_expr()?;
+            lhs = SqlExpr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.keyword("not") {
+            Ok(SqlExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp()
+        }
+    }
+
+    fn cmp(&mut self) -> Result<SqlExpr, SqlError> {
+        let lhs = self.add()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add()?;
+            return Ok(SqlExpr::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.keyword("between") {
+            let lo = self.add()?;
+            self.expect_keyword("and")?;
+            let hi = self.add()?;
+            return Ok(SqlExpr::Between(Box::new(lhs), Box::new(lo), Box::new(hi)));
+        }
+        if self.keyword("in") {
+            self.expect(Token::LParen)?;
+            let mut list = vec![self.add()?];
+            while self.eat_if(&Token::Comma) {
+                list.push(self.add()?);
+            }
+            self.expect(Token::RParen)?;
+            return Ok(SqlExpr::InList(Box::new(lhs), list));
+        }
+        Ok(lhs)
+    }
+
+    fn add(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.mul()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul()?;
+            lhs = SqlExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut lhs = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.atom()?;
+            lhs = SqlExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn atom(&mut self) -> Result<SqlExpr, SqlError> {
+        match self.next() {
+            Some(Token::Int(n)) => Ok(SqlExpr::Int(n)),
+            Some(Token::Decimal(n)) => Ok(SqlExpr::Decimal(n)),
+            Some(Token::Str(s)) => Ok(SqlExpr::Str(s)),
+            Some(Token::LParen) => {
+                let e = self.or_expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(id)) => match id.as_str() {
+                "date" => match self.next() {
+                    Some(Token::Str(s)) => parse_date(&s).map(SqlExpr::DateLit),
+                    other => Err(SqlError::Parse(format!(
+                        "expected date string after DATE, found {other:?}"
+                    ))),
+                },
+                "sum" | "count" | "min" | "max" | "avg" => {
+                    let func = match id.as_str() {
+                        "sum" => AggFunc::Sum,
+                        "count" => AggFunc::Count,
+                        "min" => AggFunc::Min,
+                        "max" => AggFunc::Max,
+                        _ => AggFunc::Avg,
+                    };
+                    self.expect(Token::LParen)?;
+                    if func == AggFunc::Count && self.eat_if(&Token::Star) {
+                        self.expect(Token::RParen)?;
+                        return Ok(SqlExpr::CountStar);
+                    }
+                    let inner = self.or_expr()?;
+                    self.expect(Token::RParen)?;
+                    Ok(SqlExpr::Agg(func, Box::new(inner)))
+                }
+                _ => {
+                    if self.eat_if(&Token::Dot) {
+                        let col = self.ident()?;
+                        Ok(SqlExpr::Column {
+                            table: Some(id),
+                            name: col,
+                        })
+                    } else {
+                        Ok(SqlExpr::Column {
+                            table: None,
+                            name: id,
+                        })
+                    }
+                }
+            },
+            other => Err(SqlError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parse `YYYY-MM-DD`.
+fn parse_date(s: &str) -> Result<Date, SqlError> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(SqlError::Parse(format!("bad date literal {s:?}")));
+    }
+    let y: i32 = parts[0]
+        .parse()
+        .map_err(|_| SqlError::Parse(format!("bad year in {s:?}")))?;
+    let m: u32 = parts[1]
+        .parse()
+        .map_err(|_| SqlError::Parse(format!("bad month in {s:?}")))?;
+    let d: u32 = parts[2]
+        .parse()
+        .map_err(|_| SqlError::Parse(format!("bad day in {s:?}")))?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(SqlError::Parse(format!("date out of range {s:?}")));
+    }
+    Ok(Date::from_ymd(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let s = parse_select("SELECT l_orderkey FROM lineitem WHERE l_quantity = 17").unwrap();
+        assert_eq!(s.from, vec!["lineitem"]);
+        assert_eq!(s.items.len(), 1);
+        assert!(s.where_clause.is_some());
+        assert!(s.group_by.is_empty() && s.order_by.is_empty() && s.limit.is_none());
+    }
+
+    #[test]
+    fn parses_star() {
+        let s = parse_select("select * from region;").unwrap();
+        assert_eq!(s.items, vec![SelectItem::Star]);
+    }
+
+    #[test]
+    fn parses_q5_shape() {
+        let s = parse_select(
+            "SELECT n_name, SUM(l_extendedprice * (100 - l_discount) / 100) AS revenue \
+             FROM customer, orders, lineitem, supplier, nation, region \
+             WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey \
+               AND l_suppkey = s_suppkey AND c_nationkey = s_nationkey \
+               AND s_nationkey = n_nationkey AND n_regionkey = r_regionkey \
+               AND r_name = 'ASIA' \
+               AND o_orderdate >= DATE '1994-01-01' \
+               AND o_orderdate < DATE '1995-01-01' \
+             GROUP BY n_name ORDER BY revenue DESC",
+        )
+        .unwrap();
+        assert_eq!(s.from.len(), 6);
+        assert_eq!(s.group_by, vec!["n_name"]);
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        let SelectItem::Expr { expr, alias } = &s.items[1] else {
+            panic!("expected expression item");
+        };
+        assert_eq!(alias.as_deref(), Some("revenue"));
+        assert!(expr.has_aggregate());
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let a = parse_select("SELECT a + b * c FROM t").unwrap();
+        let b = parse_select("SELECT a + (b * c) FROM t").unwrap();
+        assert_eq!(a.items, b.items);
+        let c = parse_select("SELECT (a + b) * c FROM t").unwrap();
+        assert_ne!(a.items, c.items);
+    }
+
+    #[test]
+    fn between_and_in() {
+        let s = parse_select(
+            "SELECT * FROM lineitem WHERE l_discount BETWEEN 5 AND 7 AND l_quantity IN (1, 2, 3)",
+        )
+        .unwrap();
+        let w = s.where_clause.unwrap();
+        let mut cols = Vec::new();
+        w.columns(&mut cols);
+        assert!(cols.contains(&"l_discount".to_string()));
+        assert!(cols.contains(&"l_quantity".to_string()));
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let s = parse_select("SELECT lineitem.l_orderkey FROM lineitem").unwrap();
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        assert_eq!(
+            expr,
+            &SqlExpr::Column {
+                table: Some("lineitem".into()),
+                name: "l_orderkey".into()
+            }
+        );
+    }
+
+    #[test]
+    fn count_star_and_decimal() {
+        let s = parse_select("SELECT COUNT(*) FROM lineitem WHERE l_discount <= 0.07").unwrap();
+        let SelectItem::Expr { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        assert_eq!(expr, &SqlExpr::CountStar);
+        // 0.07 scaled to hundredths.
+        let w = format!("{:?}", s.where_clause.unwrap());
+        assert!(w.contains("Decimal(7)"), "{w}");
+    }
+
+    #[test]
+    fn error_paths() {
+        assert!(parse_select("FROM t").is_err());
+        assert!(parse_select("SELECT a FROM").is_err());
+        assert!(parse_select("SELECT a FROM t WHERE").is_err());
+        assert!(parse_select("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse_select("SELECT a FROM t extra junk").is_err());
+        assert!(parse_select("SELECT DATE 'not-a-date' FROM t").is_err());
+        assert!(parse_select("SELECT a FROM t WHERE d = DATE '1994-13-01'").is_err());
+    }
+
+    #[test]
+    fn order_by_asc_desc_and_limit() {
+        let s =
+            parse_select("SELECT a, b FROM t ORDER BY a ASC, b DESC LIMIT 10").unwrap();
+        assert!(!s.order_by[0].desc);
+        assert!(s.order_by[1].desc);
+        assert_eq!(s.limit, Some(10));
+    }
+}

@@ -1,0 +1,119 @@
+//! Power-supply model: standby draw plus a load-dependent efficiency
+//! curve.
+//!
+//! The paper measures everything at the wall through a Corsair VX450W
+//! (80plus) and estimates ≈ 83 % efficiency near its ≈ 20 % load point
+//! (§3.2), noting that Table 1 therefore "contains a significant amount
+//! of PSU losses".
+
+use crate::calib;
+
+/// PSU specification: rated output and an efficiency curve sampled at
+/// a few load fractions (linearly interpolated, clamped at the ends).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PsuSpec {
+    /// Rated DC output, watts.
+    pub rated_w: f64,
+    /// Wall draw with the system soft-off, watts.
+    pub standby_w: f64,
+    /// (load_fraction, efficiency) anchors, ascending in load.
+    pub eff_curve: Vec<(f64, f64)>,
+}
+
+impl Default for PsuSpec {
+    fn default() -> Self {
+        Self {
+            rated_w: calib::PSU_RATED_W,
+            standby_w: calib::WALL_STANDBY_W,
+            eff_curve: calib::PSU_EFF_CURVE.to_vec(),
+        }
+    }
+}
+
+impl PsuSpec {
+    /// Efficiency at a DC load, in `(0, 1]`.
+    pub fn efficiency(&self, dc_load_w: f64) -> f64 {
+        let f = (dc_load_w / self.rated_w).max(0.0);
+        let curve = &self.eff_curve;
+        if f <= curve[0].0 {
+            return curve[0].1;
+        }
+        if f >= curve[curve.len() - 1].0 {
+            return curve[curve.len() - 1].1;
+        }
+        for w in curve.windows(2) {
+            let (f0, e0) = w[0];
+            let (f1, e1) = w[1];
+            if f <= f1 {
+                let t = (f - f0) / (f1 - f0);
+                return e0 + t * (e1 - e0);
+            }
+        }
+        curve[curve.len() - 1].1
+    }
+
+    /// Wall power for a DC load on a powered-on system, watts.
+    /// Includes the always-present standby circuitry.
+    pub fn wall_power_w(&self, dc_load_w: f64) -> f64 {
+        assert!(dc_load_w >= 0.0, "negative DC load");
+        self.standby_w + dc_load_w / self.efficiency(dc_load_w)
+    }
+
+    /// Wall power with the system soft-off, watts (Table 1 row 1).
+    pub fn standby_power_w(&self) -> f64 {
+        self.standby_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_interpolates_and_clamps() {
+        let p = PsuSpec::default();
+        // Below the first anchor.
+        assert_eq!(p.efficiency(0.0), calib::PSU_EFF_CURVE[0].1);
+        // At an anchor.
+        let (f, e) = calib::PSU_EFF_CURVE[3];
+        assert!((p.efficiency(f * p.rated_w) - e).abs() < 1e-12);
+        // Above the last anchor.
+        assert_eq!(
+            p.efficiency(p.rated_w * 2.0),
+            calib::PSU_EFF_CURVE[calib::PSU_EFF_CURVE.len() - 1].1
+        );
+    }
+
+    #[test]
+    fn near_20pct_load_efficiency_is_about_83pct() {
+        // Paper §3.2: "we estimate that the power efficiency of the PSU
+        // is around 83%, given the near 20% load".
+        let p = PsuSpec::default();
+        let e = p.efficiency(0.20 * p.rated_w);
+        assert!((e - 0.83).abs() < 0.01, "efficiency {e}");
+    }
+
+    #[test]
+    fn wall_exceeds_dc() {
+        let p = PsuSpec::default();
+        for dc in [5.0, 20.0, 60.0, 120.0] {
+            assert!(p.wall_power_w(dc) > dc);
+        }
+    }
+
+    #[test]
+    fn wall_power_monotone_in_load() {
+        let p = PsuSpec::default();
+        let mut prev = p.wall_power_w(0.0);
+        for dc in 1..200 {
+            let w = p.wall_power_w(dc as f64);
+            assert!(w >= prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn standby_matches_table1_row1() {
+        assert!((PsuSpec::default().standby_power_w() - 9.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,401 @@
+//! Work traces: the ledger of everything a piece of software did.
+//!
+//! Query execution (in `eco-query`) and storage (in `eco-storage`) do
+//! *real* work over *real* data, and account for it here. The machine
+//! model then prices the ledger under a particular hardware
+//! configuration. Keeping execution and pricing separate is what makes
+//! a PVC sweep cheap: one execution, many configurations.
+
+use crate::calib;
+
+/// Classes of CPU work with distinct cycle costs and switching-activity
+/// levels. The split matters for power: a tight predicate-evaluation
+/// loop keeps the out-of-order core saturated (high switching activity,
+/// high watts) while result copying is memory-bound (low activity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum OpClass {
+    /// Advance to the next tuple in a scan (pointer chase + header decode).
+    TupleFetch = 0,
+    /// Evaluate one predicate term against a tuple (interpreted expression tree).
+    PredEval = 1,
+    /// Insert one row into a hash table (hash + bucket write).
+    HashBuild = 2,
+    /// Probe a hash table with one key.
+    HashProbe = 3,
+    /// One scalar arithmetic step in an expression (add/mul/compare on values).
+    Arith = 4,
+    /// Update one aggregate accumulator.
+    AggUpdate = 5,
+    /// Materialize one output row into the result buffer.
+    ResultEmit = 6,
+    /// Per-token parse / plan / admission work for one statement.
+    Parse = 7,
+    /// One comparison inside a sort.
+    SortCmp = 8,
+    /// Copy one row between buffers (client-side, JDBC-style).
+    RowCopy = 9,
+    /// Route one aggregated-result row back to its originating query
+    /// (the QED application-side split).
+    SplitRoute = 10,
+}
+
+/// Number of [`OpClass`] variants.
+pub const N_OP_CLASSES: usize = 11;
+
+/// All op classes, in discriminant order.
+pub const ALL_OP_CLASSES: [OpClass; N_OP_CLASSES] = [
+    OpClass::TupleFetch,
+    OpClass::PredEval,
+    OpClass::HashBuild,
+    OpClass::HashProbe,
+    OpClass::Arith,
+    OpClass::AggUpdate,
+    OpClass::ResultEmit,
+    OpClass::Parse,
+    OpClass::SortCmp,
+    OpClass::RowCopy,
+    OpClass::SplitRoute,
+];
+
+impl OpClass {
+    /// Stable index into per-class arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Cycles consumed by one operation of this class (at any frequency;
+    /// cycle counts are frequency-independent, wall time is not).
+    #[inline]
+    pub fn cycles(self) -> f64 {
+        calib::OP_CYCLES[self.index()]
+    }
+
+    /// Switching-activity factor in `[0, 1]`: the fraction of peak
+    /// dynamic power the core draws while executing this class.
+    #[inline]
+    pub fn activity(self) -> f64 {
+        calib::OP_ACTIVITY[self.index()]
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpClass::TupleFetch => "tuple_fetch",
+            OpClass::PredEval => "pred_eval",
+            OpClass::HashBuild => "hash_build",
+            OpClass::HashProbe => "hash_probe",
+            OpClass::Arith => "arith",
+            OpClass::AggUpdate => "agg_update",
+            OpClass::ResultEmit => "result_emit",
+            OpClass::Parse => "parse",
+            OpClass::SortCmp => "sort_cmp",
+            OpClass::RowCopy => "row_copy",
+            OpClass::SplitRoute => "split_route",
+        }
+    }
+}
+
+/// Per-class operation counts for one phase of execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CpuWork {
+    counts: [u64; N_OP_CLASSES],
+}
+
+impl CpuWork {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` operations of class `class`.
+    #[inline]
+    pub fn add(&mut self, class: OpClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Number of operations recorded for `class`.
+    #[inline]
+    pub fn count(&self, class: OpClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total operations across all classes.
+    pub fn total_ops(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total CPU cycles implied by the recorded operations.
+    pub fn cycles(&self) -> f64 {
+        ALL_OP_CLASSES
+            .iter()
+            .map(|c| self.counts[c.index()] as f64 * c.cycles())
+            .sum()
+    }
+
+    /// Cycle-weighted mean switching activity of this work, in `[0, 1]`.
+    /// Returns the configured halt activity if the ledger is empty.
+    pub fn mean_activity(&self) -> f64 {
+        let cycles = self.cycles();
+        if cycles <= 0.0 {
+            return calib::HALT_ACTIVITY;
+        }
+        let weighted: f64 = ALL_OP_CLASSES
+            .iter()
+            .map(|c| self.counts[c.index()] as f64 * c.cycles() * c.activity())
+            .sum();
+        weighted / cycles
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&mut self, other: &CpuWork) {
+        for i in 0..N_OP_CLASSES {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// True when no operations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+}
+
+/// Disk work performed during a phase, split by access pattern because
+/// the two patterns have very different time and energy costs (paper §3.5).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DiskWork {
+    /// Bytes read sequentially (streaming, no repositioning per block).
+    pub sequential_bytes: u64,
+    /// Number of random accesses (each pays seek + rotation).
+    pub random_ios: u64,
+    /// Bytes transferred by those random accesses.
+    pub random_bytes: u64,
+}
+
+impl DiskWork {
+    /// No disk activity.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// True when no I/O was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sequential_bytes == 0 && self.random_ios == 0 && self.random_bytes == 0
+    }
+
+    /// Total bytes moved.
+    pub fn total_bytes(&self) -> u64 {
+        self.sequential_bytes + self.random_bytes
+    }
+
+    /// Merge another disk ledger into this one.
+    pub fn merge(&mut self, other: &DiskWork) {
+        self.sequential_bytes += other.sequential_bytes;
+        self.random_ios += other.random_ios;
+        self.random_bytes += other.random_bytes;
+    }
+}
+
+/// What kind of interval a phase represents; used for reporting and for
+/// p-state policy (the DVFS governor idles the CPU during disk waits and
+/// client gaps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// CPU executing query work.
+    Execute,
+    /// Client/server round trip: the CPU sits in active idle (C1)
+    /// between a result returning and the next statement arriving.
+    ClientGap,
+    /// Result post-processing in the client application (QED split).
+    ClientCompute,
+}
+
+/// One contiguous interval of accounted work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// What the interval represents.
+    pub kind: PhaseKind,
+    /// CPU operations performed.
+    pub cpu: CpuWork,
+    /// Bytes streamed through the memory system (table scans, copies).
+    pub mem_stream_bytes: u64,
+    /// Latency-bound random memory accesses (hash probes into tables
+    /// larger than cache, pointer chases).
+    pub mem_random_accesses: u64,
+    /// Disk activity (the CPU idles while it waits).
+    pub disk: DiskWork,
+    /// Wall-clock nanoseconds of enforced gap (client round trips,
+    /// think time). Independent of CPU frequency.
+    pub gap_ns: u64,
+    /// Free-form label for reports ("Q5 #3", "qed batch", ...).
+    pub label: String,
+}
+
+impl Phase {
+    /// A new, empty execution phase with the given label.
+    pub fn execute(label: impl Into<String>) -> Self {
+        Self {
+            kind: PhaseKind::Execute,
+            cpu: CpuWork::new(),
+            mem_stream_bytes: 0,
+            mem_random_accesses: 0,
+            disk: DiskWork::none(),
+            gap_ns: 0,
+            label: label.into(),
+        }
+    }
+
+    /// A client round-trip gap of `ns` nanoseconds.
+    pub fn client_gap(ns: u64) -> Self {
+        Self {
+            kind: PhaseKind::ClientGap,
+            cpu: CpuWork::new(),
+            mem_stream_bytes: 0,
+            mem_random_accesses: 0,
+            disk: DiskWork::none(),
+            gap_ns: ns,
+            label: "client gap".to_string(),
+        }
+    }
+
+    /// A client-side compute phase (e.g. the QED result split).
+    pub fn client_compute(label: impl Into<String>) -> Self {
+        Self {
+            kind: PhaseKind::ClientCompute,
+            ..Self::execute(label)
+        }
+    }
+}
+
+/// A complete trace: the ordered phases of one workload run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkTrace {
+    phases: Vec<Phase>,
+}
+
+impl WorkTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a phase.
+    pub fn push(&mut self, phase: Phase) {
+        self.phases.push(phase);
+    }
+
+    /// The recorded phases, in order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True when the trace has no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// Concatenate another trace onto this one.
+    pub fn extend(&mut self, other: WorkTrace) {
+        self.phases.extend(other.phases);
+    }
+
+    /// Sum of all CPU work across phases.
+    pub fn total_cpu(&self) -> CpuWork {
+        let mut w = CpuWork::new();
+        for p in &self.phases {
+            w.merge(&p.cpu);
+        }
+        w
+    }
+
+    /// Sum of all disk work across phases.
+    pub fn total_disk(&self) -> DiskWork {
+        let mut d = DiskWork::none();
+        for p in &self.phases {
+            d.merge(&p.disk);
+        }
+        d
+    }
+
+    /// Total bytes streamed through memory.
+    pub fn total_mem_stream_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.mem_stream_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_class_indices_are_dense_and_unique() {
+        for (i, c) in ALL_OP_CLASSES.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn cpu_work_accumulates_and_merges() {
+        let mut a = CpuWork::new();
+        a.add(OpClass::TupleFetch, 10);
+        a.add(OpClass::PredEval, 5);
+        let mut b = CpuWork::new();
+        b.add(OpClass::PredEval, 7);
+        a.merge(&b);
+        assert_eq!(a.count(OpClass::PredEval), 12);
+        assert_eq!(a.total_ops(), 22);
+        assert!(a.cycles() > 0.0);
+    }
+
+    #[test]
+    fn mean_activity_is_bounded() {
+        let mut w = CpuWork::new();
+        for c in ALL_OP_CLASSES {
+            w.add(c, 3);
+        }
+        let a = w.mean_activity();
+        assert!(a > 0.0 && a <= 1.0, "activity {a} out of range");
+    }
+
+    #[test]
+    fn empty_work_reports_halt_activity() {
+        let w = CpuWork::new();
+        assert_eq!(w.mean_activity(), calib::HALT_ACTIVITY);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn high_ilp_work_draws_more_than_copy_work() {
+        let mut hot = CpuWork::new();
+        hot.add(OpClass::PredEval, 1000);
+        let mut cold = CpuWork::new();
+        cold.add(OpClass::RowCopy, 1000);
+        assert!(hot.mean_activity() > cold.mean_activity());
+    }
+
+    #[test]
+    fn trace_totals() {
+        let mut t = WorkTrace::new();
+        let mut p = Phase::execute("a");
+        p.cpu.add(OpClass::Arith, 4);
+        p.mem_stream_bytes = 100;
+        p.disk.sequential_bytes = 50;
+        t.push(p);
+        let mut q = Phase::execute("b");
+        q.cpu.add(OpClass::Arith, 6);
+        q.disk.random_ios = 2;
+        q.disk.random_bytes = 8192;
+        t.push(q);
+        assert_eq!(t.total_cpu().count(OpClass::Arith), 10);
+        assert_eq!(t.total_disk().sequential_bytes, 50);
+        assert_eq!(t.total_disk().random_ios, 2);
+        assert_eq!(t.total_mem_stream_bytes(), 100);
+        assert_eq!(t.len(), 2);
+    }
+}

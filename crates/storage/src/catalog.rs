@@ -1,0 +1,174 @@
+//! The catalog: named tables plus the shared buffer pool.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::bufferpool::BufferPool;
+use crate::disk_table::DiskTable;
+use crate::heap::HeapTable;
+use crate::value::Schema;
+
+/// Physical storage of one table.
+#[derive(Debug)]
+pub enum TableData {
+    /// Memory-engine table.
+    Memory(HeapTable),
+    /// Disk-engine table behind the buffer pool.
+    Disk(DiskTable),
+}
+
+/// A named stored table.
+#[derive(Debug)]
+pub struct StoredTable {
+    /// Table name.
+    pub name: String,
+    /// Physical storage.
+    pub data: TableData,
+}
+
+impl StoredTable {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        match &self.data {
+            TableData::Memory(t) => t.schema(),
+            TableData::Disk(t) => t.schema(),
+        }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        match &self.data {
+            TableData::Memory(t) => t.len(),
+            TableData::Disk(t) => t.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Average stored tuple width in bytes.
+    pub fn avg_tuple_bytes(&self) -> u64 {
+        match &self.data {
+            TableData::Memory(t) => t.avg_tuple_bytes(),
+            TableData::Disk(t) => t.avg_tuple_bytes(),
+        }
+    }
+}
+
+/// Named tables + the shared buffer pool.
+#[derive(Debug)]
+pub struct Catalog {
+    tables: BTreeMap<String, Arc<StoredTable>>,
+    pool: Arc<BufferPool>,
+    next_table_id: u32,
+}
+
+impl Catalog {
+    /// Empty catalog with a pool of `pool_pages` pages.
+    pub fn new(pool_pages: usize) -> Self {
+        Self {
+            tables: BTreeMap::new(),
+            pool: Arc::new(BufferPool::new(pool_pages)),
+            next_table_id: 1,
+        }
+    }
+
+    /// The shared buffer pool.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Register a memory-engine table. Panics on duplicate names.
+    pub fn add_memory_table(&mut self, name: &str, table: HeapTable) {
+        self.insert(name, TableData::Memory(table));
+    }
+
+    /// Register a disk-engine table built from `tuples`.
+    pub fn add_disk_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        tuples: &[crate::value::Tuple],
+    ) {
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        let table = DiskTable::load(id, schema, tuples, Arc::clone(&self.pool));
+        self.insert(name, TableData::Disk(table));
+    }
+
+    fn insert(&mut self, name: &str, data: TableData) {
+        let prev = self.tables.insert(
+            name.to_string(),
+            Arc::new(StoredTable {
+                name: name.to_string(),
+                data,
+            }),
+        );
+        assert!(prev.is_none(), "duplicate table {name:?}");
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Option<Arc<StoredTable>> {
+        self.tables.get(name).cloned()
+    }
+
+    /// Look up a table, panicking with context if absent.
+    pub fn expect(&self, name: &str) -> Arc<StoredTable> {
+        self.get(name)
+            .unwrap_or_else(|| panic!("no table named {name:?}; have {:?}", self.names()))
+    }
+
+    /// All table names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ColumnType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(&[("k", ColumnType::Int)])
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new(16);
+        c.add_memory_table("m", HeapTable::from_tuples(schema(), vec![vec![Value::Int(1)]]));
+        c.add_disk_table("d", schema(), &[vec![Value::Int(2)], vec![Value::Int(3)]]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.names(), vec!["d", "m"]);
+        assert_eq!(c.expect("m").len(), 1);
+        assert_eq!(c.expect("d").len(), 2);
+        assert!(c.get("x").is_none());
+        assert!(matches!(c.expect("d").data, TableData::Disk(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table")]
+    fn duplicate_rejected() {
+        let mut c = Catalog::new(16);
+        c.add_memory_table("t", HeapTable::new(schema()));
+        c.add_memory_table("t", HeapTable::new(schema()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no table named")]
+    fn expect_missing_panics() {
+        Catalog::new(16).expect("ghost");
+    }
+}

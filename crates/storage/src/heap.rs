@@ -1,0 +1,119 @@
+//! In-memory heap table — the "MySQL memory engine" profile.
+//!
+//! Tuples live in a flat vector; scans stream straight from DRAM with
+//! no disk involvement, which is exactly why the paper uses the memory
+//! engine "to stress the CPU" (§3.3).
+
+use crate::value::{tuple_width, Schema, Tuple};
+
+/// An append-only in-memory table.
+#[derive(Debug, Clone, Default)]
+pub struct HeapTable {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    bytes: u64,
+}
+
+impl HeapTable {
+    /// Empty table with a schema.
+    pub fn new(schema: Schema) -> Self {
+        Self {
+            schema,
+            tuples: Vec::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Build from pre-validated tuples.
+    pub fn from_tuples(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        let mut t = Self::new(schema);
+        for tup in tuples {
+            t.insert(tup);
+        }
+        t
+    }
+
+    /// Append one tuple; panics if it does not match the schema.
+    pub fn insert(&mut self, tuple: Tuple) {
+        assert!(
+            self.schema.check(&tuple),
+            "tuple does not match schema {:?}",
+            self.schema.names()
+        );
+        self.bytes += tuple_width(&tuple);
+        self.tuples.push(tuple);
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Total stored bytes (drives memory-stream accounting for scans).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Average tuple width in bytes (0 for an empty table).
+    pub fn avg_tuple_bytes(&self) -> u64 {
+        if self.tuples.is_empty() {
+            0
+        } else {
+            self.bytes / self.tuples.len() as u64
+        }
+    }
+
+    /// All tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ColumnType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(&[("k", ColumnType::Int), ("s", ColumnType::Str)])
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut t = HeapTable::new(schema());
+        assert!(t.is_empty());
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), Value::str(format!("v{i}"))]);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.tuples()[3][0], Value::Int(3));
+        assert!(t.bytes() > 0);
+        assert!(t.avg_tuple_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match schema")]
+    fn schema_mismatch_rejected() {
+        let mut t = HeapTable::new(schema());
+        t.insert(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn bytes_accumulate() {
+        let mut t = HeapTable::new(schema());
+        t.insert(vec![Value::Int(1), Value::str("ab")]);
+        let one = t.bytes();
+        t.insert(vec![Value::Int(2), Value::str("ab")]);
+        assert_eq!(t.bytes(), 2 * one);
+    }
+}

@@ -1,0 +1,28 @@
+//! # eco-storage — the storage engine under ecoDB
+//!
+//! Two storage profiles mirror the paper's two systems under test:
+//!
+//! * a **memory engine** ([`heap::HeapTable`]) standing in for MySQL's
+//!   `MEMORY` storage engine (paper §3.3/§4 use it "to stress the CPU");
+//! * a **disk engine** ([`disk_table::DiskTable`] + [`bufferpool::BufferPool`])
+//!   standing in for the commercial DBMS: tuples live in 8 KB slotted
+//!   pages behind an LRU buffer pool, and every miss charges simulated
+//!   disk I/O — which is how the warm/cold experiment of paper §3.5
+//!   arises naturally.
+//!
+//! The engine stores real tuples and returns real bytes; only the
+//! *pricing* of I/O is simulated (see `eco-simhw`).
+
+pub mod bufferpool;
+pub mod catalog;
+pub mod disk_table;
+pub mod heap;
+pub mod loader;
+pub mod page;
+pub mod value;
+
+pub use bufferpool::{BufferPool, PageId};
+pub use catalog::{Catalog, StoredTable, TableData};
+pub use heap::HeapTable;
+pub use loader::{load_tpch, EngineKind};
+pub use value::{tuple_width, Column, ColumnType, Schema, Tuple, Value};

@@ -1,0 +1,361 @@
+//! Load a generated TPC-H database into a catalog, under either engine
+//! profile.
+//!
+//! Schemas follow TPC-H column naming; money is `Int` cents, dates are
+//! `Date` day offsets (see `eco-tpch::rows` for the conventions).
+
+use eco_tpch::TpchDb;
+
+use crate::catalog::Catalog;
+use crate::heap::HeapTable;
+use crate::value::{ColumnType as T, Schema, Tuple, Value};
+
+/// Which storage profile to load into (the paper's two systems).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// MySQL-memory-engine profile: all tables in heap storage.
+    Memory,
+    /// Commercial-disk-DBMS profile: all tables paged behind the pool.
+    Disk,
+}
+
+impl EngineKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Memory => "memory",
+            EngineKind::Disk => "disk",
+        }
+    }
+}
+
+/// Schema of the `region` table.
+pub fn region_schema() -> Schema {
+    Schema::new(&[
+        ("r_regionkey", T::Int),
+        ("r_name", T::Str),
+        ("r_comment", T::Str),
+    ])
+}
+
+/// Schema of the `nation` table.
+pub fn nation_schema() -> Schema {
+    Schema::new(&[
+        ("n_nationkey", T::Int),
+        ("n_name", T::Str),
+        ("n_regionkey", T::Int),
+        ("n_comment", T::Str),
+    ])
+}
+
+/// Schema of the `supplier` table.
+pub fn supplier_schema() -> Schema {
+    Schema::new(&[
+        ("s_suppkey", T::Int),
+        ("s_name", T::Str),
+        ("s_address", T::Str),
+        ("s_nationkey", T::Int),
+        ("s_phone", T::Str),
+        ("s_acctbal", T::Int),
+        ("s_comment", T::Str),
+    ])
+}
+
+/// Schema of the `customer` table.
+pub fn customer_schema() -> Schema {
+    Schema::new(&[
+        ("c_custkey", T::Int),
+        ("c_name", T::Str),
+        ("c_address", T::Str),
+        ("c_nationkey", T::Int),
+        ("c_phone", T::Str),
+        ("c_acctbal", T::Int),
+        ("c_mktsegment", T::Str),
+        ("c_comment", T::Str),
+    ])
+}
+
+/// Schema of the `part` table.
+pub fn part_schema() -> Schema {
+    Schema::new(&[
+        ("p_partkey", T::Int),
+        ("p_name", T::Str),
+        ("p_mfgr", T::Str),
+        ("p_brand", T::Str),
+        ("p_type", T::Str),
+        ("p_size", T::Int),
+        ("p_container", T::Str),
+        ("p_retailprice", T::Int),
+        ("p_comment", T::Str),
+    ])
+}
+
+/// Schema of the `partsupp` table.
+pub fn partsupp_schema() -> Schema {
+    Schema::new(&[
+        ("ps_partkey", T::Int),
+        ("ps_suppkey", T::Int),
+        ("ps_availqty", T::Int),
+        ("ps_supplycost", T::Int),
+        ("ps_comment", T::Str),
+    ])
+}
+
+/// Schema of the `orders` table.
+pub fn orders_schema() -> Schema {
+    Schema::new(&[
+        ("o_orderkey", T::Int),
+        ("o_custkey", T::Int),
+        ("o_orderstatus", T::Char),
+        ("o_totalprice", T::Int),
+        ("o_orderdate", T::Date),
+        ("o_orderpriority", T::Str),
+        ("o_clerk", T::Str),
+        ("o_shippriority", T::Int),
+        ("o_comment", T::Str),
+    ])
+}
+
+/// Schema of the `lineitem` table.
+pub fn lineitem_schema() -> Schema {
+    Schema::new(&[
+        ("l_orderkey", T::Int),
+        ("l_partkey", T::Int),
+        ("l_suppkey", T::Int),
+        ("l_linenumber", T::Int),
+        ("l_quantity", T::Int),
+        ("l_extendedprice", T::Int),
+        ("l_discount", T::Int),
+        ("l_tax", T::Int),
+        ("l_returnflag", T::Char),
+        ("l_linestatus", T::Char),
+        ("l_shipdate", T::Date),
+        ("l_commitdate", T::Date),
+        ("l_receiptdate", T::Date),
+        ("l_shipinstruct", T::Str),
+        ("l_shipmode", T::Str),
+        ("l_comment", T::Str),
+    ])
+}
+
+fn region_tuples(db: &TpchDb) -> Vec<Tuple> {
+    db.region
+        .iter()
+        .map(|r| {
+            vec![
+                Value::Int(r.r_regionkey),
+                Value::str(&r.r_name),
+                Value::str(&r.r_comment),
+            ]
+        })
+        .collect()
+}
+
+fn nation_tuples(db: &TpchDb) -> Vec<Tuple> {
+    db.nation
+        .iter()
+        .map(|n| {
+            vec![
+                Value::Int(n.n_nationkey),
+                Value::str(&n.n_name),
+                Value::Int(n.n_regionkey),
+                Value::str(&n.n_comment),
+            ]
+        })
+        .collect()
+}
+
+fn supplier_tuples(db: &TpchDb) -> Vec<Tuple> {
+    db.supplier
+        .iter()
+        .map(|s| {
+            vec![
+                Value::Int(s.s_suppkey),
+                Value::str(&s.s_name),
+                Value::str(&s.s_address),
+                Value::Int(s.s_nationkey),
+                Value::str(&s.s_phone),
+                Value::Int(s.s_acctbal),
+                Value::str(&s.s_comment),
+            ]
+        })
+        .collect()
+}
+
+fn customer_tuples(db: &TpchDb) -> Vec<Tuple> {
+    db.customer
+        .iter()
+        .map(|c| {
+            vec![
+                Value::Int(c.c_custkey),
+                Value::str(&c.c_name),
+                Value::str(&c.c_address),
+                Value::Int(c.c_nationkey),
+                Value::str(&c.c_phone),
+                Value::Int(c.c_acctbal),
+                Value::str(&c.c_mktsegment),
+                Value::str(&c.c_comment),
+            ]
+        })
+        .collect()
+}
+
+fn part_tuples(db: &TpchDb) -> Vec<Tuple> {
+    db.part
+        .iter()
+        .map(|p| {
+            vec![
+                Value::Int(p.p_partkey),
+                Value::str(&p.p_name),
+                Value::str(&p.p_mfgr),
+                Value::str(&p.p_brand),
+                Value::str(&p.p_type),
+                Value::Int(p.p_size),
+                Value::str(&p.p_container),
+                Value::Int(p.p_retailprice),
+                Value::str(&p.p_comment),
+            ]
+        })
+        .collect()
+}
+
+fn partsupp_tuples(db: &TpchDb) -> Vec<Tuple> {
+    db.partsupp
+        .iter()
+        .map(|ps| {
+            vec![
+                Value::Int(ps.ps_partkey),
+                Value::Int(ps.ps_suppkey),
+                Value::Int(ps.ps_availqty),
+                Value::Int(ps.ps_supplycost),
+                Value::str(&ps.ps_comment),
+            ]
+        })
+        .collect()
+}
+
+fn orders_tuples(db: &TpchDb) -> Vec<Tuple> {
+    db.orders
+        .iter()
+        .map(|o| {
+            vec![
+                Value::Int(o.o_orderkey),
+                Value::Int(o.o_custkey),
+                Value::Char(o.o_orderstatus),
+                Value::Int(o.o_totalprice),
+                Value::Date(o.o_orderdate.0),
+                Value::str(&o.o_orderpriority),
+                Value::str(&o.o_clerk),
+                Value::Int(o.o_shippriority),
+                Value::str(&o.o_comment),
+            ]
+        })
+        .collect()
+}
+
+fn lineitem_tuples(db: &TpchDb) -> Vec<Tuple> {
+    db.lineitem
+        .iter()
+        .map(|l| {
+            vec![
+                Value::Int(l.l_orderkey),
+                Value::Int(l.l_partkey),
+                Value::Int(l.l_suppkey),
+                Value::Int(l.l_linenumber),
+                Value::Int(l.l_quantity),
+                Value::Int(l.l_extendedprice),
+                Value::Int(l.l_discount),
+                Value::Int(l.l_tax),
+                Value::Char(l.l_returnflag),
+                Value::Char(l.l_linestatus),
+                Value::Date(l.l_shipdate.0),
+                Value::Date(l.l_commitdate.0),
+                Value::Date(l.l_receiptdate.0),
+                Value::str(&l.l_shipinstruct),
+                Value::str(&l.l_shipmode),
+                Value::str(&l.l_comment),
+            ]
+        })
+        .collect()
+}
+
+/// Load a TPC-H database into a fresh catalog under the given engine
+/// profile. `pool_pages` sizes the buffer pool (ignored by the memory
+/// engine, which never touches it).
+pub fn load_tpch(db: &TpchDb, kind: EngineKind, pool_pages: usize) -> Catalog {
+    let mut cat = Catalog::new(pool_pages);
+    let tables: [(&str, Schema, Vec<Tuple>); 8] = [
+        ("region", region_schema(), region_tuples(db)),
+        ("nation", nation_schema(), nation_tuples(db)),
+        ("supplier", supplier_schema(), supplier_tuples(db)),
+        ("customer", customer_schema(), customer_tuples(db)),
+        ("part", part_schema(), part_tuples(db)),
+        ("partsupp", partsupp_schema(), partsupp_tuples(db)),
+        ("orders", orders_schema(), orders_tuples(db)),
+        ("lineitem", lineitem_schema(), lineitem_tuples(db)),
+    ];
+    for (name, schema, tuples) in tables {
+        match kind {
+            EngineKind::Memory => {
+                cat.add_memory_table(name, HeapTable::from_tuples(schema, tuples));
+            }
+            EngineKind::Disk => {
+                cat.add_disk_table(name, schema, &tuples);
+            }
+        }
+    }
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_tpch::TpchGenerator;
+
+    #[test]
+    fn loads_all_eight_tables_both_engines() {
+        let db = TpchGenerator::new(0.001).generate();
+        for kind in [EngineKind::Memory, EngineKind::Disk] {
+            let cat = load_tpch(&db, kind, 1024);
+            assert_eq!(cat.len(), 8, "{kind:?}");
+            assert_eq!(cat.expect("lineitem").len(), db.lineitem.len());
+            assert_eq!(cat.expect("orders").len(), db.orders.len());
+            assert_eq!(cat.expect("region").len(), 5);
+            assert_eq!(cat.expect("nation").len(), 25);
+        }
+    }
+
+    #[test]
+    fn schemas_match_tuples() {
+        let db = TpchGenerator::new(0.001).generate();
+        let cat = load_tpch(&db, EngineKind::Memory, 0);
+        for name in cat.names() {
+            let t = cat.expect(name);
+            if let crate::catalog::TableData::Memory(h) = &t.data {
+                for tup in h.tuples().iter().take(10) {
+                    assert!(t.schema().check(tup), "{name} tuple fails schema");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disk_engine_roundtrips_tuples() {
+        let db = TpchGenerator::new(0.001).generate();
+        let mem = load_tpch(&db, EngineKind::Memory, 0);
+        let disk = load_tpch(&db, EngineKind::Disk, 4096);
+        let m = mem.expect("lineitem");
+        let d = disk.expect("lineitem");
+        let crate::catalog::TableData::Memory(h) = &m.data else {
+            panic!("memory expected")
+        };
+        let crate::catalog::TableData::Disk(dt) = &d.data else {
+            panic!("disk expected")
+        };
+        let mut from_disk = Vec::new();
+        for p in 0..dt.num_pages() {
+            from_disk.extend(dt.read_page(p).iter().cloned());
+        }
+        assert_eq!(h.tuples(), &from_disk[..], "page roundtrip must preserve tuples");
+    }
+}

@@ -1,0 +1,458 @@
+//! The generator: a seeded, scale-factor-parameterized `dbgen`
+//! equivalent producing all eight tables in memory.
+//!
+//! Cardinalities follow the spec: `region` 5, `nation` 25, `supplier`
+//! SF×10 000, `customer` SF×150 000, `part` SF×200 000, `partsupp`
+//! 4/part, `orders` SF×1 500 000, `lineitem` 1–7 per order (≈ SF×6 M).
+//! Each table draws from its own seeded RNG stream so tables are
+//! individually reproducible regardless of generation order.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dates::{self, Date};
+use crate::rows::*;
+use crate::text;
+
+/// A fully generated TPC-H database.
+#[derive(Debug, Clone, Default)]
+pub struct TpchDb {
+    /// Scale factor the database was generated at.
+    pub scale: f64,
+    /// REGION table.
+    pub region: Vec<Region>,
+    /// NATION table.
+    pub nation: Vec<Nation>,
+    /// SUPPLIER table.
+    pub supplier: Vec<Supplier>,
+    /// CUSTOMER table.
+    pub customer: Vec<Customer>,
+    /// PART table.
+    pub part: Vec<Part>,
+    /// PARTSUPP table.
+    pub partsupp: Vec<PartSupp>,
+    /// ORDERS table.
+    pub orders: Vec<Order>,
+    /// LINEITEM table.
+    pub lineitem: Vec<Lineitem>,
+}
+
+impl TpchDb {
+    /// Total row count across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.region.len()
+            + self.nation.len()
+            + self.supplier.len()
+            + self.customer.len()
+            + self.part.len()
+            + self.partsupp.len()
+            + self.orders.len()
+            + self.lineitem.len()
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchGenerator {
+    /// Scale factor (1.0 = the paper's commercial-DBMS experiments;
+    /// 0.125 = its MySQL experiments; 0.5 = its QED experiments).
+    pub scale: f64,
+    /// Base seed; tables derive their streams from it.
+    pub seed: u64,
+}
+
+impl Default for TpchGenerator {
+    fn default() -> Self {
+        Self {
+            scale: 0.01,
+            seed: 0x00EC0DB,
+        }
+    }
+}
+
+fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale).round() as usize).max(1)
+}
+
+impl TpchGenerator {
+    /// Generator at a scale factor with the default seed.
+    pub fn new(scale: f64) -> Self {
+        assert!(scale > 0.0, "scale factor must be positive");
+        Self {
+            scale,
+            ..Self::default()
+        }
+    }
+
+    /// Generator with an explicit seed.
+    pub fn with_seed(scale: f64, seed: u64) -> Self {
+        Self { scale, seed }
+    }
+
+    fn rng_for(&self, table: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ table)
+    }
+
+    /// Generate the full database.
+    pub fn generate(&self) -> TpchDb {
+        let region = self.gen_region();
+        let nation = self.gen_nation();
+        let supplier = self.gen_supplier();
+        let customer = self.gen_customer();
+        let part = self.gen_part();
+        let partsupp = self.gen_partsupp(&part);
+        let (orders, lineitem) = self.gen_orders_lineitem(&customer, &part);
+        TpchDb {
+            scale: self.scale,
+            region,
+            nation,
+            supplier,
+            customer,
+            part,
+            partsupp,
+            orders,
+            lineitem,
+        }
+    }
+
+    fn gen_region(&self) -> Vec<Region> {
+        let mut rng = self.rng_for(1);
+        text::REGIONS
+            .iter()
+            .enumerate()
+            .map(|(i, name)| Region {
+                r_regionkey: i as i64,
+                r_name: (*name).to_string(),
+                r_comment: text::comment(&mut rng, 4),
+            })
+            .collect()
+    }
+
+    fn gen_nation(&self) -> Vec<Nation> {
+        let mut rng = self.rng_for(2);
+        text::NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, (name, region))| Nation {
+                n_nationkey: i as i64,
+                n_name: (*name).to_string(),
+                n_regionkey: *region,
+                n_comment: text::comment(&mut rng, 5),
+            })
+            .collect()
+    }
+
+    fn gen_supplier(&self) -> Vec<Supplier> {
+        let mut rng = self.rng_for(3);
+        let n = scaled(10_000, self.scale);
+        (1..=n as i64)
+            .map(|k| {
+                let nation = rng.gen_range(0..25i64);
+                Supplier {
+                    s_suppkey: k,
+                    s_name: format!("Supplier#{k:09}"),
+                    s_address: text::address(&mut rng),
+                    s_nationkey: nation,
+                    s_phone: text::phone(&mut rng, nation),
+                    s_acctbal: rng.gen_range(-99_999..=999_999),
+                    s_comment: text::comment(&mut rng, 6),
+                }
+            })
+            .collect()
+    }
+
+    fn gen_customer(&self) -> Vec<Customer> {
+        let mut rng = self.rng_for(4);
+        let n = scaled(150_000, self.scale);
+        (1..=n as i64)
+            .map(|k| {
+                let nation = rng.gen_range(0..25i64);
+                Customer {
+                    c_custkey: k,
+                    c_name: format!("Customer#{k:09}"),
+                    c_address: text::address(&mut rng),
+                    c_nationkey: nation,
+                    c_phone: text::phone(&mut rng, nation),
+                    c_acctbal: rng.gen_range(-99_999..=999_999),
+                    c_mktsegment: text::SEGMENTS[rng.gen_range(0..text::SEGMENTS.len())]
+                        .to_string(),
+                    c_comment: text::comment(&mut rng, 8),
+                }
+            })
+            .collect()
+    }
+
+    fn gen_part(&self) -> Vec<Part> {
+        let mut rng = self.rng_for(5);
+        let n = scaled(200_000, self.scale);
+        (1..=n as i64)
+            .map(|k| {
+                let mfgr = rng.gen_range(1..=5);
+                let brand = mfgr * 10 + rng.gen_range(1..=5);
+                Part {
+                    p_partkey: k,
+                    p_name: format!(
+                        "{} {}",
+                        text::COLORS[rng.gen_range(0..text::COLORS.len())],
+                        text::COLORS[rng.gen_range(0..text::COLORS.len())]
+                    ),
+                    p_mfgr: format!("Manufacturer#{mfgr}"),
+                    p_brand: format!("Brand#{brand}"),
+                    p_type: format!(
+                        "{} {} {}",
+                        text::TYPE_SYLLABLE_1[rng.gen_range(0..text::TYPE_SYLLABLE_1.len())],
+                        text::TYPE_SYLLABLE_2[rng.gen_range(0..text::TYPE_SYLLABLE_2.len())],
+                        text::TYPE_SYLLABLE_3[rng.gen_range(0..text::TYPE_SYLLABLE_3.len())]
+                    ),
+                    p_size: rng.gen_range(1..=50),
+                    p_container: format!(
+                        "{} {}",
+                        text::CONTAINER_1[rng.gen_range(0..text::CONTAINER_1.len())],
+                        text::CONTAINER_2[rng.gen_range(0..text::CONTAINER_2.len())]
+                    ),
+                    // Spec formula: (90000 + (partkey mod 200001)/10 + 100·(partkey mod 1000)) / 100.
+                    p_retailprice: 90_000 + (k % 200_001) / 10 + 100 * (k % 1_000),
+                    p_comment: text::comment(&mut rng, 3),
+                }
+            })
+            .collect()
+    }
+
+    fn gen_partsupp(&self, parts: &[Part]) -> Vec<PartSupp> {
+        let mut rng = self.rng_for(6);
+        let n_supp = scaled(10_000, self.scale) as i64;
+        let mut out = Vec::with_capacity(parts.len() * 4);
+        for p in parts {
+            // Deterministic spread in the spirit of the spec's
+            // permutation: stride `⌊S/4⌋` keeps the four suppliers of a
+            // part distinct for any supplier count ≥ 4 (the spec formula
+            // only guarantees this at full-scale supplier counts), and
+            // the `(partkey−1)/S` offset rotates the pattern across
+            // partkey ranges.
+            let stride = (n_supp / 4).max(1);
+            for i in 0..4i64 {
+                let supp =
+                    (p.p_partkey - 1 + i * stride + (p.p_partkey - 1) / n_supp) % n_supp + 1;
+                out.push(PartSupp {
+                    ps_partkey: p.p_partkey,
+                    ps_suppkey: supp,
+                    ps_availqty: rng.gen_range(1..=9_999),
+                    ps_supplycost: rng.gen_range(100..=100_000),
+                    ps_comment: text::comment(&mut rng, 6),
+                });
+            }
+        }
+        out
+    }
+
+    fn gen_orders_lineitem(
+        &self,
+        customers: &[Customer],
+        parts: &[Part],
+    ) -> (Vec<Order>, Vec<Lineitem>) {
+        let mut rng = self.rng_for(7);
+        let n_orders = scaled(1_500_000, self.scale);
+        let n_supp = scaled(10_000, self.scale) as i64;
+        let n_cust = customers.len() as i64;
+        let n_part = parts.len() as i64;
+        let window_days = dates::end_date().0 - dates::start_date().0 + 1;
+        let order_window = window_days - 151;
+        let current = Date::from_ymd(1995, 6, 17); // spec CURRENTDATE
+
+        let mut orders = Vec::with_capacity(n_orders);
+        let mut lines = Vec::with_capacity(n_orders * 4);
+
+        for k in 1..=n_orders as i64 {
+            let custkey = rng.gen_range(1..=n_cust);
+            let orderdate = Date(rng.gen_range(0..order_window));
+            let n_lines = rng.gen_range(1..=7);
+            let mut total = 0i64;
+            let mut all_f = true;
+            let mut all_o = true;
+
+            for ln in 1..=n_lines {
+                let partkey = rng.gen_range(1..=n_part);
+                let quantity = rng.gen_range(1..=50i64);
+                let retail = parts[(partkey - 1) as usize].p_retailprice;
+                let extended = quantity * retail;
+                let shipdate = orderdate.plus_days(rng.gen_range(1..=121));
+                let receiptdate = shipdate.plus_days(rng.gen_range(1..=30));
+                let returnflag = if receiptdate <= current {
+                    if rng.gen_bool(0.5) {
+                        'R'
+                    } else {
+                        'A'
+                    }
+                } else {
+                    'N'
+                };
+                let linestatus = if shipdate > current { 'O' } else { 'F' };
+                if linestatus == 'O' {
+                    all_f = false;
+                } else {
+                    all_o = false;
+                }
+                total += extended;
+                lines.push(Lineitem {
+                    l_orderkey: k,
+                    l_partkey: partkey,
+                    l_suppkey: (partkey % n_supp) + 1,
+                    l_linenumber: ln,
+                    l_quantity: quantity,
+                    l_extendedprice: extended,
+                    l_discount: rng.gen_range(0..=10),
+                    l_tax: rng.gen_range(0..=8),
+                    l_returnflag: returnflag,
+                    l_linestatus: linestatus,
+                    l_shipdate: shipdate,
+                    l_commitdate: orderdate.plus_days(rng.gen_range(30..=90)),
+                    l_receiptdate: receiptdate,
+                    l_shipinstruct: text::INSTRUCTIONS[rng.gen_range(0..text::INSTRUCTIONS.len())]
+                        .to_string(),
+                    l_shipmode: text::MODES[rng.gen_range(0..text::MODES.len())].to_string(),
+                    l_comment: text::comment(&mut rng, 3),
+                });
+            }
+
+            orders.push(Order {
+                o_orderkey: k,
+                o_custkey: custkey,
+                o_orderstatus: if all_f {
+                    'F'
+                } else if all_o {
+                    'O'
+                } else {
+                    'P'
+                },
+                o_totalprice: total,
+                o_orderdate: orderdate,
+                o_orderpriority: text::PRIORITIES[rng.gen_range(0..text::PRIORITIES.len())]
+                    .to_string(),
+                o_clerk: format!("Clerk#{:09}", rng.gen_range(1..=scaled(1_000, self.scale))),
+                o_shippriority: 0,
+                o_comment: text::comment(&mut rng, 6),
+            });
+        }
+        (orders, lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_db() -> TpchDb {
+        TpchGenerator::new(0.002).generate()
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let db = small_db();
+        assert_eq!(db.region.len(), 5);
+        assert_eq!(db.nation.len(), 25);
+        assert_eq!(db.supplier.len(), 20);
+        assert_eq!(db.customer.len(), 300);
+        assert_eq!(db.part.len(), 400);
+        assert_eq!(db.partsupp.len(), 1600);
+        assert_eq!(db.orders.len(), 3000);
+        // 1..=7 lines per order, mean 4.
+        let per_order = db.lineitem.len() as f64 / db.orders.len() as f64;
+        assert!((3.5..4.5).contains(&per_order), "lines/order {per_order}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = TpchGenerator::with_seed(0.001, 42).generate();
+        let b = TpchGenerator::with_seed(0.001, 42).generate();
+        assert_eq!(a.lineitem, b.lineitem);
+        assert_eq!(a.orders, b.orders);
+        assert_eq!(a.customer, b.customer);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TpchGenerator::with_seed(0.001, 1).generate();
+        let b = TpchGenerator::with_seed(0.001, 2).generate();
+        assert_ne!(a.lineitem, b.lineitem);
+    }
+
+    #[test]
+    fn foreign_keys_valid() {
+        let db = small_db();
+        let n_cust = db.customer.len() as i64;
+        let n_supp = db.supplier.len() as i64;
+        let n_part = db.part.len() as i64;
+        for o in &db.orders {
+            assert!((1..=n_cust).contains(&o.o_custkey));
+        }
+        for l in &db.lineitem {
+            assert!((1..=db.orders.len() as i64).contains(&l.l_orderkey));
+            assert!((1..=n_part).contains(&l.l_partkey));
+            assert!((1..=n_supp).contains(&l.l_suppkey));
+        }
+        for s in &db.supplier {
+            assert!((0..25).contains(&s.s_nationkey));
+        }
+        for ps in &db.partsupp {
+            assert!((1..=n_supp).contains(&ps.ps_suppkey));
+            assert!((1..=n_part).contains(&ps.ps_partkey));
+        }
+    }
+
+    #[test]
+    fn quantity_is_uniform_1_to_50() {
+        // The QED workload depends on l_quantity being uniform over 50
+        // values (2 % selectivity each, paper §4).
+        let db = TpchGenerator::new(0.01).generate();
+        let mut counts = [0usize; 51];
+        for l in &db.lineitem {
+            assert!((1..=50).contains(&l.l_quantity));
+            counts[l.l_quantity as usize] += 1;
+        }
+        let expect = db.lineitem.len() as f64 / 50.0;
+        for (q, &count) in counts.iter().enumerate().skip(1) {
+            let dev = (count as f64 - expect).abs() / expect;
+            assert!(dev < 0.35, "quantity {q}: {count} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn order_dates_leave_ship_window() {
+        let db = small_db();
+        let end = dates::end_date();
+        for l in &db.lineitem {
+            assert!(l.l_shipdate > db.orders[(l.l_orderkey - 1) as usize].o_orderdate);
+            assert!(l.l_receiptdate > l.l_shipdate);
+            assert!(l.l_receiptdate <= end, "receipt {}", l.l_receiptdate);
+        }
+    }
+
+    #[test]
+    fn totalprice_is_sum_of_extended() {
+        let db = small_db();
+        let mut sums = vec![0i64; db.orders.len() + 1];
+        for l in &db.lineitem {
+            sums[l.l_orderkey as usize] += l.l_extendedprice;
+        }
+        for o in &db.orders {
+            assert_eq!(o.o_totalprice, sums[o.o_orderkey as usize]);
+        }
+    }
+
+    #[test]
+    fn partsupp_suppliers_distinct_per_part() {
+        let db = small_db();
+        for chunk in db.partsupp.chunks(4) {
+            let mut keys: Vec<i64> = chunk.iter().map(|ps| ps.ps_suppkey).collect();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), 4, "part {} suppliers collide", chunk[0].ps_partkey);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        let _ = TpchGenerator::new(0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's workloads.
+//!
+//! * **PVC workload** (§3.3): ten TPC-H Q5 instances — regions `ASIA`
+//!   and `AMERICA` crossed with "all five possible date ranges"
+//!   (year-long windows starting 1993-01-01 … 1997-01-01). TPC-H's
+//!   uniformity makes all ten perform the same amount of work with
+//!   non-overlapping predicates.
+//! * **QED workload** (§4): single-table selections on
+//!   `lineitem.l_quantity`, one distinct value per query (2 %
+//!   selectivity each), no overlap up to a batch of 50.
+
+use crate::dates::Date;
+
+/// Parameters of one TPC-H Q5 instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Q5Params {
+    /// Region name predicate (`r_name = region`).
+    pub region: String,
+    /// Date-range start (inclusive): `o_orderdate >= date_from`.
+    pub date_from: Date,
+    /// Date-range end (exclusive): `o_orderdate < date_to` (one year later).
+    pub date_to: Date,
+}
+
+impl Q5Params {
+    /// Q5 over a region and the year starting `year`-01-01.
+    pub fn new(region: &str, year: i32) -> Self {
+        Self {
+            region: region.to_string(),
+            date_from: Date::year_start(year),
+            date_to: Date::year_start(year + 1),
+        }
+    }
+
+    /// Display label, e.g. `"Q5(ASIA, 1994)"`.
+    pub fn label(&self) -> String {
+        let (y, _, _) = self.date_from.to_ymd();
+        format!("Q5({}, {y})", self.region)
+    }
+}
+
+/// The paper's ten-query PVC workload.
+pub fn q5_workload() -> Vec<Q5Params> {
+    let mut out = Vec::with_capacity(10);
+    for region in ["ASIA", "AMERICA"] {
+        for year in 1993..=1997 {
+            out.push(Q5Params::new(region, year));
+        }
+    }
+    out
+}
+
+/// One QED selection query: `SELECT * FROM lineitem WHERE l_quantity = value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QedQuery {
+    /// The quantity value selected (1..=50).
+    pub quantity: i64,
+}
+
+impl QedQuery {
+    /// Display label.
+    pub fn label(&self) -> String {
+        format!("sel(l_quantity={})", self.quantity)
+    }
+}
+
+/// A QED workload of `n` queries with pairwise-distinct predicates
+/// (n ≤ 50: one query per `l_quantity` value, so "there is no overlap
+/// amongst the selection predicates up to a batch size of 50").
+pub fn qed_workload(n: usize) -> Vec<QedQuery> {
+    assert!(
+        (1..=50).contains(&n),
+        "QED workload size {n} out of 1..=50 (distinct l_quantity values)"
+    );
+    (1..=n as i64).map(|quantity| QedQuery { quantity }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_q5_variants() {
+        let w = q5_workload();
+        assert_eq!(w.len(), 10);
+        // Two regions × five years, all distinct.
+        for i in 0..w.len() {
+            for j in (i + 1)..w.len() {
+                assert_ne!(w[i], w[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn q5_date_windows_are_one_year_and_nonoverlapping() {
+        let w = q5_workload();
+        for q in &w {
+            let days = q.date_to.0 - q.date_from.0;
+            assert!((365..=366).contains(&days), "window {days} days");
+        }
+        // Within a region, windows tile without overlap.
+        let asia: Vec<_> = w.iter().filter(|q| q.region == "ASIA").collect();
+        for pair in asia.windows(2) {
+            assert_eq!(pair[0].date_to, pair[1].date_from);
+        }
+    }
+
+    #[test]
+    fn qed_predicates_distinct() {
+        let w = qed_workload(50);
+        assert_eq!(w.len(), 50);
+        let mut vals: Vec<i64> = w.iter().map(|q| q.quantity).collect();
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn qed_beyond_50_rejected() {
+        let _ = qed_workload(51);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(Q5Params::new("ASIA", 1994).label(), "Q5(ASIA, 1994)");
+        assert_eq!(QedQuery { quantity: 7 }.label(), "sel(l_quantity=7)");
+    }
+}

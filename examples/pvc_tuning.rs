@@ -1,0 +1,48 @@
+//! PVC tuning: sweep the underclock × voltage grid for a workload,
+//! print the operating-point plot data (paper Figs 1-3), and let the
+//! energy advisor pick a setting under a response-time SLA.
+//!
+//! ```text
+//! cargo run --example pvc_tuning --release
+//! ```
+
+use ecodb::core::advisor::{choose_pvc, Sla};
+use ecodb::core::pvc::PvcSweep;
+use ecodb::core::server::{EcoDb, EngineProfile};
+
+fn main() {
+    for profile in [EngineProfile::CommercialDisk, EngineProfile::MemoryEngine] {
+        let db = EcoDb::tpch(profile, 0.01);
+        if profile == EngineProfile::CommercialDisk {
+            db.warm_up();
+        }
+        // The paper's workload: ten Q5 variants, non-overlapping predicates.
+        let (_, trace) = db.trace_q5_workload();
+        let sweep = PvcSweep::paper_grid(db.machine(), &trace);
+
+        println!(
+            "{} profile — stock: {:.2} s, {:.1} J CPU",
+            profile.name(),
+            sweep.stock.seconds,
+            sweep.stock.cpu_joules
+        );
+        println!("  {:<18} {:>8} {:>8} {:>8}", "setting", "E ratio", "T ratio", "EDP");
+        for p in &sweep.points {
+            println!(
+                "  {:<18} {:>8.3} {:>8.3} {:>8.3}{}",
+                p.point.label,
+                p.energy_ratio,
+                p.time_ratio,
+                p.edp_ratio,
+                if p.point.is_interesting(&sweep.stock) { "  <- interesting" } else { "" }
+            );
+        }
+
+        // SLA-driven choice: how much slowdown will you tolerate?
+        for slack in [0.0, 5.0, 15.0] {
+            let cfg = choose_pvc(&sweep, Sla::slack_pct(slack));
+            println!("  SLA +{slack:>4.1}% slowdown -> run at {:?}", cfg.cpu.label());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,39 @@
+//! Quickstart: open a TPC-H database, run a query, and trade energy for
+//! performance with one PVC setting.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use ecodb::core::server::{EcoDb, EngineProfile};
+use ecodb::simhw::{CpuConfig, MachineConfig, VoltageSetting};
+
+fn main() {
+    // A MySQL-memory-engine-style database at TPC-H scale factor 0.01.
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, 0.01);
+
+    // Run TPC-H Q5 (region ASIA, orders from 1994) at stock settings.
+    let stock = db.run_q5("ASIA", 1994, MachineConfig::stock());
+    println!("Q5(ASIA, 1994) at stock:");
+    for row in &stock.rows {
+        println!("  {:<12} revenue ${:.2}", row[0], row[1].as_int().unwrap() as f64 / 100.0);
+    }
+    println!(
+        "  -> {:.1} ms, {:.3} J CPU ({:.1} W avg)\n",
+        stock.measurement.elapsed_s * 1e3,
+        stock.measurement.cpu_joules,
+        stock.measurement.avg_cpu_w
+    );
+
+    // The paper's setting A: 5 % FSB underclock + medium voltage downgrade.
+    let setting_a = MachineConfig::with_cpu(CpuConfig::underclocked(0.05, VoltageSetting::Medium));
+    let pvc = db.run_q5("ASIA", 1994, setting_a);
+    assert_eq!(pvc.rows, stock.rows, "same answer, fewer joules");
+    println!(
+        "Same query under PVC setting A (5% underclock, medium voltage):\n  -> {:.1} ms (+{:.1}%), {:.3} J CPU ({:.1}% energy saved)",
+        pvc.measurement.elapsed_s * 1e3,
+        (pvc.measurement.elapsed_s / stock.measurement.elapsed_s - 1.0) * 100.0,
+        pvc.measurement.cpu_joules,
+        (1.0 - pvc.measurement.cpu_joules / stock.measurement.cpu_joules) * 100.0
+    );
+}

@@ -1,0 +1,47 @@
+//! # ecoDB — energy-aware query processing
+//!
+//! A faithful, from-scratch reproduction of Lang & Patel, *Towards
+//! Eco-friendly Database Management Systems* (CIDR 2009): a relational
+//! query engine with energy as a first-class performance metric, the
+//! paper's two energy-for-performance mechanisms (**PVC** — processor
+//! voltage/frequency control via FSB underclocking, and **QED** —
+//! explicit query delays with multi-query aggregation), and a simulated
+//! hardware substrate standing in for the paper's instrumented test bed.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`simhw`] — simulated hardware (CPU/DVFS, DRAM, disk, PSU, meters);
+//! * [`tpch`] — deterministic TPC-H-shaped data and workload generation;
+//! * [`storage`] — tuples, pages, heap tables, buffer pool;
+//! * [`query`] — expressions, operators, plans, multi-query optimization;
+//! * [`core`] — PVC, QED, EDP metrics, the energy advisor and the
+//!   experiment harness reproducing every table and figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ecodb::core::server::{EcoDb, EngineProfile};
+//! use ecodb::simhw::{CpuConfig, VoltageSetting};
+//!
+//! // An in-memory engine over TPC-H data at a tiny scale factor.
+//! let mut db = EcoDb::tpch(EngineProfile::MemoryEngine, 0.01);
+//!
+//! // Run one TPC-H Q5 at stock settings and at a PVC setting.
+//! let stock = db.run_q5("ASIA", 1994, ecodb::simhw::MachineConfig::stock());
+//! let pvc = db.run_q5(
+//!     "ASIA",
+//!     1994,
+//!     ecodb::simhw::MachineConfig::with_cpu(CpuConfig::underclocked(
+//!         0.05,
+//!         VoltageSetting::Medium,
+//!     )),
+//! );
+//! assert!(pvc.measurement.cpu_joules < stock.measurement.cpu_joules);
+//! assert_eq!(pvc.rows, stock.rows); // same answer, fewer joules
+//! ```
+
+pub use eco_core as core;
+pub use eco_query as query;
+pub use eco_simhw as simhw;
+pub use eco_storage as storage;
+pub use eco_tpch as tpch;

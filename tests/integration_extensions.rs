@@ -1,0 +1,134 @@
+//! Integration tests for the extension subsystems: the SQL front-end,
+//! the analytical QED/SLA model, energy-aware plan choice, and the
+//! cluster-level scheduling simulation.
+
+use ecodb::core::advisor::rank_plans_by_energy;
+use ecodb::core::cluster::{simulate, uniform_stream, Policy, ServerPower};
+use ecodb::core::qed_model::QedModel;
+use ecodb::core::server::{EcoDb, EngineProfile};
+use ecodb::query::plans;
+use ecodb::simhw::machine::{Machine, MachineConfig};
+use ecodb::simhw::{CpuConfig, VoltageSetting};
+use ecodb::tpch::{q5_workload, Q5Params};
+
+const SCALE: f64 = 0.004;
+
+#[test]
+fn all_ten_q5_variants_run_through_sql() {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, SCALE);
+    for params in q5_workload() {
+        let sql = plans::q5_sql(&params);
+        let via_sql = db.run_sql(&sql, MachineConfig::stock()).expect("compiles");
+        let hand = db.run_q5(&params.region, params.date_from.to_ymd().0, MachineConfig::stock());
+        let mut a = plans::q5_rows_to_pairs(&via_sql.rows);
+        a.sort();
+        let mut b = plans::q5_rows_to_pairs(&hand.rows);
+        b.sort();
+        assert_eq!(a, b, "{}", params.label());
+    }
+}
+
+#[test]
+fn sql_runs_are_priced_like_any_other_statement() {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, SCALE);
+    let sql = "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity <= 25";
+    let stock = db.run_sql(sql, MachineConfig::stock()).unwrap();
+    let eco = db
+        .run_sql(
+            sql,
+            MachineConfig::with_cpu(CpuConfig::underclocked(0.05, VoltageSetting::Medium)),
+        )
+        .unwrap();
+    assert_eq!(stock.rows, eco.rows);
+    assert!(eco.measurement.cpu_joules < stock.measurement.cpu_joules);
+    assert!(eco.measurement.elapsed_s > stock.measurement.elapsed_s);
+}
+
+#[test]
+fn sql_errors_do_not_panic() {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, SCALE);
+    for bad in [
+        "SELEC oops",
+        "SELECT * FROM no_such_table",
+        "SELECT ghost_column FROM lineitem",
+        "SELECT * FROM lineitem WHERE",
+        "SELECT n_name FROM nation, region", // cartesian
+    ] {
+        assert!(db.run_sql(bad, MachineConfig::stock()).is_err(), "{bad}");
+    }
+}
+
+#[test]
+fn analytical_model_supports_sla_reasoning() {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, SCALE);
+    let model = QedModel::fit(&db, 10, 40);
+    // The model must reproduce the measured average-response ratio and
+    // drive a deadline-based batch choice end to end.
+    let deadline = model.qed_response_s(20, 20) * 1.02;
+    let k = model
+        .max_batch_for_deadline(50, deadline, 0.95)
+        .expect("a batch fits");
+    assert!(k >= 20);
+    // Check: the chosen batch really meets the deadline at p95.
+    let (_, frac) = model.deadline_fractions(k, deadline);
+    assert!(frac >= 0.95);
+}
+
+#[test]
+fn energy_aware_plan_choice_end_to_end() {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, SCALE);
+    let params = Q5Params::new("AMERICA", 1995);
+    let ranked = rank_plans_by_energy(
+        &db,
+        vec![
+            ("late-filter", plans::q5_plan_late_filter(db.catalog(), &params)),
+            ("pushdown", plans::q5_plan(db.catalog(), &params)),
+        ],
+        MachineConfig::stock(),
+    );
+    assert_eq!(ranked.len(), 2);
+    assert_eq!(ranked[0].name, "pushdown");
+    assert!(ranked[0].edp() < ranked[1].edp());
+}
+
+#[test]
+fn cluster_consolidation_trades_latency_for_energy() {
+    let power = ServerPower::from_machine(&Machine::paper_sut(), &MachineConfig::stock());
+    let jobs = uniform_stream(300, 1.0, 0.08); // 8 % load
+    let on = simulate(6, power, Policy::AllOnRoundRobin, &jobs);
+    let packed = simulate(
+        6,
+        power,
+        Policy::Consolidate {
+            idle_timeout_s: 2.0,
+            wake_latency_s: 0.4,
+        },
+        &jobs,
+    );
+    assert!(packed.energy_j < on.energy_j * 0.55);
+    assert!(packed.avg_response_s >= on.avg_response_s);
+    // Work conservation: both process everything.
+    let total: f64 = packed.busy_s.iter().sum();
+    assert!((total - 300.0 * 0.08).abs() < 1e-6);
+}
+
+#[test]
+fn pvc_and_cluster_compose() {
+    // Local + global techniques together: an underclocked fleet packed
+    // by the consolidation policy.
+    let machine = Machine::paper_sut();
+    let stock_power = ServerPower::from_machine(&machine, &MachineConfig::stock());
+    let pvc_power = ServerPower::from_machine(
+        &machine,
+        &MachineConfig::with_cpu(CpuConfig::underclocked(0.05, VoltageSetting::Medium)),
+    );
+    assert!(pvc_power.busy_w < stock_power.busy_w);
+    let jobs = uniform_stream(200, 0.5, 0.1);
+    let policy = Policy::Consolidate {
+        idle_timeout_s: 2.0,
+        wake_latency_s: 0.4,
+    };
+    let a = simulate(4, stock_power, policy, &jobs);
+    let b = simulate(4, pvc_power, policy, &jobs);
+    assert!(b.energy_j < a.energy_j, "{} vs {}", b.energy_j, a.energy_j);
+}

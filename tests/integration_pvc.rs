@@ -1,0 +1,122 @@
+//! Cross-crate integration: the full PVC pipeline — workload, sweep,
+//! figure shapes, SLA advisor — on both engine profiles.
+
+use ecodb::core::advisor::{choose_pvc, Sla};
+use ecodb::core::pvc::{PvcSweep, PAPER_VOLTAGES};
+use ecodb::core::server::{EcoDb, EngineProfile};
+use ecodb::simhw::VoltageSetting;
+
+const SCALE: f64 = 0.004;
+
+fn sweep_for(profile: EngineProfile) -> PvcSweep {
+    let db = EcoDb::tpch(profile, SCALE);
+    if profile == EngineProfile::CommercialDisk {
+        db.warm_up();
+    }
+    let (_, trace) = db.trace_q5_workload();
+    PvcSweep::paper_grid(db.machine(), &trace)
+}
+
+#[test]
+fn edp_optimum_is_5pct_medium_on_both_profiles() {
+    for profile in [EngineProfile::CommercialDisk, EngineProfile::MemoryEngine] {
+        let sweep = sweep_for(profile);
+        let best = sweep.best_edp().expect("winning setting exists");
+        assert!(
+            (best.underclock - 0.05).abs() < 1e-9,
+            "{profile:?}: best at {}",
+            best.underclock
+        );
+        assert_eq!(best.voltage, VoltageSetting::Medium, "{profile:?}");
+    }
+}
+
+#[test]
+fn paper_headline_numbers_within_bands() {
+    // Commercial: "PVC can reduce the processor energy consumption by
+    // 49% ... while increasing the response time by only 3%".
+    let c = sweep_for(EngineProfile::CommercialDisk);
+    let a = &c.points_for(VoltageSetting::Medium)[0];
+    assert!(
+        (0.35..0.70).contains(&a.energy_ratio),
+        "commercial 5%/medium energy ratio {}",
+        a.energy_ratio
+    );
+    assert!(
+        (1.0..1.08).contains(&a.time_ratio),
+        "commercial 5%/medium time ratio {}",
+        a.time_ratio
+    );
+
+    // MySQL: "reduce energy consumption by 20% with a response time
+    // penalty of only 6%".
+    let m = sweep_for(EngineProfile::MemoryEngine);
+    let b = &m.points_for(VoltageSetting::Medium)[0];
+    assert!(
+        (0.70..0.90).contains(&b.energy_ratio),
+        "mysql 5%/medium energy ratio {}",
+        b.energy_ratio
+    );
+    assert!(
+        (1.02..1.12).contains(&b.time_ratio),
+        "mysql 5%/medium time ratio {}",
+        b.time_ratio
+    );
+}
+
+#[test]
+fn edp_monotone_beyond_5pct_every_voltage_every_profile() {
+    for profile in [EngineProfile::CommercialDisk, EngineProfile::MemoryEngine] {
+        let sweep = sweep_for(profile);
+        for v in PAPER_VOLTAGES {
+            let pts = sweep.points_for(v);
+            for w in pts.windows(2) {
+                assert!(
+                    w[1].edp_ratio > w[0].edp_ratio,
+                    "{profile:?}/{v:?}: EDP must worsen with deeper underclock"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mysql_small_voltage_edp_crosses_one() {
+    // Fig 3: small-voltage EDP goes from a win at 5% to a loss by 15%.
+    let sweep = sweep_for(EngineProfile::MemoryEngine);
+    let pts = sweep.points_for(VoltageSetting::Small);
+    assert!(pts[0].edp_ratio < 1.0, "5% small should win: {}", pts[0].edp_ratio);
+    assert!(pts[2].edp_ratio > 1.0, "15% small should lose: {}", pts[2].edp_ratio);
+}
+
+#[test]
+fn advisor_tracks_sla_tightness() {
+    let sweep = sweep_for(EngineProfile::MemoryEngine);
+    let mut last_energy = f64::INFINITY;
+    let mut last_uc = 1.0_f64;
+    // Looser SLA should never pick a *less* energy-saving setting.
+    for slack in [0.0, 7.0, 15.0, 30.0] {
+        let cfg = choose_pvc(&sweep, Sla::slack_pct(slack));
+        let point = sweep
+            .points
+            .iter()
+            .find(|p| p.point.config.cpu == cfg.cpu)
+            .map(|p| p.energy_ratio)
+            .unwrap_or(1.0);
+        assert!(point <= last_energy + 1e-9, "slack {slack}");
+        last_energy = point;
+        let _ = last_uc;
+        last_uc = cfg.cpu.underclock;
+    }
+}
+
+#[test]
+fn wall_savings_smaller_than_cpu_savings() {
+    // Paper §3.3: "the overall system energy consumption only drops by
+    // 6%" when CPU energy drops 49%.
+    let sweep = sweep_for(EngineProfile::CommercialDisk);
+    for p in &sweep.points {
+        assert!(p.wall_energy_ratio > p.energy_ratio);
+        assert!(p.wall_energy_ratio < 1.0, "wall should still improve");
+    }
+}

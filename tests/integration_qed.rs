@@ -1,0 +1,104 @@
+//! Cross-crate integration: the QED pipeline — correctness, trade-off
+//! shapes, interaction with PVC, and the workload manager.
+
+use ecodb::core::qed::{run_qed, WorkloadManager};
+use ecodb::core::server::{EcoDb, EngineProfile};
+use ecodb::simhw::{CpuConfig, MachineConfig, VoltageSetting};
+use ecodb::tpch::qed_workload;
+
+const SCALE: f64 = 0.004;
+
+fn db() -> EcoDb {
+    EcoDb::tpch(EngineProfile::MemoryEngine, SCALE)
+}
+
+#[test]
+fn fig6_shape_full() {
+    let db = db();
+    let outcomes: Vec<_> = [35, 40, 45, 50]
+        .iter()
+        .map(|&k| run_qed(&db, k, MachineConfig::stock(), true))
+        .collect();
+    for o in &outcomes {
+        assert!(o.results_match, "batch {}", o.batch_size);
+        assert!((0.4..0.8).contains(&o.energy_ratio), "E {}", o.energy_ratio);
+        assert!(o.response_ratio > 1.0, "resp {}", o.response_ratio);
+        assert!(o.edp_ratio < 1.0, "EDP {}", o.edp_ratio);
+    }
+    // Trends: energy and EDP improve with batch size; response ratio
+    // declines (Fig 6's left-upward march toward the largest batch).
+    for w in outcomes.windows(2) {
+        assert!(w[1].energy_ratio < w[0].energy_ratio);
+        assert!(w[1].edp_ratio < w[0].edp_ratio);
+        assert!(w[1].response_ratio < w[0].response_ratio);
+    }
+}
+
+#[test]
+fn qed_composes_with_pvc() {
+    // Extension: run the QED batch *under* a PVC setting — the savings
+    // multiply (the paper treats the mechanisms as complementary).
+    let db = db();
+    let stock = run_qed(&db, 40, MachineConfig::stock(), true);
+    let pvc = run_qed(
+        &db,
+        40,
+        MachineConfig::with_cpu(CpuConfig::underclocked(0.05, VoltageSetting::Medium)),
+        true,
+    );
+    assert!(pvc.results_match);
+    assert!(
+        pvc.qed.cpu_joules < stock.qed.cpu_joules,
+        "PVC should reduce QED's absolute joules further"
+    );
+    assert!(pvc.qed.avg_response_s > stock.qed.avg_response_s);
+}
+
+#[test]
+fn small_batches_also_work() {
+    let db = db();
+    for k in [2, 5, 10] {
+        let o = run_qed(&db, k, MachineConfig::stock(), true);
+        assert!(o.results_match, "batch {k}");
+        assert!(o.energy_ratio < 1.0, "batch {k} saves energy");
+    }
+}
+
+#[test]
+fn exhaustive_evaluation_still_correct_but_costlier() {
+    let db = db();
+    let sc = run_qed(&db, 30, MachineConfig::stock(), true);
+    let ex = run_qed(&db, 30, MachineConfig::stock(), false);
+    assert!(sc.results_match && ex.results_match);
+    assert!(
+        ex.qed.cpu_joules > sc.qed.cpu_joules,
+        "exhaustive disjunction must cost more"
+    );
+}
+
+#[test]
+fn workload_manager_feeds_qed_end_to_end() {
+    let db = db();
+    let mut wm = WorkloadManager::new(8);
+    let mut batches = Vec::new();
+    for q in qed_workload(24) {
+        if let Some(b) = wm.submit(q) {
+            batches.push(b);
+        }
+    }
+    assert_eq!(batches.len(), 3);
+    for batch in &batches {
+        let (split, _) = db.trace_merged_selection(batch, true);
+        assert_eq!(split.len(), 8);
+        let total: usize = split.iter().map(Vec::len).sum();
+        assert!(total > 0, "every batch selects some rows");
+    }
+}
+
+#[test]
+fn per_query_energy_drops_even_though_batch_runs_longer() {
+    let db = db();
+    let o = run_qed(&db, 45, MachineConfig::stock(), true);
+    assert!(o.qed.joules_per_query() < o.sequential.joules_per_query());
+    assert!(o.qed.total_seconds < o.sequential.total_seconds);
+}

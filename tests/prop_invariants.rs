@@ -1,0 +1,174 @@
+//! Property-based tests over core invariants, spanning crates.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use ecodb::core::server::{EcoDb, EngineProfile};
+use ecodb::query::context::ExecCtx;
+use ecodb::query::exec::execute;
+use ecodb::query::mqo::{split_results, MergedSelection};
+use ecodb::query::plans::selection_plan;
+use ecodb::simhw::machine::{Machine, MachineConfig};
+use ecodb::simhw::trace::{OpClass, Phase, WorkTrace};
+use ecodb::simhw::{CpuConfig, VoltageSetting};
+use ecodb::storage::page::{deserialize_tuple, serialize_tuple};
+use ecodb::storage::Value;
+use ecodb::tpch::{Date, QedQuery};
+
+fn shared_db() -> &'static EcoDb {
+    static DB: OnceLock<EcoDb> = OnceLock::new();
+    DB.get_or_init(|| EcoDb::tpch(EngineProfile::MemoryEngine, 0.002))
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[ -~]{0,40}".prop_map(Value::str),
+        any::<i32>().prop_map(Value::Date),
+        any::<char>().prop_map(Value::Char),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// QED's core correctness invariant: merging an arbitrary set of
+    /// distinct selection predicates and splitting the result returns
+    /// exactly what the individual queries return — in order.
+    #[test]
+    fn qed_split_equals_sequential(quantities in proptest::collection::btree_set(1i64..=50, 1..12)) {
+        let db = shared_db();
+        let queries: Vec<QedQuery> =
+            quantities.iter().map(|&q| QedQuery { quantity: q }).collect();
+        let mut merged = MergedSelection::new(db.catalog(), &queries);
+        let mut ctx = ExecCtx::new();
+        let tagged = merged.run(&mut ctx);
+        let split = split_results(tagged, queries.len(), &mut ctx);
+        for (i, q) in queries.iter().enumerate() {
+            let mut plan = selection_plan(db.catalog(), q);
+            let mut sctx = ExecCtx::new();
+            let individual = execute(plan.as_mut(), &mut sctx);
+            prop_assert_eq!(&split[i], &individual);
+        }
+    }
+
+    /// Tuple serialization round-trips arbitrary values.
+    #[test]
+    fn page_serialization_roundtrips(tuple in proptest::collection::vec(arb_value(), 0..12)) {
+        prop_assert_eq!(deserialize_tuple(&serialize_tuple(&tuple)), tuple);
+    }
+
+    /// Dates round-trip through y/m/d decomposition across the valid range.
+    #[test]
+    fn date_roundtrip(offset in -3000i32..5000) {
+        let d = Date(offset);
+        let (y, m, dd) = d.to_ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd), d);
+    }
+
+    /// Energy and time are additive over trace concatenation at stock
+    /// settings (no droop coupling), and always non-negative.
+    #[test]
+    fn measurement_additivity(
+        ops_a in 1u64..2_000_000,
+        ops_b in 1u64..2_000_000,
+        mem_a in 0u64..(64 << 20),
+        gap_ms in 0u64..50,
+    ) {
+        let machine = Machine::paper_sut();
+        let cfg = MachineConfig::stock();
+        let mk = |ops: u64, mem: u64, gap: u64| {
+            let mut t = WorkTrace::new();
+            let mut p = Phase::execute("p");
+            p.cpu.add(OpClass::PredEval, ops);
+            p.mem_stream_bytes = mem;
+            t.push(p);
+            if gap > 0 {
+                t.push(Phase::client_gap(gap * 1_000_000));
+            }
+            t
+        };
+        let a = mk(ops_a, mem_a, gap_ms);
+        let b = mk(ops_b, 0, 0);
+        let mut ab = a.clone();
+        ab.extend(b.clone());
+        let ma = machine.measure(&a, &cfg);
+        let mb = machine.measure(&b, &cfg);
+        let mab = machine.measure(&ab, &cfg);
+        prop_assert!(ma.cpu_joules >= 0.0 && mb.cpu_joules >= 0.0);
+        let e = (mab.cpu_joules - (ma.cpu_joules + mb.cpu_joules)).abs();
+        prop_assert!(e < 1e-6 * (1.0 + mab.cpu_joules), "energy additivity: {e}");
+        let t = (mab.elapsed_s - (ma.elapsed_s + mb.elapsed_s)).abs();
+        prop_assert!(t < 1e-9 * (1.0 + mab.elapsed_s), "time additivity: {t}");
+    }
+
+    /// More work never costs less time or energy (monotonicity).
+    #[test]
+    fn measurement_monotonicity(base in 1u64..1_000_000, extra in 1u64..1_000_000) {
+        let machine = Machine::paper_sut();
+        let cfg = MachineConfig::stock();
+        let mk = |ops: u64| {
+            let mut t = WorkTrace::new();
+            let mut p = Phase::execute("p");
+            p.cpu.add(OpClass::Arith, ops);
+            t.push(p);
+            t
+        };
+        let small = machine.measure(&mk(base), &cfg);
+        let big = machine.measure(&mk(base + extra), &cfg);
+        prop_assert!(big.cpu_joules > small.cpu_joules);
+        prop_assert!(big.elapsed_s > small.elapsed_s);
+    }
+
+    /// Underclocking never speeds anything up; voltage downgrades never
+    /// increase energy at equal clocks.
+    #[test]
+    fn pvc_direction_invariants(ops in 100_000u64..2_000_000, u in 0.0f64..0.25) {
+        let machine = Machine::paper_sut();
+        let mut trace = WorkTrace::new();
+        let mut p = Phase::execute("p");
+        p.cpu.add(OpClass::PredEval, ops);
+        p.mem_stream_bytes = 4 << 20;
+        trace.push(p);
+
+        let stock = machine.measure(&trace, &MachineConfig::stock());
+        let uc = machine.measure(
+            &trace,
+            &MachineConfig::with_cpu(CpuConfig::underclocked(u, VoltageSetting::Stock)),
+        );
+        prop_assert!(uc.elapsed_s >= stock.elapsed_s);
+
+        let hi_v = machine.measure(
+            &trace,
+            &MachineConfig::with_cpu(CpuConfig::underclocked(u, VoltageSetting::Stock)),
+        );
+        let lo_v = machine.measure(
+            &trace,
+            &MachineConfig::with_cpu(CpuConfig::underclocked(u, VoltageSetting::Medium)),
+        );
+        prop_assert!(lo_v.cpu_joules <= hi_v.cpu_joules);
+        prop_assert_eq!(lo_v.elapsed_s, hi_v.elapsed_s, "voltage does not change speed");
+    }
+
+    /// The EDP ratio of any measured pair is the product of its energy
+    /// and time ratios (metric self-consistency).
+    #[test]
+    fn edp_is_product_of_ratios(ops in 100_000u64..2_000_000, u in 0.01f64..0.2) {
+        let machine = Machine::paper_sut();
+        let mut trace = WorkTrace::new();
+        let mut p = Phase::execute("p");
+        p.cpu.add(OpClass::HashProbe, ops);
+        trace.push(p);
+        let a = machine.measure(&trace, &MachineConfig::stock());
+        let b = machine.measure(
+            &trace,
+            &MachineConfig::with_cpu(CpuConfig::underclocked(u, VoltageSetting::Small)),
+        );
+        let e = b.cpu_joules / a.cpu_joules;
+        let t = b.elapsed_s / a.elapsed_s;
+        let edp = b.edp() / a.edp();
+        prop_assert!((edp - e * t).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests for the SQL front-end (no panics on arbitrary input,
+//! structured round-trips) and failure-injection tests for the storage
+//! path (thrashing buffer pools, pathological batch shapes).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use ecodb::core::server::{EcoDb, EngineProfile};
+use ecodb::query::context::ExecCtx;
+use ecodb::query::exec::execute;
+use ecodb::query::sql::{compile, parse_select, tokenize};
+use ecodb::simhw::machine::MachineConfig;
+use ecodb::storage::{load_tpch, Catalog, EngineKind};
+use ecodb::tpch::TpchGenerator;
+
+fn shared_catalog() -> &'static Catalog {
+    static CAT: OnceLock<Catalog> = OnceLock::new();
+    CAT.get_or_init(|| {
+        let db = TpchGenerator::new(0.002).generate();
+        load_tpch(&db, EngineKind::Memory, 0)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The lexer never panics on arbitrary input — it returns a token
+    /// stream or a structured error.
+    #[test]
+    fn lexer_total_on_arbitrary_strings(s in ".{0,120}") {
+        let _ = tokenize(&s);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_arbitrary_strings(s in ".{0,120}") {
+        let _ = parse_select(&s);
+    }
+
+    /// The parser never panics on SQL-looking soup built from real
+    /// keywords and symbols.
+    #[test]
+    fn parser_total_on_keyword_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("select"), Just("from"), Just("where"), Just("group"), Just("by"),
+            Just("order"), Just("limit"), Just("and"), Just("or"), Just("not"),
+            Just("sum"), Just("count"), Just("("), Just(")"), Just(","), Just("*"),
+            Just("="), Just("<"), Just(">="), Just("lineitem"), Just("l_quantity"),
+            Just("17"), Just("'x'"), Just("date"), Just("between"), Just("in"),
+        ], 0..25)
+    ) {
+        let sql = words.join(" ");
+        let _ = parse_select(&sql);
+    }
+
+    /// Compilation against a real catalog never panics: every outcome
+    /// is Ok(plan) or a structured SqlError.
+    #[test]
+    fn compile_total_on_keyword_soup(words in proptest::collection::vec(
+        prop_oneof![
+            Just("select"), Just("from"), Just("where"), Just("group"), Just("by"),
+            Just("order"), Just("limit"), Just("and"), Just("sum"), Just("count"),
+            Just("("), Just(")"), Just(","), Just("*"), Just("="), Just("<"),
+            Just("lineitem"), Just("orders"), Just("l_quantity"), Just("l_orderkey"),
+            Just("o_orderkey"), Just("5"), Just("'ASIA'"),
+        ], 0..20)
+    ) {
+        let sql = words.join(" ");
+        if let Ok(mut plan) = compile(shared_catalog(), &sql) {
+            // Anything that compiles must also execute without panicking.
+            let mut ctx = ExecCtx::new();
+            let _ = execute(plan.as_mut(), &mut ctx);
+        }
+    }
+
+    /// Selections via SQL agree with direct filtering of the generated
+    /// rows for arbitrary quantity thresholds.
+    #[test]
+    fn sql_selection_matches_oracle(threshold in 0i64..=51) {
+        let cat = shared_catalog();
+        let sql = format!(
+            "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity < {threshold}"
+        );
+        let mut plan = compile(cat, &sql).expect("valid SQL");
+        let mut ctx = ExecCtx::new();
+        let rows = execute(plan.as_mut(), &mut ctx);
+        // Independent oracle over the stored table.
+        let li = cat.expect("lineitem");
+        let qty = li.schema().expect_index("l_quantity");
+        let ecodb::storage::TableData::Memory(heap) = &li.data else {
+            panic!("memory table expected")
+        };
+        let want = heap
+            .tuples()
+            .iter()
+            .filter(|t| t[qty].as_int().unwrap() < threshold)
+            .count() as i64;
+        prop_assert_eq!(rows[0][0].as_int(), Some(want));
+    }
+}
+
+// --- failure injection -------------------------------------------------------
+
+/// A buffer pool far smaller than the working set: queries still return
+/// correct answers, just with (much) more I/O charged.
+#[test]
+fn thrashing_pool_preserves_correctness() {
+    let db = TpchGenerator::new(0.002).generate();
+    let roomy = load_tpch(&db, EngineKind::Disk, 1 << 20);
+    let tiny = load_tpch(&db, EngineKind::Disk, 3); // three pages!
+
+    // lineitem ⋈ orders spans many pages, far beyond the tiny pool.
+    let sql = "SELECT o_orderstatus, COUNT(*) AS c FROM lineitem, orders \
+               WHERE l_orderkey = o_orderkey GROUP BY o_orderstatus ORDER BY o_orderstatus";
+    let run = |cat: &Catalog| {
+        let mut plan = compile(cat, sql).unwrap();
+        let mut ctx = ExecCtx::new();
+        (execute(plan.as_mut(), &mut ctx), ctx.disk)
+    };
+    let (rows_roomy, _) = run(&roomy);
+    let (rows_tiny, io_tiny) = run(&tiny);
+    assert_eq!(rows_roomy, rows_tiny, "thrashing must not change answers");
+    assert!(!io_tiny.is_empty());
+
+    // And rescans under the tiny pool keep paying.
+    let (rows_again, io_again) = run(&tiny);
+    assert_eq!(rows_again, rows_tiny);
+    assert!(io_again.total_bytes() > 0, "tiny pool cannot stay warm");
+}
+
+/// A cold tiny-pool Q5 on the commercial profile is correct and far
+/// more expensive than the roomy warm case.
+#[test]
+fn q5_survives_pathological_pool() {
+    let src = TpchGenerator::new(0.002).generate();
+    let tiny = load_tpch(&src, EngineKind::Disk, 2);
+    let mut plan = ecodb::query::plans::q5_plan(&tiny, &ecodb::tpch::Q5Params::new("ASIA", 1994));
+    let mut ctx = ExecCtx::new();
+    let rows = execute(plan.as_mut(), &mut ctx);
+
+    let mem = load_tpch(&src, EngineKind::Memory, 0);
+    let mut mem_plan = ecodb::query::plans::q5_plan(&mem, &ecodb::tpch::Q5Params::new("ASIA", 1994));
+    let mut mem_ctx = ExecCtx::new();
+    let mem_rows = execute(mem_plan.as_mut(), &mut mem_ctx);
+    assert_eq!(rows, mem_rows);
+    assert!(ctx.disk.total_bytes() > 0);
+}
+
+/// Degenerate QED batches: batch of 1 equals plain execution.
+#[test]
+fn qed_batch_of_one_is_a_noop() {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, 0.002);
+    let q = ecodb::tpch::qed_workload(1);
+    let (split, _) = db.trace_merged_selection(&q, true);
+    let (direct, _) = db.trace_selection(&q[0]);
+    assert_eq!(split.len(), 1);
+    assert_eq!(split[0], direct);
+}
+
+/// An empty-result SQL query flows through the whole pricing stack.
+#[test]
+fn empty_results_price_cleanly() {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, 0.002);
+    let run = db
+        .run_sql(
+            "SELECT l_orderkey FROM lineitem WHERE l_quantity = 99",
+            MachineConfig::stock(),
+        )
+        .unwrap();
+    assert!(run.rows.is_empty());
+    assert!(run.measurement.cpu_joules > 0.0, "the scan still costs energy");
+}
