@@ -17,7 +17,10 @@ fn bench(c: &mut Criterion) {
         &db,
         vec![
             ("pushdown", plans::q5_plan(db.catalog(), &params)),
-            ("late-filter", plans::q5_plan_late_filter(db.catalog(), &params)),
+            (
+                "late-filter",
+                plans::q5_plan_late_filter(db.catalog(), &params),
+            ),
         ],
         MachineConfig::stock(),
     );

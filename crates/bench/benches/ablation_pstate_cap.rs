@@ -18,9 +18,18 @@ fn bench(c: &mut Criterion) {
         ("cap x9", CpuConfig::capped(9.0, VoltageSetting::Medium)),
         ("cap x8", CpuConfig::capped(8.0, VoltageSetting::Medium)),
         ("cap x7", CpuConfig::capped(7.0, VoltageSetting::Medium)),
-        ("5% UC", CpuConfig::underclocked(0.05, VoltageSetting::Medium)),
-        ("10% UC", CpuConfig::underclocked(0.10, VoltageSetting::Medium)),
-        ("15% UC", CpuConfig::underclocked(0.15, VoltageSetting::Medium)),
+        (
+            "5% UC",
+            CpuConfig::underclocked(0.05, VoltageSetting::Medium),
+        ),
+        (
+            "10% UC",
+            CpuConfig::underclocked(0.10, VoltageSetting::Medium),
+        ),
+        (
+            "15% UC",
+            CpuConfig::underclocked(0.15, VoltageSetting::Medium),
+        ),
     ];
     for (name, cfg) in settings {
         let m = db.price(&trace, MachineConfig::with_cpu(cfg));

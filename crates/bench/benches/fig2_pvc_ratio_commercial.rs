@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
         "{}",
         experiments::pvc_report("Fig 2: commercial profile, small + medium voltage", &fig)
     );
-    println!("iso-EDP curve samples: {:?}\n", iso_edp_curve(&[0.4, 0.6, 0.8, 1.0]));
+    println!(
+        "iso-EDP curve samples: {:?}\n",
+        iso_edp_curve(&[0.4, 0.6, 0.8, 1.0])
+    );
 
     let db = bench_db_commercial();
     db.warm_up();

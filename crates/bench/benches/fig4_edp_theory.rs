@@ -9,7 +9,10 @@ use eco_simhw::cpu::{CpuConfig, VoltageSetting};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig4_report(&experiments::fig4(BENCH_SCALE)));
+    println!(
+        "{}",
+        experiments::fig4_report(&experiments::fig4(BENCH_SCALE))
+    );
 
     let db = bench_db_memory();
     c.bench_function("fig4/theoretical_model", |b| {

@@ -9,7 +9,10 @@ use eco_simhw::machine::MachineConfig;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", experiments::fig6_report(&experiments::fig6(BENCH_SCALE)));
+    println!(
+        "{}",
+        experiments::fig6_report(&experiments::fig6(BENCH_SCALE))
+    );
 
     let db = bench_db_memory();
     let mut g = c.benchmark_group("fig6");

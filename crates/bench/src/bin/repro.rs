@@ -65,7 +65,9 @@ fn main() {
                 "{}",
                 exp::operator_energy_report(&exp::operator_energy(scale))
             ),
-            other => eprintln!("unknown experiment {other:?} (try: table1 fig1..fig6 warmcold openergy all)"),
+            other => eprintln!(
+                "unknown experiment {other:?} (try: table1 fig1..fig6 warmcold openergy all)"
+            ),
         }
     }
 }

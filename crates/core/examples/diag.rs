@@ -15,17 +15,31 @@ fn main() {
     let scale = 0.004;
     // warm/cold
     let wc = experiments::warm_cold(scale);
-    println!("warm: {:.3}s cpu {:.1}J disk {:.1}J", wc.warm.seconds, wc.warm.cpu_joules, wc.warm.disk_joules);
-    println!("cold: {:.3}s cpu {:.1}J disk {:.1}J", wc.cold.seconds, wc.cold.cpu_joules, wc.cold.disk_joules);
+    println!(
+        "warm: {:.3}s cpu {:.1}J disk {:.1}J",
+        wc.warm.seconds, wc.warm.cpu_joules, wc.warm.disk_joules
+    );
+    println!(
+        "cold: {:.3}s cpu {:.1}J disk {:.1}J",
+        wc.cold.seconds, wc.cold.cpu_joules, wc.cold.disk_joules
+    );
 
     // profiles utilization
     for p in [EngineProfile::MemoryEngine, EngineProfile::CommercialDisk] {
         let db = EcoDb::tpch(p, scale);
-        if p == EngineProfile::CommercialDisk { db.warm_up(); }
+        if p == EngineProfile::CommercialDisk {
+            db.warm_up();
+        }
         let r = db.run_q5_workload(MachineConfig::stock());
-        println!("{}: {:.3}s util {:.2} cpuW {:.1} cpuJ {:.1} diskJ {:.1}",
-            p.name(), r.measurement.elapsed_s, r.measurement.utilization,
-            r.measurement.avg_cpu_w, r.measurement.cpu_joules, r.measurement.disk_joules);
+        println!(
+            "{}: {:.3}s util {:.2} cpuW {:.1} cpuJ {:.1} diskJ {:.1}",
+            p.name(),
+            r.measurement.elapsed_s,
+            r.measurement.utilization,
+            r.measurement.avg_cpu_w,
+            r.measurement.cpu_joules,
+            r.measurement.disk_joules
+        );
     }
 
     // QED

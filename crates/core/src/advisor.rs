@@ -222,9 +222,19 @@ mod tests {
         // The estimator omits gaps/parse/split detail; demand agreement
         // within 35 % — enough to rank batch sizes.
         let e_rel = (est.energy_ratio - actual.energy_ratio).abs() / actual.energy_ratio;
-        assert!(e_rel < 0.35, "energy est {} vs {}", est.energy_ratio, actual.energy_ratio);
+        assert!(
+            e_rel < 0.35,
+            "energy est {} vs {}",
+            est.energy_ratio,
+            actual.energy_ratio
+        );
         let r_rel = (est.response_ratio - actual.response_ratio).abs() / actual.response_ratio;
-        assert!(r_rel < 0.35, "resp est {} vs {}", est.response_ratio, actual.response_ratio);
+        assert!(
+            r_rel < 0.35,
+            "resp est {} vs {}",
+            est.response_ratio,
+            actual.response_ratio
+        );
     }
 
     #[test]
@@ -246,12 +256,18 @@ mod tests {
         let ranked = rank_plans_by_energy(
             &db,
             vec![
-                ("late-filter", eco_query::plans::q5_plan_late_filter(db.catalog(), &params)),
+                (
+                    "late-filter",
+                    eco_query::plans::q5_plan_late_filter(db.catalog(), &params),
+                ),
                 ("pushdown", eco_query::plans::q5_plan(db.catalog(), &params)),
             ],
             MachineConfig::stock(),
         );
-        assert_eq!(ranked[0].name, "pushdown", "filter pushdown must win on energy");
+        assert_eq!(
+            ranked[0].name, "pushdown",
+            "filter pushdown must win on energy"
+        );
         assert!(ranked[0].cpu_joules < ranked[1].cpu_joules * 0.7);
         // Both plans agree on the answer (order-insensitive compare).
         let mut a = eco_query::plans::q5_rows_to_pairs(&ranked[0].rows);

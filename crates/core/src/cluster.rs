@@ -190,15 +190,11 @@ pub fn simulate(
                     .iter()
                     .enumerate()
                     .filter(|(_, s)| s.asleep_since.is_none())
-                    .min_by(|(_, a), (_, b)| {
-                        a.free_at.partial_cmp(&b.free_at).expect("no NaN")
-                    })
+                    .min_by(|(_, a), (_, b)| a.free_at.partial_cmp(&b.free_at).expect("no NaN"))
                     .map(|(i, s)| (i, s.free_at));
                 let sleeping = servers.iter().position(|s| s.asleep_since.is_some());
                 match (awake_best, sleeping) {
-                    (Some((i, free_at)), Some(j))
-                        if free_at > job.arrival_s + wake_latency_s =>
-                    {
+                    (Some((i, free_at)), Some(j)) if free_at > job.arrival_s + wake_latency_s => {
                         // Waking is faster than waiting in line.
                         let s = &mut servers[j];
                         if let Some(since) = s.asleep_since.take() {
@@ -364,8 +360,18 @@ mod tests {
     #[test]
     fn energy_is_positive_and_scales_with_horizon() {
         let p = power();
-        let short = simulate(2, p, Policy::AllOnRoundRobin, &uniform_stream(10, 0.2, 0.05));
-        let long = simulate(2, p, Policy::AllOnRoundRobin, &uniform_stream(100, 0.2, 0.05));
+        let short = simulate(
+            2,
+            p,
+            Policy::AllOnRoundRobin,
+            &uniform_stream(10, 0.2, 0.05),
+        );
+        let long = simulate(
+            2,
+            p,
+            Policy::AllOnRoundRobin,
+            &uniform_stream(100, 0.2, 0.05),
+        );
         assert!(long.energy_j > short.energy_j);
         assert!(short.energy_j > 0.0);
     }

@@ -181,7 +181,11 @@ fn pvc_figure(profile: EngineProfile, scale: f64, voltages: &[VoltageSetting]) -
 /// Fig 1: Q5 workload on the commercial profile — absolute CPU joules
 /// vs seconds for stock and the medium-voltage settings A/B/C.
 pub fn fig1(scale: f64) -> PvcFigure {
-    pvc_figure(EngineProfile::CommercialDisk, scale, &[VoltageSetting::Medium])
+    pvc_figure(
+        EngineProfile::CommercialDisk,
+        scale,
+        &[VoltageSetting::Medium],
+    )
 }
 
 /// Fig 2: commercial profile, small + medium voltage, ratio axes.
@@ -224,7 +228,14 @@ pub fn pvc_report(title: &str, fig: &PvcFigure) -> String {
     }
     render_table(
         title,
-        &["setting", "seconds", "CPU J", "E ratio", "T ratio", "EDP ratio"],
+        &[
+            "setting",
+            "seconds",
+            "CPU J",
+            "E ratio",
+            "T ratio",
+            "EDP ratio",
+        ],
         &rows,
     )
 }
@@ -260,11 +271,7 @@ pub fn fig4(scale: f64) -> Vec<Fig4Point> {
                 voltage: v.name().to_string(),
                 underclock: p.underclock,
                 observed_edp_ratio: p.edp_ratio,
-                theoretical_ratio: theoretical_edp_ratio(
-                    db.machine(),
-                    &p.point.config.cpu,
-                    util,
-                ),
+                theoretical_ratio: theoretical_edp_ratio(db.machine(), &p.point.config.cpu, util),
             });
         }
     }
@@ -444,7 +451,13 @@ pub fn fig6_report(outcomes: &[QedOutcome]) -> String {
         .collect();
     render_table(
         "Fig 6: QED vs sequential (MySQL memory-engine profile, stock)",
-        &["batch", "E ratio", "avg-resp ratio", "EDP ratio", "results ok"],
+        &[
+            "batch",
+            "E ratio",
+            "avg-resp ratio",
+            "EDP ratio",
+            "results ok",
+        ],
         &rows,
     )
 }
@@ -573,7 +586,13 @@ mod tests {
     fn table1_within_model_bands() {
         for r in table1() {
             let rel = (r.modeled_w - r.paper_w).abs() / r.paper_w;
-            assert!(rel < 0.15, "{}: {:.1} vs {:.1}", r.label, r.modeled_w, r.paper_w);
+            assert!(
+                rel < 0.15,
+                "{}: {:.1} vs {:.1}",
+                r.label,
+                r.modeled_w,
+                r.paper_w
+            );
         }
         assert!(!table1_report().is_empty());
     }
@@ -588,7 +607,10 @@ mod tests {
         assert!(a.energy_ratio < 0.65, "A saves a lot: {}", a.energy_ratio);
         assert!(a.time_ratio < 1.10, "A costs little: {}", a.time_ratio);
         for w in f.points.windows(2) {
-            assert!(w[1].cpu_joules > w[0].cpu_joules, "B, C consume more energy");
+            assert!(
+                w[1].cpu_joules > w[0].cpu_joules,
+                "B, C consume more energy"
+            );
             assert!(w[1].seconds > w[0].seconds, "B, C are slower");
         }
     }
@@ -639,7 +661,10 @@ mod tests {
         assert!(slowdown > 1.8, "cold must be much slower: {slowdown}");
         let warm_ratio = wc.warm.disk_joules / wc.warm.cpu_joules;
         let cold_ratio = wc.cold.disk_joules / wc.cold.cpu_joules;
-        assert!(cold_ratio > 2.0 * warm_ratio, "{warm_ratio} vs {cold_ratio}");
+        assert!(
+            cold_ratio > 2.0 * warm_ratio,
+            "{warm_ratio} vs {cold_ratio}"
+        );
     }
 
     #[test]
@@ -681,8 +706,18 @@ mod tests {
         assert_eq!(outcomes.len(), 4);
         for o in &outcomes {
             assert!(o.results_match);
-            assert!(o.energy_ratio < 0.75, "batch {}: {}", o.batch_size, o.energy_ratio);
-            assert!(o.response_ratio > 1.0, "batch {}: {}", o.batch_size, o.response_ratio);
+            assert!(
+                o.energy_ratio < 0.75,
+                "batch {}: {}",
+                o.batch_size,
+                o.energy_ratio
+            );
+            assert!(
+                o.response_ratio > 1.0,
+                "batch {}: {}",
+                o.batch_size,
+                o.response_ratio
+            );
         }
         // Best EDP at the largest batch.
         assert!(outcomes[3].edp_ratio < outcomes[0].edp_ratio);

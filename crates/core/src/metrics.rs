@@ -43,7 +43,11 @@ pub struct OperatingPoint {
 
 impl OperatingPoint {
     /// Build from a measurement.
-    pub fn from_measurement(label: impl Into<String>, config: MachineConfig, m: &Measurement) -> Self {
+    pub fn from_measurement(
+        label: impl Into<String>,
+        config: MachineConfig,
+        m: &Measurement,
+    ) -> Self {
         Self {
             label: label.into(),
             config,

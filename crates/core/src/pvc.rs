@@ -68,8 +68,7 @@ impl PvcSweep {
                 }
                 let cfg = MachineConfig::with_cpu(CpuConfig::underclocked(u, v));
                 let m = machine.measure(trace, &cfg);
-                let point =
-                    OperatingPoint::from_measurement(cfg.cpu.label(), cfg, &m);
+                let point = OperatingPoint::from_measurement(cfg.cpu.label(), cfg, &m);
                 points.push(PvcSweepPoint {
                     underclock: u,
                     voltage: v,
@@ -115,11 +114,7 @@ impl PvcSweep {
         self.points
             .iter()
             .filter(|p| p.time_ratio <= max_time_ratio)
-            .min_by(|a, b| {
-                a.energy_ratio
-                    .partial_cmp(&b.energy_ratio)
-                    .expect("no NaN")
-            })
+            .min_by(|a, b| a.energy_ratio.partial_cmp(&b.energy_ratio).expect("no NaN"))
     }
 }
 
@@ -251,11 +246,7 @@ mod tests {
             let theory: Vec<f64> = pts
                 .iter()
                 .map(|p| {
-                    theoretical_edp_ratio(
-                        &machine,
-                        &CpuConfig::underclocked(p.underclock, v),
-                        util,
-                    )
+                    theoretical_edp_ratio(&machine, &CpuConfig::underclocked(p.underclock, v), util)
                 })
                 .collect();
             for w in theory.windows(2) {

@@ -224,7 +224,11 @@ mod tests {
         let o = run_qed(&db, 35, MachineConfig::stock(), true);
         assert!(o.results_match, "QED must not change answers");
         assert!(o.energy_ratio < 0.8, "energy ratio {}", o.energy_ratio);
-        assert!(o.response_ratio > 1.0, "response ratio {}", o.response_ratio);
+        assert!(
+            o.response_ratio > 1.0,
+            "response ratio {}",
+            o.response_ratio
+        );
         assert!(o.edp_ratio < 1.0, "EDP ratio {}", o.edp_ratio);
     }
 

@@ -56,8 +56,7 @@ impl QedModel {
 
         let merged_per_query_s = (exec_hi - exec_lo) / (k_hi - k_lo) as f64;
         let merged_base_s = exec_lo - merged_per_query_s * k_lo as f64;
-        let split_per_query_s =
-            (split_lo / k_lo as f64 + split_hi / k_hi as f64) / 2.0;
+        let split_per_query_s = (split_lo / k_lo as f64 + split_hi / k_hi as f64) / 2.0;
 
         Self {
             gap_s,
@@ -88,9 +87,8 @@ impl QedModel {
     pub fn avg_response_ratio(&self, k: usize) -> f64 {
         let kf = k as f64;
         let seq_avg = (kf + 1.0) / 2.0 * (self.gap_s + self.t_single_s);
-        let qed_avg = self.gap_s
-            + self.merged_exec_s(k)
-            + self.split_per_query_s * (kf + 1.0) / 2.0;
+        let qed_avg =
+            self.gap_s + self.merged_exec_s(k) + self.split_per_query_s * (kf + 1.0) / 2.0;
         qed_avg / seq_avg
     }
 

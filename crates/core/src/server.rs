@@ -138,7 +138,9 @@ impl EcoDb {
         // Pool sized to hold everything: the paper notes "the size of
         // the raw tables is less than the main memory capacity".
         let catalog = load_tpch(&source, profile.engine_kind(), 1 << 22);
-        catalog.pool().set_warm_reread_every(profile.warm_reread_every());
+        catalog
+            .pool()
+            .set_warm_reread_every(profile.warm_reread_every());
         Self {
             profile,
             scale,
@@ -183,7 +185,11 @@ impl EcoDb {
     /// once, discarding the trace.
     pub fn warm_up(&self) {
         for params in q5_workload() {
-            let _ = self.trace_statement(StatementKind::Q5, plans::q5_plan(&self.catalog, &params), &params.label());
+            let _ = self.trace_statement(
+                StatementKind::Q5,
+                plans::q5_plan(&self.catalog, &params),
+                &params.label(),
+            );
         }
     }
 
@@ -191,7 +197,12 @@ impl EcoDb {
 
     /// Execute a plan as one client statement: a round-trip gap phase
     /// followed by an execute phase (parse + plan work included).
-    fn trace_statement(&self, kind: StatementKind, mut plan: BoxedOp, label: &str) -> (Vec<Tuple>, WorkTrace) {
+    fn trace_statement(
+        &self,
+        kind: StatementKind,
+        mut plan: BoxedOp,
+        label: &str,
+    ) -> (Vec<Tuple>, WorkTrace) {
         let mut ctx = ExecCtx::new();
         ctx.charge(OpClass::Parse, parse_tokens(kind));
         let rows = execute(plan.as_mut(), &mut ctx);
@@ -275,7 +286,11 @@ impl EcoDb {
 
     /// Trace TPC-H Q1.
     pub fn trace_q1(&self, delta_days: i32) -> (Vec<Tuple>, WorkTrace) {
-        self.trace_statement(StatementKind::Q1, plans::q1_plan(&self.catalog, delta_days), "Q1")
+        self.trace_statement(
+            StatementKind::Q1,
+            plans::q1_plan(&self.catalog, delta_days),
+            "Q1",
+        )
     }
 
     /// Trace TPC-H Q3.
@@ -298,7 +313,10 @@ impl EcoDb {
 
     /// Trace an ad-hoc SQL `SELECT` (parsed, bound and planned by the
     /// generic planner in `eco-query::sql`).
-    pub fn trace_sql(&self, sql: &str) -> Result<(Vec<Tuple>, WorkTrace), eco_query::sql::SqlError> {
+    pub fn trace_sql(
+        &self,
+        sql: &str,
+    ) -> Result<(Vec<Tuple>, WorkTrace), eco_query::sql::SqlError> {
         let mut plan = eco_query::sql::compile(&self.catalog, sql)?;
         let mut ctx = ExecCtx::new();
         let tokens = (sql.split_whitespace().count() as u64).max(4);

@@ -2,8 +2,13 @@
 
 use eco_simhw::trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind};
 
+/// Default number of tuples a batch-mode operator call produces (or, for
+/// filters, consumes). 1024 keeps a batch of lineitem-width tuples well
+/// inside L2 while amortizing per-call dispatch to noise.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
 /// Per-execution accounting state, threaded through every operator call.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExecCtx {
     /// CPU operations performed so far.
     pub cpu: CpuWork,
@@ -20,6 +25,25 @@ pub struct ExecCtx {
     pub short_circuit_or: bool,
     /// Number of predicate-term evaluations (for introspection/tests).
     pub pred_evals: u64,
+    /// Tuples per `next_batch` call. Execution *semantics and the
+    /// energy ledger are independent of this value* (it only changes
+    /// how work is chunked, never how much work is charged); it is a
+    /// pure throughput knob.
+    pub batch_size: usize,
+}
+
+impl Default for ExecCtx {
+    fn default() -> Self {
+        Self {
+            cpu: CpuWork::default(),
+            mem_stream_bytes: 0,
+            mem_random_accesses: 0,
+            disk: DiskWork::default(),
+            short_circuit_or: false,
+            pred_evals: 0,
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
 }
 
 impl ExecCtx {
@@ -37,6 +61,13 @@ impl ExecCtx {
             short_circuit_or: false,
             ..Self::default()
         }
+    }
+
+    /// Same context with a different batch size (builder style).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        self.batch_size = batch_size;
+        self
     }
 
     /// Charge `n` operations of `class`.

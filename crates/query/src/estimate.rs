@@ -97,7 +97,9 @@ pub fn estimate_q5(catalog: &Catalog, _params: &Q5Params) -> WorkEstimate {
 
     let mut e = WorkEstimate::new("est:q5");
     // Scans: region, nation, customer, orders, lineitem, supplier.
-    for t in ["region", "nation", "customer", "orders", "lineitem", "supplier"] {
+    for t in [
+        "region", "nation", "customer", "orders", "lineitem", "supplier",
+    ] {
         e.charge(OpClass::TupleFetch, rows(t));
         e.charge_mem(rows(t) * width(t));
     }
@@ -117,7 +119,10 @@ pub fn estimate_q5(catalog: &Catalog, _params: &Q5Params) -> WorkEstimate {
 
     // Hash builds: region⋈nation (tiny), customer (1/5), orders
     // (joined), lineitem probe, supplier build.
-    e.charge(OpClass::HashBuild, 1.0 + nations_in_region + rows("supplier"));
+    e.charge(
+        OpClass::HashBuild,
+        1.0 + nations_in_region + rows("supplier"),
+    );
     e.charge(OpClass::HashProbe, rows("nation") + rows("customer"));
     e.charge(OpClass::HashBuild, cust_in_region + orders_joined);
     e.charge(OpClass::HashProbe, orders_window + rows("lineitem"));
@@ -160,9 +165,17 @@ mod tests {
             let actual_evals = ctx.pred_evals as f64;
             let est_evals = est.phase.cpu.count(OpClass::PredEval) as f64;
             let rel = (est_evals - actual_evals).abs() / actual_evals;
-            assert!(rel < 0.25, "k={k}: est {est_evals} vs actual {actual_evals}");
+            assert!(
+                rel < 0.25,
+                "k={k}: est {est_evals} vs actual {actual_evals}"
+            );
             let rel_rows = (est.out_rows - rows.len() as f64).abs() / (rows.len() as f64);
-            assert!(rel_rows < 0.25, "k={k}: rows est {} vs {}", est.out_rows, rows.len());
+            assert!(
+                rel_rows < 0.25,
+                "k={k}: rows est {} vs {}",
+                est.out_rows,
+                rows.len()
+            );
         }
     }
 
@@ -207,8 +220,6 @@ mod tests {
         let cat = setup();
         let sc = estimate_selection_batch(&cat, 30, true);
         let ex = estimate_selection_batch(&cat, 30, false);
-        assert!(
-            ex.phase.cpu.count(OpClass::PredEval) > sc.phase.cpu.count(OpClass::PredEval)
-        );
+        assert!(ex.phase.cpu.count(OpClass::PredEval) > sc.phase.cpu.count(OpClass::PredEval));
     }
 }

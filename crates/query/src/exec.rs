@@ -1,4 +1,11 @@
 //! Driving a plan to completion.
+//!
+//! [`execute`] / [`execute_into`] drive the plan through the vectorized
+//! batch path ([`Operator::next_batch`]); [`execute_scalar`] /
+//! [`execute_into_scalar`] retain the tuple-at-a-time Volcano loop.
+//! Both produce identical result rows and bit-identical [`ExecCtx`]
+//! ledgers (see `tests/integration_vectorized.rs`) — the batch path is
+//! purely a throughput optimization.
 
 use eco_simhw::trace::OpClass;
 use eco_storage::{tuple_width, Tuple};
@@ -6,9 +13,10 @@ use eco_storage::{tuple_width, Tuple};
 use crate::context::ExecCtx;
 use crate::ops::Operator;
 
-/// Execute a plan, returning all result tuples. Each result row charges
-/// one `ResultEmit` plus its width in memory bytes (materialization
-/// into the wire buffer — the DBMS side of the result path).
+/// Execute a plan through the batch path, returning all result tuples.
+/// Each result row charges one `ResultEmit` plus its width in memory
+/// bytes (materialization into the wire buffer — the DBMS side of the
+/// result path).
 pub fn execute(plan: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Tuple> {
     let mut out = Vec::new();
     execute_into(plan, ctx, &mut out);
@@ -18,6 +26,33 @@ pub fn execute(plan: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Tuple> {
 /// Like [`execute`], appending into an existing buffer (lets callers
 /// reuse a workhorse allocation across queries).
 pub fn execute_into(plan: &mut dyn Operator, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) {
+    plan.open(ctx);
+    loop {
+        let start = out.len();
+        let more = plan.next_batch(ctx, out);
+        let emitted = &out[start..];
+        if !emitted.is_empty() {
+            let bytes: u64 = emitted.iter().map(tuple_width).sum();
+            ctx.charge(OpClass::ResultEmit, emitted.len() as u64);
+            ctx.charge_mem_bytes(bytes);
+        }
+        if !more {
+            return;
+        }
+    }
+}
+
+/// Execute a plan tuple-at-a-time (the Volcano baseline the batch path
+/// is benchmarked against). Identical results and ledger to
+/// [`execute`]; strictly more per-tuple overhead.
+pub fn execute_scalar(plan: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    execute_into_scalar(plan, ctx, &mut out);
+    out
+}
+
+/// Like [`execute_scalar`], appending into an existing buffer.
+pub fn execute_into_scalar(plan: &mut dyn Operator, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) {
     plan.open(ctx);
     while let Some(t) = plan.next(ctx) {
         ctx.charge(OpClass::ResultEmit, 1);
@@ -33,19 +68,39 @@ mod tests {
     use crate::ops::{Filter, VecSource};
     use eco_storage::{ColumnType, Schema, Value};
 
-    #[test]
-    fn executes_and_charges_result_emission() {
+    fn plan() -> Filter {
         let schema = Schema::new(&[("v", ColumnType::Int)]);
         let src = VecSource::new(schema, (0..20).map(|i| vec![Value::Int(i)]).collect());
-        let mut plan = Filter::new(
+        Filter::new(
             Box::new(src),
             Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(15)),
-        );
+        )
+    }
+
+    #[test]
+    fn executes_and_charges_result_emission() {
+        let mut p = plan();
         let mut ctx = ExecCtx::new();
-        let rows = execute(&mut plan, &mut ctx);
+        let rows = execute(&mut p, &mut ctx);
         assert_eq!(rows.len(), 5);
         assert_eq!(ctx.cpu.count(OpClass::ResultEmit), 5);
         assert!(ctx.mem_stream_bytes > 0);
+    }
+
+    #[test]
+    fn scalar_and_batch_agree_on_rows_and_ledger() {
+        let mut ctx_s = ExecCtx::new().with_batch_size(1);
+        let rows_s = execute_scalar(&mut plan(), &mut ctx_s);
+
+        for batch_size in [1, 3, 7, 1024] {
+            let mut ctx_b = ExecCtx::new().with_batch_size(batch_size);
+            let rows_b = execute(&mut plan(), &mut ctx_b);
+            assert_eq!(rows_b, rows_s, "batch size {batch_size}");
+            assert_eq!(ctx_b.cpu, ctx_s.cpu, "batch size {batch_size}");
+            assert_eq!(ctx_b.mem_stream_bytes, ctx_s.mem_stream_bytes);
+            assert_eq!(ctx_b.mem_random_accesses, ctx_s.mem_random_accesses);
+            assert_eq!(ctx_b.pred_evals, ctx_s.pred_evals);
+        }
     }
 
     #[test]
@@ -54,8 +109,10 @@ mod tests {
         let mut out = Vec::with_capacity(64);
         for round in 0..3 {
             out.clear();
-            let mut src =
-                VecSource::new(schema.clone(), (0..4).map(|i| vec![Value::Int(i)]).collect());
+            let mut src = VecSource::new(
+                schema.clone(),
+                (0..4).map(|i| vec![Value::Int(i)]).collect(),
+            );
             let mut ctx = ExecCtx::new();
             execute_into(&mut src, &mut ctx, &mut out);
             assert_eq!(out.len(), 4, "round {round}");

@@ -130,9 +130,9 @@ impl Expr {
                 let rv = r.eval(tuple, ctx);
                 ctx.charge(OpClass::PredEval, 1);
                 ctx.pred_evals += 1;
-                let ord = lv.partial_cmp_typed(&rv).unwrap_or_else(|| {
-                    panic!("type mismatch comparing {lv:?} and {rv:?}")
-                });
+                let ord = lv
+                    .partial_cmp_typed(&rv)
+                    .unwrap_or_else(|| panic!("type mismatch comparing {lv:?} and {rv:?}"));
                 Value::Bool(op.test(ord))
             }
             Expr::And(arms) => {

@@ -24,21 +24,22 @@ use crate::plans::selection_predicate;
 /// stops at the first matching predicate (sound only when at most one
 /// can match — true for QED's distinct `l_quantity` values). Otherwise
 /// every predicate is evaluated and a row may fan out to several
-/// queries.
+/// queries; fan-out rows emit in predicate order in both scalar and
+/// batch mode.
 pub struct MultiFilter {
     child: BoxedOp,
     predicates: Vec<Expr>,
     disjoint: bool,
     schema: Schema,
-    pending: Vec<Tuple>,
+    pending: std::collections::VecDeque<Tuple>,
+    scratch: Vec<Tuple>,
 }
 
 impl MultiFilter {
     /// Multi-predicate filter over `child`.
     pub fn new(child: BoxedOp, predicates: Vec<Expr>, disjoint: bool) -> Self {
         assert!(!predicates.is_empty(), "need at least one predicate");
-        let mut cols: Vec<(String, ColumnType)> =
-            vec![("__query_id".to_string(), ColumnType::Int)];
+        let mut cols: Vec<(String, ColumnType)> = vec![("__query_id".to_string(), ColumnType::Int)];
         for c in child.schema().columns() {
             cols.push((c.name.clone(), c.ty));
         }
@@ -48,13 +49,37 @@ impl MultiFilter {
             predicates,
             disjoint,
             schema: Schema::new(&refs),
-            pending: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+            scratch: Vec::new(),
         }
     }
 
     /// Number of merged predicates.
     pub fn arity(&self) -> usize {
         self.predicates.len()
+    }
+
+    /// Evaluate every predicate against `t`, appending a tagged copy
+    /// per match via `emit`. Respects disjoint short-circuiting.
+    fn route(
+        predicates: &[Expr],
+        disjoint: bool,
+        t: &Tuple,
+        ctx: &mut ExecCtx,
+        mut emit: impl FnMut(Tuple),
+    ) {
+        let stop_at_first = disjoint && ctx.short_circuit_or;
+        for (qid, pred) in predicates.iter().enumerate() {
+            if pred.eval_bool(t, ctx) {
+                let mut tagged = Vec::with_capacity(t.len() + 1);
+                tagged.push(Value::Int(qid as i64));
+                tagged.extend(t.iter().cloned());
+                emit(tagged);
+                if stop_at_first {
+                    break;
+                }
+            }
+        }
     }
 }
 
@@ -70,23 +95,32 @@ impl Operator for MultiFilter {
 
     fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {
         loop {
-            if let Some(t) = self.pending.pop() {
+            if let Some(t) = self.pending.pop_front() {
                 return Some(t);
             }
             let t = self.child.next(ctx)?;
-            let stop_at_first = self.disjoint && ctx.short_circuit_or;
-            for (qid, pred) in self.predicates.iter().enumerate() {
-                if pred.eval_bool(&t, ctx) {
-                    let mut tagged = Vec::with_capacity(t.len() + 1);
-                    tagged.push(Value::Int(qid as i64));
-                    tagged.extend(t.iter().cloned());
-                    self.pending.push(tagged);
-                    if stop_at_first {
-                        break;
-                    }
-                }
-            }
+            let pending = &mut self.pending;
+            Self::route(&self.predicates, self.disjoint, &t, ctx, |tagged| {
+                pending.push_back(tagged);
+            });
         }
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
+        // Drain anything a scalar caller left behind first.
+        while let Some(t) = self.pending.pop_front() {
+            out.push(t);
+        }
+        let mut input = std::mem::take(&mut self.scratch);
+        input.clear();
+        let more = self.child.next_batch(ctx, &mut input);
+        for t in &input {
+            Self::route(&self.predicates, self.disjoint, t, ctx, |tagged| {
+                out.push(tagged);
+            });
+        }
+        self.scratch = input;
+        more
     }
 }
 

@@ -7,7 +7,7 @@ use eco_storage::{ColumnType, Schema, Tuple, Value};
 
 use crate::context::ExecCtx;
 use crate::expr::{AggFunc, Expr};
-use crate::ops::{BoxedOp, Operator};
+use crate::ops::{drain_batches, BoxedOp, Operator};
 
 /// One aggregate output: function, input expression, output name.
 #[derive(Debug, Clone)]
@@ -89,9 +89,26 @@ impl AggState {
     }
 }
 
+/// Index from group key to slot in the ordered accumulator list.
+/// Single-column keys are indexed by a borrowed [`Value`] directly and
+/// composite keys are looked up through a reused scratch vector (via
+/// `Vec<Value>: Borrow<[Value]>`), so the steady-state path performs no
+/// per-row key allocation.
+enum GroupIndex {
+    /// Exactly one group column.
+    Single(HashMap<Value, usize>),
+    /// Zero or several group columns.
+    Multi(HashMap<Vec<Value>, usize>),
+}
+
 /// Hash-based GROUP BY aggregation. With no group columns, produces a
 /// single global row (0 rows in ⇒ 1 output row of zero-counts for
 /// `Sum`/`Count`; `Min`/`Max` over empty input panic by design).
+///
+/// The input is drained through the child's batch path at `open`;
+/// per-row charges (`HashProbe`, one random access, one `AggUpdate` per
+/// aggregate) are aggregated per batch and are bit-identical to scalar
+/// execution.
 pub struct HashAggregate {
     child: BoxedOp,
     group_cols: Vec<usize>,
@@ -118,8 +135,7 @@ impl HashAggregate {
             // `Schema::check` is not applied to aggregate outputs.
             cols.push((a.name.clone(), ColumnType::Int));
         }
-        let refs: Vec<(&str, ColumnType)> =
-            cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let refs: Vec<(&str, ColumnType)> = cols.iter().map(|(n, t)| (n.as_str(), *t)).collect();
         Self {
             child,
             group_cols,
@@ -137,32 +153,74 @@ impl Operator for HashAggregate {
 
     fn open(&mut self, ctx: &mut ExecCtx) {
         self.child.open(ctx);
-        let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
-        // Preserve first-seen order for deterministic output.
-        let mut order: Vec<Vec<Value>> = Vec::new();
+        // First-seen-ordered accumulators plus a key → slot index.
+        let mut entries: Vec<(Tuple, Vec<AggState>)> = Vec::new();
+        let mut index = if self.group_cols.len() == 1 {
+            GroupIndex::Single(HashMap::new())
+        } else {
+            GroupIndex::Multi(HashMap::new())
+        };
+        let mut scratch_key: Vec<Value> = Vec::with_capacity(self.group_cols.len());
+        let mut batch = Vec::new();
 
-        while let Some(t) = self.child.next(ctx) {
-            let key: Vec<Value> = self.group_cols.iter().map(|&i| t[i].clone()).collect();
-            ctx.charge(OpClass::HashProbe, 1);
-            ctx.charge_mem_random(1);
-            let states = groups.entry(key.clone()).or_insert_with(|| {
-                order.push(key);
-                self.aggs.iter().map(|a| AggState::new(a.func)).collect()
-            });
-            for (state, spec) in states.iter_mut().zip(&self.aggs) {
-                let v = match spec.func {
-                    AggFunc::Count => None,
-                    _ => Some(spec.input.eval(&t, ctx)),
+        let group_cols = &self.group_cols;
+        let aggs = &self.aggs;
+        drain_batches(self.child.as_mut(), ctx, &mut batch, |ctx, batch| {
+            // One probe + one latency-bound access per input row, and
+            // one accumulator update per (row, aggregate) — charged per
+            // batch, identical in total to per-row charging.
+            let rows = batch.len() as u64;
+            ctx.charge(OpClass::HashProbe, rows);
+            ctx.charge_mem_random(rows);
+            ctx.charge(OpClass::AggUpdate, rows * aggs.len() as u64);
+            for t in batch.iter() {
+                let slot = match &mut index {
+                    GroupIndex::Single(m) => {
+                        let key = &t[group_cols[0]];
+                        match m.get(key) {
+                            Some(&i) => i,
+                            None => {
+                                let i = entries.len();
+                                m.insert(key.clone(), i);
+                                entries.push((
+                                    vec![key.clone()],
+                                    aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                                ));
+                                i
+                            }
+                        }
+                    }
+                    GroupIndex::Multi(m) => {
+                        scratch_key.clear();
+                        scratch_key.extend(group_cols.iter().map(|&i| t[i].clone()));
+                        match m.get(scratch_key.as_slice()) {
+                            Some(&i) => i,
+                            None => {
+                                let i = entries.len();
+                                let key = std::mem::take(&mut scratch_key);
+                                m.insert(key.clone(), i);
+                                entries.push((
+                                    key,
+                                    aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                                ));
+                                i
+                            }
+                        }
+                    }
                 };
-                ctx.charge(OpClass::AggUpdate, 1);
-                state.update(v);
+                for (state, spec) in entries[slot].1.iter_mut().zip(aggs) {
+                    let v = match spec.func {
+                        AggFunc::Count => None,
+                        _ => Some(spec.input.eval(t, ctx)),
+                    };
+                    state.update(v);
+                }
             }
-        }
+        });
 
-        if groups.is_empty() && self.group_cols.is_empty() {
+        if entries.is_empty() && self.group_cols.is_empty() {
             // Global aggregate over empty input.
-            let states: Vec<AggState> =
-                self.aggs.iter().map(|a| AggState::new(a.func)).collect();
+            let states: Vec<AggState> = self.aggs.iter().map(|a| AggState::new(a.func)).collect();
             let row: Tuple = states
                 .into_iter()
                 .map(|s| match s {
@@ -174,9 +232,8 @@ impl Operator for HashAggregate {
             return;
         }
 
-        let mut out = Vec::with_capacity(groups.len());
-        for key in order {
-            let states = groups.remove(&key).expect("group present");
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, states) in entries {
             let mut row = key;
             for s in states {
                 row.push(s.finish());
@@ -266,7 +323,10 @@ mod tests {
             ],
         );
         let out = run(&mut agg);
-        assert_eq!(out, vec![vec![Value::Int(1), Value::Int(20), Value::Int(7)]]);
+        assert_eq!(
+            out,
+            vec![vec![Value::Int(1), Value::Int(20), Value::Int(7)]]
+        );
     }
 
     #[test]

@@ -1,12 +1,62 @@
 //! Hash join (equi-join, possibly multi-column keys).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use eco_simhw::trace::OpClass;
 use eco_storage::{tuple_width, Schema, Tuple, Value};
 
 use crate::context::ExecCtx;
-use crate::ops::{BoxedOp, Operator};
+use crate::ops::{drain_batches, BoxedOp, Operator};
+
+/// The build-side hash table. Single-column keys index the table by a
+/// borrowed [`Value`] directly, so probing never allocates a key
+/// vector — the common case for every TPC-H join in this repo.
+enum JoinTable {
+    /// One join key: probe with `&tuple[key]`, zero allocation.
+    Single(HashMap<Value, Vec<Tuple>>),
+    /// Composite keys: probe with a materialized key vector.
+    Multi(HashMap<Vec<Value>, Vec<Tuple>>),
+}
+
+impl JoinTable {
+    fn for_arity(arity: usize) -> Self {
+        if arity == 1 {
+            JoinTable::Single(HashMap::new())
+        } else {
+            JoinTable::Multi(HashMap::new())
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            JoinTable::Single(m) => m.clear(),
+            JoinTable::Multi(m) => m.clear(),
+        }
+    }
+
+    fn insert(&mut self, tuple: Tuple, keys: &[usize]) {
+        match self {
+            JoinTable::Single(m) => {
+                m.entry(tuple[keys[0]].clone()).or_default().push(tuple);
+            }
+            JoinTable::Multi(m) => {
+                let key: Vec<Value> = keys.iter().map(|&i| tuple[i].clone()).collect();
+                m.entry(key).or_default().push(tuple);
+            }
+        }
+    }
+
+    /// Rows matching `probe`'s key columns, in build-insertion order.
+    fn lookup(&self, probe: &Tuple, keys: &[usize]) -> Option<&[Tuple]> {
+        match self {
+            JoinTable::Single(m) => m.get(&probe[keys[0]]).map(Vec::as_slice),
+            JoinTable::Multi(m) => {
+                let key: Vec<Value> = keys.iter().map(|&i| probe[i].clone()).collect();
+                m.get(&key).map(Vec::as_slice)
+            }
+        }
+    }
+}
 
 /// In-memory hash join: materializes the build side into a hash table
 /// at `open`, then streams the probe side.
@@ -15,14 +65,19 @@ use crate::ops::{BoxedOp, Operator};
 /// bytes per build row; one `HashProbe` plus one random memory access
 /// per probe row (the table exceeds cache for any interesting input);
 /// output concatenation charges its width in memory bytes.
+///
+/// Multi-match rows are emitted in build-insertion (FIFO) order, in
+/// both scalar and batch mode, so execution order is deterministic and
+/// path-independent.
 pub struct HashJoin {
     build: BoxedOp,
     probe: BoxedOp,
     build_keys: Vec<usize>,
     probe_keys: Vec<usize>,
     schema: Schema,
-    table: HashMap<Vec<Value>, Vec<Tuple>>,
-    pending: Vec<Tuple>,
+    table: JoinTable,
+    pending: VecDeque<Tuple>,
+    scratch: Vec<Tuple>,
 }
 
 impl HashJoin {
@@ -42,19 +97,25 @@ impl HashJoin {
         );
         assert!(!build_keys.is_empty(), "join needs at least one key");
         let schema = build.schema().join(probe.schema());
+        let table = JoinTable::for_arity(build_keys.len());
         Self {
             build,
             probe,
             build_keys,
             probe_keys,
             schema,
-            table: HashMap::new(),
-            pending: Vec::new(),
+            table,
+            pending: VecDeque::new(),
+            scratch: Vec::new(),
         }
     }
 
-    fn key_of(tuple: &Tuple, keys: &[usize]) -> Vec<Value> {
-        keys.iter().map(|&i| tuple[i].clone()).collect()
+    /// Concatenate one build row with one probe row.
+    fn join_row(build_t: &Tuple, probe_t: &Tuple) -> Tuple {
+        let mut out = Vec::with_capacity(build_t.len() + probe_t.len());
+        out.extend(build_t.iter().cloned());
+        out.extend(probe_t.iter().cloned());
+        out
     }
 }
 
@@ -67,35 +128,64 @@ impl Operator for HashJoin {
         self.table.clear();
         self.pending.clear();
         self.build.open(ctx);
-        while let Some(t) = self.build.next(ctx) {
-            ctx.charge(OpClass::HashBuild, 1);
-            ctx.charge_mem_bytes(tuple_width(&t));
-            self.table
-                .entry(Self::key_of(&t, &self.build_keys))
-                .or_default()
-                .push(t);
-        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let (table, keys) = (&mut self.table, &self.build_keys);
+        drain_batches(self.build.as_mut(), ctx, &mut scratch, |ctx, batch| {
+            let bytes: u64 = batch.iter().map(tuple_width).sum();
+            ctx.charge(OpClass::HashBuild, batch.len() as u64);
+            ctx.charge_mem_bytes(bytes);
+            for t in batch.drain(..) {
+                table.insert(t, keys);
+            }
+        });
+        self.scratch = scratch;
         self.probe.open(ctx);
     }
 
     fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {
         loop {
-            if let Some(t) = self.pending.pop() {
+            if let Some(t) = self.pending.pop_front() {
                 return Some(t);
             }
             let probe_t = self.probe.next(ctx)?;
             ctx.charge(OpClass::HashProbe, 1);
             ctx.charge_mem_random(1);
-            if let Some(matches) = self.table.get(&Self::key_of(&probe_t, &self.probe_keys)) {
+            if let Some(matches) = self.table.lookup(&probe_t, &self.probe_keys) {
                 for build_t in matches {
-                    let mut out = Vec::with_capacity(build_t.len() + probe_t.len());
-                    out.extend(build_t.iter().cloned());
-                    out.extend(probe_t.iter().cloned());
+                    let out = Self::join_row(build_t, &probe_t);
                     ctx.charge_mem_bytes(tuple_width(&out));
-                    self.pending.push(out);
+                    self.pending.push_back(out);
                 }
             }
         }
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
+        // Drain anything a scalar caller left behind first.
+        while let Some(t) = self.pending.pop_front() {
+            out.push(t);
+        }
+        let mut probe_in = std::mem::take(&mut self.scratch);
+        probe_in.clear();
+        let more = self.probe.next_batch(ctx, &mut probe_in);
+        let mut out_bytes = 0u64;
+        for probe_t in &probe_in {
+            if let Some(matches) = self.table.lookup(probe_t, &self.probe_keys) {
+                for build_t in matches {
+                    let t = Self::join_row(build_t, probe_t);
+                    out_bytes += tuple_width(&t);
+                    out.push(t);
+                }
+            }
+        }
+        let n = probe_in.len() as u64;
+        if n > 0 {
+            ctx.charge(OpClass::HashProbe, n);
+            ctx.charge_mem_random(n);
+        }
+        ctx.charge_mem_bytes(out_bytes);
+        self.scratch = probe_in;
+        more
     }
 }
 
@@ -144,6 +234,50 @@ mod tests {
         let probe = src("b", &[(1, "p")]);
         let mut j = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0]);
         assert_eq!(run(&mut j).len(), 2);
+    }
+
+    #[test]
+    fn multi_match_rows_emit_in_build_order() {
+        // Regression: `pending` used to drain LIFO, emitting multi-match
+        // rows in reverse build order.
+        let build = src("a", &[(7, "first"), (7, "second"), (7, "third")]);
+        let probe = src("b", &[(7, "p"), (7, "q")]);
+        let mut j = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0]);
+        let out = run(&mut j);
+        let order: Vec<&str> = out.iter().map(|t| t[1].as_str().unwrap()).collect();
+        assert_eq!(
+            order,
+            vec!["first", "second", "third", "first", "second", "third"],
+            "multi-match rows must stream FIFO in build-insertion order"
+        );
+        // And the probe side advances in stream order.
+        let probes: Vec<&str> = out.iter().map(|t| t[3].as_str().unwrap()).collect();
+        assert_eq!(probes, vec!["p", "p", "p", "q", "q", "q"]);
+    }
+
+    #[test]
+    fn batch_path_matches_scalar_rows_and_order() {
+        let data_b = [(1, "x"), (2, "y"), (2, "z")];
+        let data_p = [(2, "p"), (1, "q"), (2, "r"), (9, "s")];
+        let mut scalar = HashJoin::new(
+            Box::new(src("a", &data_b)),
+            Box::new(src("b", &data_p)),
+            vec![0],
+            vec![0],
+        );
+        let scalar_rows = run(&mut scalar);
+
+        let mut batch = HashJoin::new(
+            Box::new(src("a", &data_b)),
+            Box::new(src("b", &data_p)),
+            vec![0],
+            vec![0],
+        );
+        let mut ctx = ExecCtx::new().with_batch_size(2);
+        batch.open(&mut ctx);
+        let mut batch_rows = Vec::new();
+        while batch.next_batch(&mut ctx, &mut batch_rows) {}
+        assert_eq!(batch_rows, scalar_rows);
     }
 
     #[test]

@@ -6,6 +6,13 @@ use crate::context::ExecCtx;
 use crate::ops::{BoxedOp, Operator};
 
 /// Emits at most `n` tuples from its child.
+///
+/// Batch mode deliberately pulls the child tuple-at-a-time: early
+/// termination must consume — and therefore charge — exactly as much of
+/// the child stream as scalar execution does, keeping the energy ledger
+/// batch-invariant even for limits over non-blocking pipelines. The
+/// pipeline *below* a blocking child (sort, aggregate) still runs
+/// vectorized inside that child's `open`.
 pub struct Limit {
     child: BoxedOp,
     n: usize,
@@ -40,6 +47,23 @@ impl Operator for Limit {
         let t = self.child.next(ctx)?;
         self.emitted += 1;
         Some(t)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
+        if self.emitted >= self.n {
+            return false;
+        }
+        let want = ctx.batch_size.max(1).min(self.n - self.emitted);
+        for _ in 0..want {
+            match self.child.next(ctx) {
+                Some(t) => {
+                    out.push(t);
+                    self.emitted += 1;
+                }
+                None => return false,
+            }
+        }
+        self.emitted < self.n
     }
 }
 

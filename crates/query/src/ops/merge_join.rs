@@ -16,7 +16,7 @@ use eco_simhw::trace::OpClass;
 use eco_storage::{tuple_width, Schema, Tuple, Value};
 
 use crate::context::ExecCtx;
-use crate::ops::{BoxedOp, Operator};
+use crate::ops::{drain_batches, BoxedOp, Operator};
 
 /// Sort-merge equi-join (multi-column keys). Materializes and sorts
 /// both inputs at `open`, then merges.
@@ -56,17 +56,15 @@ impl SortMergeJoin {
         }
     }
 
-    fn drain_sorted(
-        child: &mut BoxedOp,
-        keys: &[usize],
-        ctx: &mut ExecCtx,
-    ) -> Vec<Tuple> {
+    fn drain_sorted(child: &mut BoxedOp, keys: &[usize], ctx: &mut ExecCtx) -> Vec<Tuple> {
         child.open(ctx);
         let mut rows = Vec::new();
-        while let Some(t) = child.next(ctx) {
-            ctx.charge_mem_bytes(tuple_width(&t));
-            rows.push(t);
-        }
+        let mut scratch = Vec::new();
+        drain_batches(child.as_mut(), ctx, &mut scratch, |ctx, batch| {
+            let bytes: u64 = batch.iter().map(tuple_width).sum();
+            ctx.charge_mem_bytes(bytes);
+            rows.append(batch);
+        });
         let mut comparisons = 0u64;
         rows.sort_by(|a, b| {
             comparisons += 1;

@@ -1,4 +1,5 @@
-//! Physical operators: a Volcano-style (open/next) executor.
+//! Physical operators: a Volcano-style (open/next) executor with a
+//! vectorized batch path layered on top.
 //!
 //! Every operator performs real work on real tuples and charges that
 //! work into the [`ExecCtx`] ledger as it goes. No operator uses an
@@ -6,6 +7,38 @@
 //! experiments, we did not create any database indices"), so the access
 //! paths are sequential scans and the default join is the hash join
 //! ([`SortMergeJoin`] exists for the operator-level energy studies).
+//!
+//! # Batch execution
+//!
+//! [`Operator::next_batch`] is the vectorized counterpart of
+//! [`Operator::next`]: one virtual call moves up to
+//! [`ExecCtx::batch_size`] tuples instead of one, which removes the
+//! per-tuple dynamic dispatch, `Option` shuffling and ledger-charge
+//! calls that dominate tuple-at-a-time execution. Every built-in
+//! operator implements a native batch path; the provided default simply
+//! loops `next()`, so third-party operators keep working unchanged.
+//!
+//! Scan-like operators additionally implement
+//! [`Operator::next_batch_filtered`], which lets [`Filter`] evaluate its
+//! predicate against *borrowed* rows inside the scan and materialize
+//! only the survivors — for selective predicates (TPC-H Q6 keeps ~2 % of
+//! lineitem) this skips the dominant cost of the scalar path, the clone
+//! of every scanned tuple.
+//!
+//! **The energy ledger is batch-invariant by construction.** Batch
+//! paths charge the same per-tuple op classes with the same counts as
+//! the scalar paths — aggregated per batch (`charge(class, n)`), never
+//! re-priced — so a scalar and a batch execution of the same plan
+//! produce bit-identical [`ExecCtx`] ledgers (op-class counts, memory
+//! bytes, random accesses, disk I/O). The paper-reproduction figures
+//! are computed from that ledger, so this invariant is load-bearing and
+//! is enforced by `tests/integration_vectorized.rs`.
+//!
+//! The one deliberate asymmetry: [`Limit`] pulls from its child
+//! tuple-at-a-time even in batch mode, so early termination consumes
+//! exactly as much of the child stream — and charges exactly as much
+//! work — as scalar execution would. Everything below a blocking
+//! operator (sort, aggregate, hash build) still runs vectorized.
 
 mod agg;
 mod filter;
@@ -30,17 +63,97 @@ pub use source::VecSource;
 use eco_storage::{Schema, Tuple};
 
 use crate::context::ExecCtx;
+use crate::expr::Expr;
 
-/// A Volcano-style physical operator.
+/// A Volcano-style physical operator with an optional vectorized path.
 pub trait Operator {
     /// Output schema.
     fn schema(&self) -> &Schema;
+
     /// Prepare for execution (may consume children for blocking
     /// operators such as hash build, aggregation and sort).
     fn open(&mut self, ctx: &mut ExecCtx);
+
     /// Produce the next tuple, or `None` at end of stream.
     fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple>;
+
+    /// Produce the next batch of tuples, appending to `out`.
+    ///
+    /// Returns `false` once the stream is exhausted (the final call may
+    /// still have appended a partial batch); afterwards further calls
+    /// append nothing and keep returning `false`. A call is allowed to
+    /// append fewer tuples than [`ExecCtx::batch_size`] — or none at
+    /// all — while returning `true` (e.g. a filter batch where nothing
+    /// matched), and fan-out operators such as joins may append more.
+    ///
+    /// The default implementation loops [`Operator::next`], so operators
+    /// without a native batch path remain correct (and remain
+    /// ledger-identical, since the ledger only ever counts per-tuple
+    /// work).
+    fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
+        let target = out.len() + ctx.batch_size.max(1);
+        while out.len() < target {
+            match self.next(ctx) {
+                Some(t) => out.push(t),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Scan fusion hook: produce the next batch of tuples *satisfying
+    /// `predicate`*, evaluating it against borrowed rows before they
+    /// are materialized. Charges must be identical to a plain
+    /// `next_batch` followed by predicate evaluation on every row.
+    ///
+    /// Returns `None` when the operator has no fused path (the
+    /// default); `Some(more)` otherwise, with `more` as in
+    /// [`Operator::next_batch`]. Only leaf operators that own their
+    /// tuples ([`SeqScan`], [`VecSource`]) implement this; [`Filter`]
+    /// consumes it.
+    fn next_batch_filtered(
+        &mut self,
+        _ctx: &mut ExecCtx,
+        _predicate: &Expr,
+        _out: &mut Vec<Tuple>,
+    ) -> Option<bool> {
+        None
+    }
 }
 
 /// A boxed operator (plan node).
 pub type BoxedOp = Box<dyn Operator>;
+
+/// Drain `child` to exhaustion, invoking `consume` on each non-empty
+/// batch (blocking operators use this to materialize their input).
+/// `scratch` is cleared and reused between batches.
+///
+/// With `batch_size <= 1` the child is pulled tuple-at-a-time through
+/// [`Operator::next`], so a scalar context runs a genuinely scalar
+/// pipeline end to end; either way `consume` observes the same tuples
+/// and the ledger receives the same charges.
+pub(crate) fn drain_batches(
+    child: &mut dyn Operator,
+    ctx: &mut ExecCtx,
+    scratch: &mut Vec<Tuple>,
+    mut consume: impl FnMut(&mut ExecCtx, &mut Vec<Tuple>),
+) {
+    if ctx.batch_size <= 1 {
+        while let Some(t) = child.next(ctx) {
+            scratch.clear();
+            scratch.push(t);
+            consume(ctx, scratch);
+        }
+        return;
+    }
+    loop {
+        scratch.clear();
+        let more = child.next_batch(ctx, scratch);
+        if !scratch.is_empty() {
+            consume(ctx, scratch);
+        }
+        if !more {
+            return;
+        }
+    }
+}

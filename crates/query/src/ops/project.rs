@@ -11,20 +11,20 @@ pub struct Project {
     child: BoxedOp,
     exprs: Vec<Expr>,
     schema: Schema,
+    scratch: Vec<Tuple>,
 }
 
 impl Project {
     /// Project `child` through `(name, type, expr)` outputs.
     pub fn new(child: BoxedOp, outputs: Vec<(String, ColumnType, Expr)>) -> Self {
-        let cols: Vec<(&str, ColumnType)> = outputs
-            .iter()
-            .map(|(n, t, _)| (n.as_str(), *t))
-            .collect();
+        let cols: Vec<(&str, ColumnType)> =
+            outputs.iter().map(|(n, t, _)| (n.as_str(), *t)).collect();
         let schema = Schema::new(&cols);
         Self {
             child,
             exprs: outputs.into_iter().map(|(_, _, e)| e).collect(),
             schema,
+            scratch: Vec::new(),
         }
     }
 
@@ -36,6 +36,7 @@ impl Project {
             child,
             exprs,
             schema,
+            scratch: Vec::new(),
         }
     }
 }
@@ -52,6 +53,18 @@ impl Operator for Project {
     fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {
         let t = self.child.next(ctx)?;
         Some(self.exprs.iter().map(|e| e.eval(&t, ctx)).collect())
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
+        let mut input = std::mem::take(&mut self.scratch);
+        input.clear();
+        let more = self.child.next_batch(ctx, &mut input);
+        out.reserve(input.len());
+        for t in &input {
+            out.push(self.exprs.iter().map(|e| e.eval(t, ctx)).collect());
+        }
+        self.scratch = input;
+        more
     }
 }
 
@@ -83,10 +96,7 @@ mod tests {
     #[test]
     fn column_projection() {
         let schema = Schema::new(&[("a", ColumnType::Int), ("b", ColumnType::Str)]);
-        let src = VecSource::new(
-            schema,
-            vec![vec![Value::Int(1), Value::str("x")]],
-        );
+        let src = VecSource::new(schema, vec![vec![Value::Int(1), Value::str("x")]]);
         let mut p = Project::columns(Box::new(src), &[1]);
         let mut ctx = ExecCtx::new();
         p.open(&mut ctx);

@@ -3,9 +3,10 @@
 use std::sync::Arc;
 
 use eco_simhw::trace::OpClass;
-use eco_storage::{StoredTable, TableData, Schema, Tuple};
+use eco_storage::{Schema, StoredTable, TableData, Tuple};
 
 use crate::context::ExecCtx;
+use crate::expr::Expr;
 use crate::ops::Operator;
 
 /// Full-table sequential scan.
@@ -13,6 +14,11 @@ use crate::ops::Operator;
 /// Charges one `TupleFetch` plus the tuple's average width in memory
 /// bytes per tuple produced. Disk-engine scans additionally drain the
 /// buffer pool's I/O ledger into the context after every page.
+///
+/// The batch path emits whole page slices per call (capped at the
+/// context's batch size) instead of advancing a per-tuple page cursor;
+/// the fused path additionally evaluates a pushed-down predicate over
+/// borrowed rows so non-matching tuples are never cloned.
 pub struct SeqScan {
     table: Arc<StoredTable>,
     avg_bytes: u64,
@@ -44,6 +50,40 @@ impl SeqScan {
         ctx.charge(OpClass::TupleFetch, 1);
         ctx.charge_mem_bytes(self.avg_bytes);
     }
+
+    /// Charge `n` tuple fetches at once — the batch-mode equivalent of
+    /// `n` [`Self::charge_tuple`] calls, by construction bit-identical
+    /// in the ledger.
+    fn charge_tuples(&self, ctx: &mut ExecCtx, n: u64) {
+        if n > 0 {
+            ctx.charge(OpClass::TupleFetch, n);
+            ctx.charge_mem_bytes(self.avg_bytes * n);
+        }
+    }
+
+    /// Ensure `self.current` holds the next unread disk page, charging
+    /// buffer pool I/O. Returns `false` at end of table.
+    fn advance_disk_page(&mut self, ctx: &mut ExecCtx) -> bool {
+        let TableData::Disk(disk) = &self.table.data else {
+            unreachable!("advance_disk_page on a memory table");
+        };
+        if let Some(page) = &self.current {
+            if self.idx < page.len() {
+                return true;
+            }
+        }
+        if self.page_no >= disk.num_pages() {
+            self.current = None;
+            return false;
+        }
+        let page = disk.read_page(self.page_no);
+        // Attribute whatever I/O the pool performed to this query.
+        ctx.charge_disk(disk.pool().take_io());
+        self.page_no += 1;
+        self.idx = 0;
+        self.current = Some(page);
+        true
+    }
 }
 
 impl Operator for SeqScan {
@@ -70,25 +110,84 @@ impl Operator for SeqScan {
                     None
                 }
             }
-            TableData::Disk(disk) => loop {
-                if let Some(page) = &self.current {
-                    if self.idx < page.len() {
-                        let t = page[self.idx].clone();
-                        self.idx += 1;
-                        self.charge_tuple(ctx);
-                        return Some(t);
-                    }
-                }
-                if self.page_no >= disk.num_pages() {
+            TableData::Disk(_) => {
+                if !self.advance_disk_page(ctx) {
                     return None;
                 }
-                let page = disk.read_page(self.page_no);
-                // Attribute whatever I/O the pool performed to this query.
-                ctx.charge_disk(disk.pool().take_io());
-                self.page_no += 1;
-                self.idx = 0;
-                self.current = Some(page);
-            },
+                let page = self.current.as_ref().expect("page resident");
+                let t = page[self.idx].clone();
+                self.idx += 1;
+                self.charge_tuple(ctx);
+                Some(t)
+            }
+        }
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
+        self.scan_batch(ctx, None, out)
+    }
+
+    fn next_batch_filtered(
+        &mut self,
+        ctx: &mut ExecCtx,
+        predicate: &Expr,
+        out: &mut Vec<Tuple>,
+    ) -> Option<bool> {
+        Some(self.scan_batch(ctx, Some(predicate), out))
+    }
+}
+
+impl SeqScan {
+    /// The single batch cursor loop behind both `next_batch`
+    /// (`predicate: None`) and `next_batch_filtered`: scan up to
+    /// `batch_size` input rows, materializing all of them or only the
+    /// predicate's survivors.
+    fn scan_batch(
+        &mut self,
+        ctx: &mut ExecCtx,
+        predicate: Option<&Expr>,
+        out: &mut Vec<Tuple>,
+    ) -> bool {
+        fn emit(rows: &[Tuple], predicate: Option<&Expr>, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) {
+            match predicate {
+                None => out.extend_from_slice(rows),
+                Some(p) => {
+                    for t in rows {
+                        if p.eval_bool(t, ctx) {
+                            out.push(t.clone());
+                        }
+                    }
+                }
+            }
+        }
+
+        let want = ctx.batch_size.max(1);
+        match &self.table.data {
+            TableData::Memory(heap) => {
+                let tuples = heap.tuples();
+                let end = (self.idx + want).min(tuples.len());
+                emit(&tuples[self.idx..end], predicate, ctx, out);
+                self.charge_tuples(ctx, (end - self.idx) as u64);
+                self.idx = end;
+                self.idx < tuples.len()
+            }
+            TableData::Disk(_) => {
+                let mut scanned = 0usize;
+                let mut more = true;
+                while scanned < want {
+                    if !self.advance_disk_page(ctx) {
+                        more = false;
+                        break;
+                    }
+                    let page = Arc::clone(self.current.as_ref().expect("page resident"));
+                    let end = (self.idx + (want - scanned)).min(page.len());
+                    emit(&page[self.idx..end], predicate, ctx, out);
+                    scanned += end - self.idx;
+                    self.idx = end;
+                }
+                self.charge_tuples(ctx, scanned as u64);
+                more
+            }
         }
     }
 }

@@ -4,7 +4,7 @@ use eco_simhw::trace::OpClass;
 use eco_storage::{tuple_width, Schema, Tuple};
 
 use crate::context::ExecCtx;
-use crate::ops::{BoxedOp, Operator};
+use crate::ops::{drain_batches, BoxedOp, Operator};
 
 /// One sort key: column index plus direction.
 #[derive(Debug, Clone, Copy)]
@@ -55,10 +55,12 @@ impl Operator for Sort {
     fn open(&mut self, ctx: &mut ExecCtx) {
         self.child.open(ctx);
         let mut rows = Vec::new();
-        while let Some(t) = self.child.next(ctx) {
-            ctx.charge_mem_bytes(tuple_width(&t));
-            rows.push(t);
-        }
+        let mut scratch = Vec::new();
+        drain_batches(self.child.as_mut(), ctx, &mut scratch, |ctx, batch| {
+            let bytes: u64 = batch.iter().map(tuple_width).sum();
+            ctx.charge_mem_bytes(bytes);
+            rows.append(batch);
+        });
         let keys = self.keys.clone();
         let mut comparisons: u64 = 0;
         rows.sort_by(|a, b| {
@@ -136,7 +138,10 @@ mod tests {
         let mut ctx = ExecCtx::new();
         s.open(&mut ctx);
         let cmps = ctx.cpu.count(OpClass::SortCmp);
-        assert!(cmps >= 4, "5 elements need at least 4 comparisons, got {cmps}");
+        assert!(
+            cmps >= 4,
+            "5 elements need at least 4 comparisons, got {cmps}"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use eco_storage::{Schema, Tuple};
 
 use crate::context::ExecCtx;
+use crate::expr::Expr;
 use crate::ops::Operator;
 
 /// Emits a fixed vector of tuples. Charges nothing — the tuples are
@@ -38,6 +39,29 @@ impl Operator for VecSource {
         let t = self.tuples.get(self.idx)?.clone();
         self.idx += 1;
         Some(t)
+    }
+
+    fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
+        let end = (self.idx + ctx.batch_size.max(1)).min(self.tuples.len());
+        out.extend_from_slice(&self.tuples[self.idx..end]);
+        self.idx = end;
+        self.idx < self.tuples.len()
+    }
+
+    fn next_batch_filtered(
+        &mut self,
+        ctx: &mut ExecCtx,
+        predicate: &Expr,
+        out: &mut Vec<Tuple>,
+    ) -> Option<bool> {
+        let end = (self.idx + ctx.batch_size.max(1)).min(self.tuples.len());
+        for t in &self.tuples[self.idx..end] {
+            if predicate.eval_bool(t, ctx) {
+                out.push(t.clone());
+            }
+        }
+        self.idx = end;
+        Some(self.idx < self.tuples.len())
     }
 }
 

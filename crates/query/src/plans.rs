@@ -9,7 +9,9 @@ use eco_storage::{Catalog, ColumnType, Tuple};
 use eco_tpch::{Q5Params, QedQuery};
 
 use crate::expr::{AggFunc, ArithOp, CmpOp, Expr};
-use crate::ops::{AggSpec, BoxedOp, Filter, HashAggregate, HashJoin, Limit, SeqScan, Sort, SortKey};
+use crate::ops::{
+    AggSpec, BoxedOp, Filter, HashAggregate, HashJoin, Limit, SeqScan, Sort, SortKey,
+};
 
 /// `extendedprice × (100 − discount) / 100` over the given column
 /// positions — Q3/Q5's revenue expression in integer cents.
@@ -65,12 +67,10 @@ pub fn q5_plan(catalog: &Catalog, params: &Q5Params) -> BoxedOp {
         region,
         nation,
         vec![0], // r_regionkey (resolved below for clarity in later joins)
-        vec![
-            catalog
-                .expect("nation")
-                .schema()
-                .expect_index("n_regionkey"),
-        ],
+        vec![catalog
+            .expect("nation")
+            .schema()
+            .expect_index("n_regionkey")],
     )) as BoxedOp;
 
     // ⋈ customer
@@ -639,10 +639,7 @@ mod tests {
         let mut ctx = ExecCtx::new();
         let rows = execute(plan.as_mut(), &mut ctx);
         assert!(rows.len() <= 10);
-        let revs: Vec<i64> = rows
-            .iter()
-            .map(|t| t[3].as_int().unwrap())
-            .collect();
+        let revs: Vec<i64> = rows.iter().map(|t| t[3].as_int().unwrap()).collect();
         for w in revs.windows(2) {
             assert!(w[0] >= w[1], "descending revenue");
         }

@@ -163,8 +163,7 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len() && b[i] == '.' && b.get(i + 1).is_some_and(|c| c.is_ascii_digit())
-                {
+                if i < b.len() && b[i] == '.' && b.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
                     // Decimal: scale by 100 (two fraction digits max).
                     let whole: i64 = b[start..i]
                         .iter()
@@ -206,7 +205,11 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
                     b[start..i].iter().collect::<String>().to_lowercase(),
                 ));
             }
-            other => return Err(SqlError::Lex(format!("unexpected character {other:?} at {i}"))),
+            other => {
+                return Err(SqlError::Lex(format!(
+                    "unexpected character {other:?} at {i}"
+                )))
+            }
         }
     }
     Ok(out)

@@ -45,10 +45,7 @@ impl std::fmt::Display for SqlError {
 impl std::error::Error for SqlError {}
 
 /// Parse and plan a SQL `SELECT` against a catalog in one step.
-pub fn compile(
-    catalog: &eco_storage::Catalog,
-    sql: &str,
-) -> Result<crate::ops::BoxedOp, SqlError> {
+pub fn compile(catalog: &eco_storage::Catalog, sql: &str) -> Result<crate::ops::BoxedOp, SqlError> {
     let stmt = parse_select(sql)?;
     plan_select(catalog, &stmt)
 }

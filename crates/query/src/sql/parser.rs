@@ -110,7 +110,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, SqlError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -480,8 +482,7 @@ mod tests {
 
     #[test]
     fn order_by_asc_desc_and_limit() {
-        let s =
-            parse_select("SELECT a, b FROM t ORDER BY a ASC, b DESC LIMIT 10").unwrap();
+        let s = parse_select("SELECT a, b FROM t ORDER BY a ASC, b DESC LIMIT 10").unwrap();
         assert!(!s.order_by[0].desc);
         assert!(s.order_by[1].desc);
         assert_eq!(s.limit, Some(10));

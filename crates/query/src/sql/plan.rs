@@ -144,9 +144,8 @@ pub fn plan_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoxedOp, SqlE
         current = Box::new(HashJoin::new(build, probe, build_keys, probe_keys));
         // Crude FK-join estimate: the larger side survives scaled by the
         // smaller side's filter fraction.
-        current_est = (current_est * rel.est_rows
-            / current_est.max(rel.est_rows).max(1.0))
-        .max(1.0);
+        current_est =
+            (current_est * rel.est_rows / current_est.max(rel.est_rows).max(1.0)).max(1.0);
         joined_tables.insert(rel.table_idx);
     }
 
@@ -214,9 +213,10 @@ fn plan_aggregate(input: BoxedOp, stmt: &SelectStmt) -> Result<BoxedOp, SqlError
     // Group columns must exist in the input.
     let mut group_idx = Vec::new();
     for g in &stmt.group_by {
-        let idx = input.schema().index_of(g).ok_or_else(|| {
-            SqlError::Bind(format!("GROUP BY column {g:?} not found"))
-        })?;
+        let idx = input
+            .schema()
+            .index_of(g)
+            .ok_or_else(|| SqlError::Bind(format!("GROUP BY column {g:?} not found")))?;
         group_idx.push(idx);
     }
 
@@ -345,10 +345,7 @@ fn table_of_column(
     }
 }
 
-fn classify(
-    e: &SqlExpr,
-    tables: &[(String, Arc<StoredTable>)],
-) -> Result<Classified, SqlError> {
+fn classify(e: &SqlExpr, tables: &[(String, Arc<StoredTable>)]) -> Result<Classified, SqlError> {
     // Equi-join pattern: col = col across different tables.
     if let SqlExpr::Binary(BinOp::Eq, l, r) = e {
         if let (
@@ -387,10 +384,7 @@ fn classify(
     })
 }
 
-fn resolve_keys(
-    schema: &eco_storage::Schema,
-    names: &[String],
-) -> Result<Vec<usize>, SqlError> {
+fn resolve_keys(schema: &eco_storage::Schema, names: &[String]) -> Result<Vec<usize>, SqlError> {
     names
         .iter()
         .map(|n| {
@@ -575,7 +569,10 @@ mod tests {
     #[test]
     fn count_star_and_global_aggregate() {
         let (db, cat) = setup();
-        let rows = run(&cat, "SELECT COUNT(*) AS n, SUM(l_quantity) AS q FROM lineitem");
+        let rows = run(
+            &cat,
+            "SELECT COUNT(*) AS n, SUM(l_quantity) AS q FROM lineitem",
+        );
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0].as_int(), Some(db.lineitem.len() as i64));
         let want: i64 = db.lineitem.iter().map(|l| l.l_quantity).sum();
@@ -651,11 +648,14 @@ mod tests {
             "ungrouped column must be rejected"
         );
         assert!(err("SELECT SUM(r_regionkey) * 2 FROM region").contains("inside"));
-        assert!(err("SELECT * FROM region, region WHERE r_regionkey = r_regionkey")
-            .contains("twice"));
-        assert!(err("SELECT n_comment FROM region, nation WHERE n_regionkey = r_regionkey \
-                     GROUP BY n_name")
-            .contains("must appear in GROUP BY"));
+        assert!(
+            err("SELECT * FROM region, region WHERE r_regionkey = r_regionkey").contains("twice")
+        );
+        assert!(err(
+            "SELECT n_comment FROM region, nation WHERE n_regionkey = r_regionkey \
+                     GROUP BY n_name"
+        )
+        .contains("must appear in GROUP BY"));
     }
 
     #[test]
@@ -676,7 +676,10 @@ mod tests {
     #[test]
     fn constant_predicate_goes_residual() {
         let (_, cat) = setup();
-        let rows = run(&cat, "SELECT r_name FROM region WHERE 1 = 1 ORDER BY r_name");
+        let rows = run(
+            &cat,
+            "SELECT r_name FROM region WHERE 1 = 1 ORDER BY r_name",
+        );
         assert_eq!(rows.len(), 5);
         let none = run(&cat, "SELECT r_name FROM region WHERE 1 = 2");
         assert!(none.is_empty());

@@ -172,7 +172,10 @@ impl CpuConfig {
 
     /// Underclocked configuration (fraction, e.g. `0.05` for 5 %).
     pub fn underclocked(u: f64, voltage: VoltageSetting) -> Self {
-        assert!((0.0..1.0).contains(&u), "underclock fraction {u} out of range");
+        assert!(
+            (0.0..1.0).contains(&u),
+            "underclock fraction {u} out of range"
+        );
         Self {
             underclock: u,
             voltage,
@@ -262,7 +265,10 @@ mod tests {
         let cfg = CpuConfig::capped(7.0, VoltageSetting::Stock);
         assert_eq!(cfg.active_top_pstate(&spec).multiplier, 7.0);
         let f = cfg.top_freq_hz(&spec);
-        assert!((f - 7.0 * calib::STOCK_FSB_HZ).abs() < 1.0, "capped freq {f}");
+        assert!(
+            (f - 7.0 * calib::STOCK_FSB_HZ).abs() < 1.0,
+            "capped freq {f}"
+        );
     }
 
     #[test]
@@ -276,8 +282,7 @@ mod tests {
         let spec = CpuSpec::e8500();
         let p = spec.top_pstate();
         let stock = CpuConfig::stock().effective_voltage(p, 0.5);
-        let small =
-            CpuConfig::underclocked(0.05, VoltageSetting::Small).effective_voltage(p, 0.5);
+        let small = CpuConfig::underclocked(0.05, VoltageSetting::Small).effective_voltage(p, 0.5);
         let medium =
             CpuConfig::underclocked(0.05, VoltageSetting::Medium).effective_voltage(p, 0.5);
         assert!(stock > small && small > medium);

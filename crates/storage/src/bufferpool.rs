@@ -142,8 +142,11 @@ impl BufferPool {
         let tuples = load();
         if g.capacity > 0 {
             while g.frames.len() >= g.capacity {
-                let (&old_stamp, &victim) =
-                    g.by_stamp.iter().next().expect("frames non-empty implies stamps");
+                let (&old_stamp, &victim) = g
+                    .by_stamp
+                    .iter()
+                    .next()
+                    .expect("frames non-empty implies stamps");
                 g.by_stamp.remove(&old_stamp);
                 g.frames.remove(&victim);
                 g.stats.evictions += 1;

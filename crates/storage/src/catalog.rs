@@ -86,12 +86,7 @@ impl Catalog {
     }
 
     /// Register a disk-engine table built from `tuples`.
-    pub fn add_disk_table(
-        &mut self,
-        name: &str,
-        schema: Schema,
-        tuples: &[crate::value::Tuple],
-    ) {
+    pub fn add_disk_table(&mut self, name: &str, schema: Schema, tuples: &[crate::value::Tuple]) {
         let id = self.next_table_id;
         self.next_table_id += 1;
         let table = DiskTable::load(id, schema, tuples, Arc::clone(&self.pool));
@@ -148,7 +143,10 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut c = Catalog::new(16);
-        c.add_memory_table("m", HeapTable::from_tuples(schema(), vec![vec![Value::Int(1)]]));
+        c.add_memory_table(
+            "m",
+            HeapTable::from_tuples(schema(), vec![vec![Value::Int(1)]]),
+        );
         c.add_disk_table("d", schema(), &[vec![Value::Int(2)], vec![Value::Int(3)]]);
         assert_eq!(c.len(), 2);
         assert_eq!(c.names(), vec!["d", "m"]);

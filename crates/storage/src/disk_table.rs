@@ -162,7 +162,9 @@ mod tests {
         }
         let io = pool.take_io();
         // One repositioning per extent, streaming within extents.
-        let extents = t.num_pages().div_ceil(crate::bufferpool::EXTENT_PAGES as usize);
+        let extents = t
+            .num_pages()
+            .div_ceil(crate::bufferpool::EXTENT_PAGES as usize);
         assert_eq!(io.random_ios as usize, extents);
         assert_eq!(
             io.sequential_bytes as usize,

@@ -356,6 +356,10 @@ mod tests {
         for p in 0..dt.num_pages() {
             from_disk.extend(dt.read_page(p).iter().cloned());
         }
-        assert_eq!(h.tuples(), &from_disk[..], "page roundtrip must preserve tuples");
+        assert_eq!(
+            h.tuples(),
+            &from_disk[..],
+            "page roundtrip must preserve tuples"
+        );
     }
 }

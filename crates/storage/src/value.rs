@@ -248,7 +248,12 @@ mod tests {
             Value::Date(10),
             Value::Char('A'),
         ];
-        let bad: Tuple = vec![Value::Int(1), Value::Int(2), Value::Date(10), Value::Char('A')];
+        let bad: Tuple = vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Date(10),
+            Value::Char('A'),
+        ];
         assert!(s.check(&good));
         assert!(!s.check(&bad));
         assert!(!s.check(&good[..3].to_vec()));

@@ -231,8 +231,7 @@ impl TpchGenerator {
             // partkey ranges.
             let stride = (n_supp / 4).max(1);
             for i in 0..4i64 {
-                let supp =
-                    (p.p_partkey - 1 + i * stride + (p.p_partkey - 1) / n_supp) % n_supp + 1;
+                let supp = (p.p_partkey - 1 + i * stride + (p.p_partkey - 1) / n_supp) % n_supp + 1;
                 out.push(PartSupp {
                     ps_partkey: p.p_partkey,
                     ps_suppkey: supp,
@@ -446,7 +445,12 @@ mod tests {
             let mut keys: Vec<i64> = chunk.iter().map(|ps| ps.ps_suppkey).collect();
             keys.sort_unstable();
             keys.dedup();
-            assert_eq!(keys.len(), 4, "part {} suppliers collide", chunk[0].ps_partkey);
+            assert_eq!(
+                keys.len(),
+                4,
+                "part {} suppliers collide",
+                chunk[0].ps_partkey
+            );
         }
     }
 

@@ -40,7 +40,13 @@ pub const NATIONS: [(&str, i64); 25] = [
 ];
 
 /// Market segments (customer.c_mktsegment domain).
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 
 /// Order priorities (orders.o_orderpriority domain).
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
@@ -72,16 +78,54 @@ pub const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", 
 /// we use two to keep rows compact — width, not content, is what the
 /// experiments exercise).
 pub const COLORS: [&str; 20] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "cyan",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
 ];
 
 /// Word pool for synthetic comments.
 pub const COMMENT_WORDS: [&str; 24] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "pending",
-    "regular", "express", "special", "bold", "even", "silent", "unusual", "daring", "deposits",
-    "requests", "packages", "accounts", "instructions", "theodolites", "foxes", "platelets",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "ironic",
+    "final",
+    "pending",
+    "regular",
+    "express",
+    "special",
+    "bold",
+    "even",
+    "silent",
+    "unusual",
+    "daring",
+    "deposits",
+    "requests",
+    "packages",
+    "accounts",
+    "instructions",
+    "theodolites",
+    "foxes",
+    "platelets",
 ];
 
 /// A short synthetic comment of `words` words.

@@ -72,7 +72,9 @@ pub fn qed_workload(n: usize) -> Vec<QedQuery> {
         (1..=50).contains(&n),
         "QED workload size {n} out of 1..=50 (distinct l_quantity values)"
     );
-    (1..=n as i64).map(|quantity| QedQuery { quantity }).collect()
+    (1..=n as i64)
+        .map(|quantity| QedQuery { quantity })
+        .collect()
 }
 
 #[cfg(test)]

@@ -24,6 +24,9 @@ fn main() {
     );
 
     // Warm vs cold workload runs (§3.5): disk joules vs CPU joules.
-    println!("{}", experiments::warm_cold_report(&experiments::warm_cold(0.01)));
+    println!(
+        "{}",
+        experiments::warm_cold_report(&experiments::warm_cold(0.01))
+    );
     println!("(paper: warm disk ≈ 1/6 of CPU joules; cold > 1/2, with a ~3x slowdown)");
 }

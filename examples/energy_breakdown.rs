@@ -20,10 +20,18 @@ fn main() {
     let r = db.run_q5_workload(MachineConfig::stock());
     let m = &r.measurement;
     println!("Q5 workload ({:.2} s wall):", m.elapsed_s);
-    println!("  CPU    {:>8.2} J  ({:.1} W avg, utilization {:.0}%)", m.cpu_joules, m.avg_cpu_w, m.utilization * 100.0);
+    println!(
+        "  CPU    {:>8.2} J  ({:.1} W avg, utilization {:.0}%)",
+        m.cpu_joules,
+        m.avg_cpu_w,
+        m.utilization * 100.0
+    );
     println!("  DRAM   {:>8.2} J", m.dram_joules);
     println!("  disk   {:>8.2} J", m.disk_joules);
-    println!("  wall   {:>8.2} J  ({:.1} W avg, incl. PSU losses)", m.wall_joules, m.avg_wall_w);
+    println!(
+        "  wall   {:>8.2} J  ({:.1} W avg, incl. PSU losses)",
+        m.wall_joules, m.avg_wall_w
+    );
     println!(
         "  CPU share of wall energy: {:.0}%  (paper §3.2 observes ≈25%)",
         m.cpu_joules / m.wall_joules * 100.0

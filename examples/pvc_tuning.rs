@@ -26,7 +26,10 @@ fn main() {
             sweep.stock.seconds,
             sweep.stock.cpu_joules
         );
-        println!("  {:<18} {:>8} {:>8} {:>8}", "setting", "E ratio", "T ratio", "EDP");
+        println!(
+            "  {:<18} {:>8} {:>8} {:>8}",
+            "setting", "E ratio", "T ratio", "EDP"
+        );
         for p in &sweep.points {
             println!(
                 "  {:<18} {:>8.3} {:>8.3} {:>8.3}{}",
@@ -34,14 +37,21 @@ fn main() {
                 p.energy_ratio,
                 p.time_ratio,
                 p.edp_ratio,
-                if p.point.is_interesting(&sweep.stock) { "  <- interesting" } else { "" }
+                if p.point.is_interesting(&sweep.stock) {
+                    "  <- interesting"
+                } else {
+                    ""
+                }
             );
         }
 
         // SLA-driven choice: how much slowdown will you tolerate?
         for slack in [0.0, 5.0, 15.0] {
             let cfg = choose_pvc(&sweep, Sla::slack_pct(slack));
-            println!("  SLA +{slack:>4.1}% slowdown -> run at {:?}", cfg.cpu.label());
+            println!(
+                "  SLA +{slack:>4.1}% slowdown -> run at {:?}",
+                cfg.cpu.label()
+            );
         }
         println!();
     }

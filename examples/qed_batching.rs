@@ -23,7 +23,10 @@ fn main() {
         released = manager.submit(q);
     }
     let batch = released.expect("threshold reached");
-    println!("admission queue released a batch of {} queries\n", batch.len());
+    println!(
+        "admission queue released a batch of {} queries\n",
+        batch.len()
+    );
 
     // The paper's Fig 6 sweep: batch sizes 35..50.
     println!("batch   E ratio   avg-resp ratio   per-query EDP ratio");

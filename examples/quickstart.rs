@@ -16,7 +16,11 @@ fn main() {
     let stock = db.run_q5("ASIA", 1994, MachineConfig::stock());
     println!("Q5(ASIA, 1994) at stock:");
     for row in &stock.rows {
-        println!("  {:<12} revenue ${:.2}", row[0], row[1].as_int().unwrap() as f64 / 100.0);
+        println!(
+            "  {:<12} revenue ${:.2}",
+            row[0],
+            row[1].as_int().unwrap() as f64 / 100.0
+        );
     }
     println!(
         "  -> {:.1} ms, {:.3} J CPU ({:.1} W avg)\n",

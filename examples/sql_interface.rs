@@ -54,5 +54,8 @@ fn main() {
 
     // Errors are first-class too.
     let bad = db.run_sql("SELECT bogus FROM lineitem", MachineConfig::stock());
-    println!("sql> SELECT bogus FROM lineitem\n     -> {}", bad.unwrap_err());
+    println!(
+        "sql> SELECT bogus FROM lineitem\n     -> {}",
+        bad.unwrap_err()
+    );
 }

@@ -19,7 +19,11 @@ fn all_ten_q5_variants_run_through_sql() {
     for params in q5_workload() {
         let sql = plans::q5_sql(&params);
         let via_sql = db.run_sql(&sql, MachineConfig::stock()).expect("compiles");
-        let hand = db.run_q5(&params.region, params.date_from.to_ymd().0, MachineConfig::stock());
+        let hand = db.run_q5(
+            &params.region,
+            params.date_from.to_ymd().0,
+            MachineConfig::stock(),
+        );
         let mut a = plans::q5_rows_to_pairs(&via_sql.rows);
         a.sort();
         let mut b = plans::q5_rows_to_pairs(&hand.rows);
@@ -81,7 +85,10 @@ fn energy_aware_plan_choice_end_to_end() {
     let ranked = rank_plans_by_energy(
         &db,
         vec![
-            ("late-filter", plans::q5_plan_late_filter(db.catalog(), &params)),
+            (
+                "late-filter",
+                plans::q5_plan_late_filter(db.catalog(), &params),
+            ),
             ("pushdown", plans::q5_plan(db.catalog(), &params)),
         ],
         MachineConfig::stock(),

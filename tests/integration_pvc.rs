@@ -85,8 +85,16 @@ fn mysql_small_voltage_edp_crosses_one() {
     // Fig 3: small-voltage EDP goes from a win at 5% to a loss by 15%.
     let sweep = sweep_for(EngineProfile::MemoryEngine);
     let pts = sweep.points_for(VoltageSetting::Small);
-    assert!(pts[0].edp_ratio < 1.0, "5% small should win: {}", pts[0].edp_ratio);
-    assert!(pts[2].edp_ratio > 1.0, "15% small should lose: {}", pts[2].edp_ratio);
+    assert!(
+        pts[0].edp_ratio < 1.0,
+        "5% small should win: {}",
+        pts[0].edp_ratio
+    );
+    assert!(
+        pts[2].edp_ratio > 1.0,
+        "15% small should lose: {}",
+        pts[2].edp_ratio
+    );
 }
 
 #[test]

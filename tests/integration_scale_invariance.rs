@@ -65,7 +65,10 @@ fn absolute_costs_scale_linearly() {
     let energy_factor = b.cpu_joules / a.cpu_joules;
     // 4× the data ⇒ roughly 4× the work (generator rounding and
     // per-query fixed costs allow slack).
-    assert!((2.8..5.2).contains(&time_factor), "time factor {time_factor}");
+    assert!(
+        (2.8..5.2).contains(&time_factor),
+        "time factor {time_factor}"
+    );
     assert!(
         (2.8..5.2).contains(&energy_factor),
         "energy factor {energy_factor}"

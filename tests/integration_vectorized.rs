@@ -1,0 +1,192 @@
+//! The vectorization contract: scalar (tuple-at-a-time) and batch
+//! execution must produce **identical result rows** and **bit-identical
+//! energy ledgers** — op-class counts, memory stream bytes, random
+//! accesses and disk I/O — for TPC-H Q1/Q3/Q5/Q6 on both storage
+//! engines, cold and warm. The paper-reproduction figures are priced
+//! from the ledger, so any drift here silently corrupts them.
+
+use std::sync::OnceLock;
+
+use ecodb::query::context::ExecCtx;
+use ecodb::query::exec::{execute, execute_scalar};
+use ecodb::query::ops::BoxedOp;
+use ecodb::query::plans;
+use ecodb::simhw::OpClass;
+use ecodb::storage::{load_tpch, Catalog, EngineKind, Tuple};
+use ecodb::tpch::{Q5Params, TpchDb, TpchGenerator};
+
+const SCALE: f64 = 0.003;
+
+fn source_db() -> &'static TpchDb {
+    static DB: OnceLock<TpchDb> = OnceLock::new();
+    DB.get_or_init(|| TpchGenerator::new(SCALE).generate())
+}
+
+fn fresh_catalog(engine: EngineKind) -> Catalog {
+    // A roomy pool: cold runs charge the full read once, warm runs are
+    // I/O-free — deterministically, for scalar and batch alike.
+    load_tpch(source_db(), engine, 1 << 20)
+}
+
+fn assert_ledgers_equal(a: &ExecCtx, b: &ExecCtx, what: &str) {
+    assert_eq!(a.cpu, b.cpu, "{what}: op-class counts differ");
+    assert_eq!(
+        a.mem_stream_bytes, b.mem_stream_bytes,
+        "{what}: memory stream bytes differ"
+    );
+    assert_eq!(
+        a.mem_random_accesses, b.mem_random_accesses,
+        "{what}: random memory accesses differ"
+    );
+    assert_eq!(a.disk, b.disk, "{what}: disk I/O differs");
+    assert_eq!(a.pred_evals, b.pred_evals, "{what}: pred_evals differ");
+}
+
+/// Run `mk`'s plan cold then warm on a fresh catalog; return rows and
+/// ledgers for both runs.
+fn run_twice(
+    engine: EngineKind,
+    mk: &dyn Fn(&Catalog) -> BoxedOp,
+    mut ctx_of: impl FnMut() -> ExecCtx,
+    scalar: bool,
+) -> [(Vec<Tuple>, ExecCtx); 2] {
+    let catalog = fresh_catalog(engine);
+    [(); 2].map(|_| {
+        let mut plan = mk(&catalog);
+        let mut ctx = ctx_of();
+        let rows = if scalar {
+            execute_scalar(plan.as_mut(), &mut ctx)
+        } else {
+            execute(plan.as_mut(), &mut ctx)
+        };
+        (rows, ctx)
+    })
+}
+
+fn check_query(name: &str, mk: &dyn Fn(&Catalog) -> BoxedOp) {
+    for engine in [EngineKind::Memory, EngineKind::Disk] {
+        // The baseline: a genuinely tuple-at-a-time pipeline.
+        let scalar = run_twice(engine, mk, || ExecCtx::new().with_batch_size(1), true);
+
+        // Batch execution at several chunkings, including sizes that do
+        // not divide the table and the default.
+        for batch_size in [3, 257, 1024] {
+            let batch = run_twice(
+                engine,
+                mk,
+                || ExecCtx::new().with_batch_size(batch_size),
+                false,
+            );
+            for (pass, label) in [(0, "cold"), (1, "warm")] {
+                let what = format!("{name}/{engine:?}/{label}/batch={batch_size}");
+                assert_eq!(batch[pass].0, scalar[pass].0, "{what}: rows differ");
+                assert_ledgers_equal(&batch[pass].1, &scalar[pass].1, &what);
+            }
+        }
+
+        // Sanity: the workload actually exercised the ledger.
+        assert!(
+            scalar[0].1.cpu.count(OpClass::TupleFetch) > 0,
+            "{name}: no fetches"
+        );
+        if engine == EngineKind::Disk {
+            assert!(
+                !scalar[0].1.disk.is_empty(),
+                "{name}: cold disk run charged no I/O"
+            );
+            assert!(
+                scalar[1].1.disk.is_empty(),
+                "{name}: warm disk run still paid I/O"
+            );
+        }
+    }
+}
+
+#[test]
+fn q1_scalar_batch_identical() {
+    check_query("Q1", &|cat| plans::q1_plan(cat, 90));
+}
+
+#[test]
+fn q3_scalar_batch_identical() {
+    check_query("Q3", &|cat| {
+        plans::q3_plan(cat, "BUILDING", ecodb::tpch::Date::from_ymd(1995, 3, 15))
+    });
+}
+
+#[test]
+fn q5_scalar_batch_identical() {
+    check_query("Q5", &|cat| {
+        plans::q5_plan(cat, &Q5Params::new("ASIA", 1994))
+    });
+}
+
+#[test]
+fn q6_scalar_batch_identical() {
+    check_query("Q6", &|cat| plans::q6_plan(cat, 1994, 6, 24));
+}
+
+/// The QED merged scan (shared-scan MQO path) obeys the same contract.
+#[test]
+fn merged_selection_scalar_batch_identical() {
+    use ecodb::query::mqo::MergedSelection;
+    let queries = ecodb::tpch::qed_workload(8);
+    for engine in [EngineKind::Memory, EngineKind::Disk] {
+        let run = |batch_size: usize| {
+            let catalog = fresh_catalog(engine);
+            let mut merged = MergedSelection::new(&catalog, &queries);
+            let mut ctx = ExecCtx::new().with_batch_size(batch_size);
+            let rows = merged.run(&mut ctx);
+            (rows, ctx)
+        };
+        let (rows_s, ctx_s) = run(1);
+        for batch_size in [7, 1024] {
+            let (rows_b, ctx_b) = run(batch_size);
+            let what = format!("QED/{engine:?}/batch={batch_size}");
+            assert_eq!(rows_b, rows_s, "{what}: rows differ");
+            assert_ledgers_equal(&ctx_b, &ctx_s, &what);
+        }
+    }
+}
+
+/// Early termination: a LIMIT over a streaming (non-blocking) pipeline
+/// must consume — and charge — exactly as much of its input in batch
+/// mode as in scalar mode.
+#[test]
+fn limit_over_streaming_pipeline_identical() {
+    use ecodb::query::expr::{CmpOp, Expr};
+    use ecodb::query::ops::{Filter, Limit, SeqScan};
+
+    for engine in [EngineKind::Memory, EngineKind::Disk] {
+        let mk = |cat: &Catalog| -> BoxedOp {
+            let scan = Box::new(SeqScan::new(cat.expect("lineitem")));
+            let qty = cat.expect("lineitem").schema().expect_index("l_quantity");
+            let filtered = Box::new(Filter::new(
+                scan,
+                Expr::cmp(CmpOp::Lt, Expr::col(qty), Expr::int(10)),
+            ));
+            Box::new(Limit::new(filtered, 25))
+        };
+
+        let catalog = fresh_catalog(engine);
+        let mut sctx = ExecCtx::new().with_batch_size(1);
+        let rows_s = execute_scalar(mk(&catalog).as_mut(), &mut sctx);
+
+        for batch_size in [4, 1024] {
+            let catalog = fresh_catalog(engine);
+            let mut bctx = ExecCtx::new().with_batch_size(batch_size);
+            let rows_b = execute(mk(&catalog).as_mut(), &mut bctx);
+            let what = format!("limit/{engine:?}/batch={batch_size}");
+            assert_eq!(rows_b, rows_s, "{what}: rows differ");
+            assert_ledgers_equal(&bctx, &sctx, &what);
+        }
+        assert_eq!(rows_s.len(), 25);
+        // The scan must have stopped early: fewer fetches than rows.
+        let fetched = sctx.cpu.count(OpClass::TupleFetch);
+        let total = source_db().lineitem.len() as u64;
+        assert!(
+            fetched < total,
+            "limit failed to stop the scan: {fetched}/{total}"
+        );
+    }
+}

@@ -140,7 +140,8 @@ fn q5_survives_pathological_pool() {
     let rows = execute(plan.as_mut(), &mut ctx);
 
     let mem = load_tpch(&src, EngineKind::Memory, 0);
-    let mut mem_plan = ecodb::query::plans::q5_plan(&mem, &ecodb::tpch::Q5Params::new("ASIA", 1994));
+    let mut mem_plan =
+        ecodb::query::plans::q5_plan(&mem, &ecodb::tpch::Q5Params::new("ASIA", 1994));
     let mut mem_ctx = ExecCtx::new();
     let mem_rows = execute(mem_plan.as_mut(), &mut mem_ctx);
     assert_eq!(rows, mem_rows);
@@ -169,5 +170,8 @@ fn empty_results_price_cleanly() {
         )
         .unwrap();
     assert!(run.rows.is_empty());
-    assert!(run.measurement.cpu_joules > 0.0, "the scan still costs energy");
+    assert!(
+        run.measurement.cpu_joules > 0.0,
+        "the scan still costs energy"
+    );
 }

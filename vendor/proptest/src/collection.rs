@@ -1,0 +1,148 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use std::collections::BTreeSet;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A collection-size specification (from a `usize` range).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_incl: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max_incl: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        Self {
+            min: *r.start(),
+            max_incl: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            min: n,
+            max_incl: n,
+        }
+    }
+}
+
+/// Vectors of values from `elem` with a length drawn from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..=self.size.max_incl);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// Ordered sets of values from `elem` with a size drawn from `size`.
+/// If the element domain is too small to reach the drawn size, the set
+/// is as large as the domain allows (but at least `min` is attempted
+/// hard enough for any practical domain).
+pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// The result of [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.gen_range(self.size.min..=self.size.max_incl);
+        let mut out = BTreeSet::new();
+        // Duplicates don't grow the set; cap the attempts so a tiny
+        // element domain cannot loop forever.
+        let max_attempts = 100 * (target + 1);
+        let mut attempts = 0;
+        while out.len() < target && attempts < max_attempts {
+            out.insert(self.elem.generate(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("collection-tests")
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut r = rng();
+        let s = vec(0i64..10, 2..5);
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn btree_set_distinct_and_sized() {
+        let mut r = rng();
+        let s = btree_set(1i64..=50, 1..12);
+        for _ in 0..200 {
+            let set = s.generate(&mut r);
+            assert!((1..12).contains(&set.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_saturates_small_domains() {
+        let mut r = rng();
+        let s = btree_set(1i64..=2, 1..=2);
+        for _ in 0..50 {
+            let set = s.generate(&mut r);
+            assert!(!set.is_empty() && set.len() <= 2);
+        }
+    }
+}

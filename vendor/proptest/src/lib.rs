@@ -1,0 +1,140 @@
+//! Workspace-local stand-in for the slice of `proptest` that ecoDB's
+//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, [`any`], [`Just`], ranges and simplified regex string
+//! literals as strategies, `prop_oneof!`, and the `collection::{vec,
+//! btree_set}` combinators.
+//!
+//! The container this repo builds in has no registry access, so the
+//! handful of third-party crates are vendored as API-compatible stubs
+//! (see `Cargo.lock`'s `0.x.99` versions). This stub generates inputs
+//! from a per-test deterministic RNG; it does not shrink failing cases
+//! (a failure report prints the generated arguments instead).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Map, Strategy, Union};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one test function per item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+}
+
+/// Soft assertion inside a [`proptest!`] body: fails the current case
+/// with a message instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Soft equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Soft inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `left != right`\n  both: {:?}",
+            l
+        );
+    }};
+}
+
+/// Choose uniformly among several strategies producing the same value
+/// type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $($crate::Strategy::boxed($strat)),+
+        ])
+    };
+}

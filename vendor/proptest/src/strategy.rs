@@ -1,0 +1,373 @@
+//! Strategies: deterministic value generators composable with
+//! `prop_map`, unions and collections.
+
+use crate::test_runner::TestRng;
+
+/// A generator of values for property tests.
+///
+/// Unlike real proptest there is no value tree / shrinking; `generate`
+/// draws one value from the strategy's distribution.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among several strategies of the same value type
+/// (built by the `prop_oneof!` macro).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for an [`Arbitrary`] type.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Mix uniform draws with boundary values, which real
+                // proptest's binary-search shrinking would otherwise
+                // surface.
+                match rng.gen_range(0u32..10) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Bias toward ASCII (the interesting cases for a DBMS), but
+        // exercise the full scalar-value range too.
+        match rng.gen_range(0u32..4) {
+            0..=2 => rng.gen_range(0x20u32..0x7F) as u8 as char,
+            _ => loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10_FFFF)) {
+                    break c;
+                }
+            },
+        }
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+macro_rules! impl_strategy_for_int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_ranges!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+/// String literals act as (simplified) regex strategies generating
+/// matching strings. Supported shape: a single atom — `.` or a
+/// character class `[a-z...]` — followed by a `{min,max}` repetition;
+/// anything else generates the literal pattern itself.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_simple_regex(self) {
+            Some((atom, min, max)) => {
+                let len = rng.gen_range(min..=max);
+                (0..len).map(|_| atom.sample(rng)).collect()
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+/// One regex atom: the set of characters it can produce.
+enum Atom {
+    /// `.` — any character except a line break.
+    Dot,
+    /// `[...]` — an explicit set of ranges/characters.
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Dot => {
+                // Mostly printable ASCII, occasionally further afield —
+                // never a newline, matching `.` semantics.
+                match rng.gen_range(0u32..8) {
+                    0..=5 => rng.gen_range(0x20u32..0x7F) as u8 as char,
+                    6 => '\t',
+                    _ => loop {
+                        let c = match char::from_u32(rng.gen_range(0x80u32..=0x2FFF)) {
+                            Some(c) => c,
+                            None => continue,
+                        };
+                        if c != '\n' && c != '\r' {
+                            break c;
+                        }
+                    },
+                }
+            }
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo)
+            }
+        }
+    }
+}
+
+/// Parse `<atom>{min,max}` where atom is `.` or `[...]`.
+fn parse_simple_regex(pattern: &str) -> Option<(Atom, usize, usize)> {
+    let (atom, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        (Atom::Dot, rest)
+    } else if let Some(body_and_rest) = pattern.strip_prefix('[') {
+        let close = body_and_rest.find(']')?;
+        let body = &body_and_rest[..close];
+        let mut ranges = Vec::new();
+        let chars: Vec<char> = body.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                ranges.push((chars[i], chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((chars[i], chars[i]));
+                i += 1;
+            }
+        }
+        if ranges.is_empty() {
+            return None;
+        }
+        (Atom::Class(ranges), &body_and_rest[close + 1..])
+    } else {
+        return None;
+    };
+
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min_s, max_s) = counts.split_once(',')?;
+    let min: usize = min_s.trim().parse().ok()?;
+    let max: usize = max_s.trim().parse().ok()?;
+    (min <= max).then_some((atom, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = (1i64..=50).generate(&mut r);
+            assert!((1..=50).contains(&v));
+            let f = (0.25f64..0.5).generate(&mut r);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_just() {
+        let mut r = rng();
+        let s = (1i64..=3).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            assert!([10, 20, 30].contains(&s.generate(&mut r)));
+        }
+        assert_eq!(Just("x").generate(&mut r), "x");
+    }
+
+    #[test]
+    fn regex_dot_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = ".{0,120}".generate(&mut r);
+            assert!(s.chars().count() <= 120);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn regex_class_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[ -~]{0,40}".generate(&mut r);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn non_regex_literal_passthrough() {
+        let mut r = rng();
+        assert_eq!("select".generate(&mut r), "select");
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1i64).boxed(), Just(2i64).boxed()]);
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            seen[(u.generate(&mut r) - 1) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn arbitrary_hits_boundaries() {
+        let mut r = rng();
+        let mut saw_extreme = false;
+        for _ in 0..200 {
+            let v = i64::arbitrary(&mut r);
+            if v == i64::MAX || v == i64::MIN || v == 0 {
+                saw_extreme = true;
+            }
+        }
+        assert!(saw_extreme);
+    }
+}

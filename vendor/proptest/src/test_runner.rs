@@ -1,0 +1,108 @@
+//! Test-runner plumbing: configuration, the per-test deterministic RNG,
+//! and the soft-failure error type.
+
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A soft test-case failure (produced by `prop_assert!` and friends).
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic RNG strategies draw from. Seeded from the test's
+/// fully-qualified name so every test gets a distinct but reproducible
+/// stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::StdRng,
+}
+
+impl TestRng {
+    /// RNG seeded from `name` (FNV-1a over the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in name.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: rand::StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from an integer range.
+    pub fn gen_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+        use rand::Rng;
+        self.inner.gen_range(range)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::deterministic("x::y");
+        let mut b = TestRng::deterministic("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::deterministic("x::z");
+        assert_ne!(TestRng::deterministic("x::y").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_in_range() {
+        let mut r = TestRng::deterministic("unit");
+        for _ in 0..1000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}
