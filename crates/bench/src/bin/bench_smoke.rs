@@ -1,0 +1,140 @@
+//! `bench_smoke` — the CI perf-trajectory recorder.
+//!
+//! Measures the morsel-parallel executor's wall-clock scaling on TPC-H
+//! Q1/Q5/Q6 (memory engine), verifies the merged parallel ledger is
+//! bit-identical to serial execution at every worker count, and writes
+//! the medians + speedups as JSON for the workflow artifact:
+//!
+//! ```text
+//! cargo run -p eco-bench --bin bench_smoke --release [-- <out.json>]
+//! ```
+//!
+//! Defaults to `BENCH_parallel_scaling.json` in the current directory
+//! (CI runs it from the repo root). Exits non-zero if any ledger or
+//! row-identity check fails, so the smoke job guards correctness, not
+//! just timing.
+
+use std::time::{Duration, Instant};
+
+use eco_bench::bench_db_memory;
+use eco_core::server::EcoDb;
+use eco_query::context::ExecCtx;
+use eco_query::exec::{execute, execute_parallel};
+use eco_query::ops::BoxedOp;
+use eco_query::plans;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SAMPLES: usize = 7;
+
+type PlanFn = fn(&EcoDb) -> BoxedOp;
+
+fn q1(db: &EcoDb) -> BoxedOp {
+    plans::q1_plan(db.catalog(), 90)
+}
+
+fn q5(db: &EcoDb) -> BoxedOp {
+    plans::q5_plan(db.catalog(), &eco_tpch::Q5Params::new("ASIA", 1994))
+}
+
+fn q6(db: &EcoDb) -> BoxedOp {
+    plans::q6_plan(db.catalog(), 1994, 6, 24)
+}
+
+const QUERIES: [(&str, PlanFn); 3] = [("q1", q1), ("q5", q5), ("q6", q6)];
+
+fn median_ns(mut f: impl FnMut(), samples: usize) -> u128 {
+    f(); // warm-up
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2].as_nanos()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel_scaling.json".to_string());
+    let host_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let db = bench_db_memory();
+    let mut failures = 0usize;
+    let mut query_blobs = Vec::new();
+
+    for (name, plan_fn) in QUERIES {
+        // Serial reference for identity checks.
+        let mut sctx = ExecCtx::new();
+        let serial_rows = execute(plan_fn(&db).as_mut(), &mut sctx);
+
+        let base_ns = median_ns(
+            || {
+                let mut plan = plan_fn(&db);
+                let mut ctx = ExecCtx::new();
+                std::hint::black_box(execute_parallel(plan.as_mut(), &mut ctx, 1).len());
+            },
+            SAMPLES,
+        );
+
+        let mut worker_blobs = Vec::new();
+        for workers in WORKER_COUNTS {
+            // Identity check at this worker count.
+            let mut pctx = ExecCtx::new();
+            let rows = execute_parallel(plan_fn(&db).as_mut(), &mut pctx, workers);
+            let ledger_identical = rows == serial_rows
+                && pctx.cpu == sctx.cpu
+                && pctx.mem_stream_bytes == sctx.mem_stream_bytes
+                && pctx.mem_random_accesses == sctx.mem_random_accesses
+                && pctx.disk == sctx.disk;
+            if !ledger_identical {
+                eprintln!("FAIL: {name} at {workers} workers diverged from serial");
+                failures += 1;
+            }
+
+            let ns = if workers == 1 {
+                base_ns
+            } else {
+                median_ns(
+                    || {
+                        let mut plan = plan_fn(&db);
+                        let mut ctx = ExecCtx::new();
+                        std::hint::black_box(
+                            execute_parallel(plan.as_mut(), &mut ctx, workers).len(),
+                        );
+                    },
+                    SAMPLES,
+                )
+            };
+            let speedup = base_ns as f64 / ns as f64;
+            println!(
+                "{name} workers={workers}: median {:.3} ms, speedup {speedup:.2}x, ledger_identical={ledger_identical}",
+                ns as f64 / 1e6
+            );
+            worker_blobs.push(format!(
+                "{{\"workers\":{workers},\"median_ns\":{ns},\"speedup\":{speedup:.4},\"ledger_identical\":{ledger_identical}}}"
+            ));
+        }
+        query_blobs.push(format!("\"{name}\":[{}]", worker_blobs.join(",")));
+    }
+
+    let json = format!(
+        "{{\"bench\":\"exec_parallel_scaling\",\"scale\":{},\"host_parallelism\":{host_workers},\"samples\":{SAMPLES},\"queries\":{{{}}}}}\n",
+        eco_bench::BENCH_SCALE,
+        query_blobs.join(",")
+    );
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {out_path}");
+
+    if failures > 0 {
+        eprintln!("{failures} ledger-identity check(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -24,6 +24,7 @@ fn main() {
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
             "table1", "fig1", "fig2", "fig3", "fig4", "warmcold", "fig5", "fig6", "openergy",
+            "parallel",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -65,8 +66,12 @@ fn main() {
                 "{}",
                 exp::operator_energy_report(&exp::operator_energy(scale))
             ),
+            "parallel" => println!(
+                "{}",
+                exp::parallel_scaling_report(&exp::parallel_scaling(scale))
+            ),
             other => eprintln!(
-                "unknown experiment {other:?} (try: table1 fig1..fig6 warmcold openergy all)"
+                "unknown experiment {other:?} (try: table1 fig1..fig6 warmcold openergy parallel all)"
             ),
         }
     }

@@ -463,6 +463,104 @@ pub fn fig6_report(outcomes: &[QedOutcome]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel scaling (extension; ROADMAP's production-scale axis): the
+// morsel-driven executor across 1..8 simulated cores.
+// ---------------------------------------------------------------------------
+
+/// One core count's measured outcome for the Q5 PVC workload.
+#[derive(Debug, Clone)]
+pub struct ParallelScalingRow {
+    /// Worker/core count.
+    pub workers: usize,
+    /// Simulated makespan, seconds.
+    pub elapsed_s: f64,
+    /// Makespan speedup vs 1 worker.
+    pub speedup: f64,
+    /// Total CPU joules (all cores, incl. idle tails).
+    pub cpu_joules: f64,
+    /// Wall joules through the shared PSU.
+    pub wall_joules: f64,
+    /// Whether the merged parallel ledger is bit-identical to serial.
+    pub ledger_identical: bool,
+}
+
+/// The parallel-scaling experiment: the ten-query Q5 workload on the
+/// memory-engine profile at stock settings, across 1/2/4/8 cores. The
+/// merged energy ledger is asserted bit-identical to serial execution
+/// at every core count — the property that keeps every other figure in
+/// this file reproducible on parallel hardware.
+pub fn parallel_scaling(scale: f64) -> Vec<ParallelScalingRow> {
+    let db = EcoDb::tpch(EngineProfile::MemoryEngine, scale);
+    let (_, serial_trace) = db.trace_q5_workload();
+    let totals = |traces: &[eco_simhw::trace::WorkTrace]| {
+        let mut cpu = eco_simhw::trace::CpuWork::new();
+        let mut disk = eco_simhw::trace::DiskWork::none();
+        let mut stream = 0u64;
+        let mut random = 0u64;
+        for t in traces {
+            cpu.merge(&t.total_cpu());
+            disk.merge(&t.total_disk());
+            stream += t.total_mem_stream_bytes();
+            random += t
+                .phases()
+                .iter()
+                .map(|p| p.mem_random_accesses)
+                .sum::<u64>();
+        }
+        (cpu, disk, stream, random)
+    };
+    let serial_totals = totals(std::slice::from_ref(&serial_trace));
+
+    let mut base = 0.0;
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&workers| {
+            let run = db.run_q5_workload_cores(workers, MachineConfig::stock());
+            if workers == 1 {
+                base = run.measurement.elapsed_s;
+            }
+            ParallelScalingRow {
+                workers,
+                elapsed_s: run.measurement.elapsed_s,
+                speedup: base / run.measurement.elapsed_s,
+                cpu_joules: run.measurement.cpu_joules,
+                wall_joules: run.measurement.wall_joules,
+                ledger_identical: totals(&run.core_traces) == serial_totals,
+            }
+        })
+        .collect()
+}
+
+/// Format the parallel-scaling study.
+pub fn parallel_scaling_report(rows: &[ParallelScalingRow]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workers.to_string(),
+                format!("{:.4}", r.elapsed_s),
+                format!("{:.2}x", r.speedup),
+                format!("{:.2}", r.cpu_joules),
+                format!("{:.2}", r.wall_joules),
+                r.ledger_identical.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Parallel scaling: Q5 workload, morsel-driven, per-core DVFS ledgers",
+        &[
+            "cores",
+            "makespan s",
+            "speedup",
+            "CPU J",
+            "wall J",
+            "ledger==serial",
+        ],
+        &table,
+    )
+}
+
+// ---------------------------------------------------------------------------
 // Operator-level energy (extension; paper §2: "rethinking join
 // algorithms in this context")
 // ---------------------------------------------------------------------------
@@ -698,6 +796,28 @@ mod tests {
             rows[1].cpu_joules
         );
         assert!(!operator_energy_report(&rows).is_empty());
+    }
+
+    #[test]
+    fn parallel_scaling_is_near_linear_with_identical_ledgers() {
+        let rows = parallel_scaling(SCALE);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.ledger_identical,
+                "cores={}: merged ledger must equal serial",
+                r.workers
+            );
+        }
+        // Simulated makespan scales near-linearly on the CPU-bound
+        // profile (the client gap on core 0 bounds perfect scaling).
+        let s4 = rows.iter().find(|r| r.workers == 4).unwrap().speedup;
+        assert!(s4 > 2.0, "4-core simulated speedup {s4}");
+        // More cores never cost makespan.
+        for w in rows.windows(2) {
+            assert!(w[1].elapsed_s <= w[0].elapsed_s * 1.0001);
+        }
+        assert!(!parallel_scaling_report(&rows).is_empty());
     }
 
     #[test]

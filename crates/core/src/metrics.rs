@@ -8,6 +8,7 @@
 //! percentage of energy than they give up in response time.
 
 use eco_simhw::machine::{Machine, MachineConfig, Measurement};
+use eco_simhw::multicore::MultiCoreMeasurement;
 
 /// Energy-Delay Product: `joules × seconds`. Lower is better.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
@@ -47,6 +48,23 @@ impl OperatingPoint {
         label: impl Into<String>,
         config: MachineConfig,
         m: &Measurement,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            config,
+            seconds: m.elapsed_s,
+            cpu_joules: m.cpu_joules,
+            wall_joules: m.wall_joules,
+        }
+    }
+
+    /// Build from a multi-core measurement (cores axis: the same
+    /// ratios/EDP algebra applies to the barrier makespan and summed
+    /// per-core energy).
+    pub fn from_multicore(
+        label: impl Into<String>,
+        config: MachineConfig,
+        m: &MultiCoreMeasurement,
     ) -> Self {
         Self {
             label: label.into(),

@@ -9,6 +9,7 @@
 
 use eco_simhw::cpu::{CpuConfig, VoltageSetting};
 use eco_simhw::machine::{Machine, MachineConfig};
+use eco_simhw::multicore::MultiCoreMachine;
 use eco_simhw::trace::WorkTrace;
 
 use crate::metrics::OperatingPoint;
@@ -86,6 +87,51 @@ impl PvcSweep {
     /// The paper's grid: {5, 10, 15 %} × {small, medium}.
     pub fn paper_grid(machine: &Machine, trace: &WorkTrace) -> Self {
         Self::run(machine, trace, &[0.05, 0.10, 0.15], &PAPER_VOLTAGES)
+    }
+
+    /// The cores axis: sweep the same grid over *per-core* traces from
+    /// a morsel-parallel run, priced on a [`MultiCoreMachine`] (every
+    /// core shares the FSB underclock, as on real hardware). Because
+    /// the merged parallel ledger is bit-identical to serial execution,
+    /// the energy side of each point is the multi-core pricing of
+    /// exactly the same work — the sweep isolates the effect of the
+    /// operating point and the core count, never of execution noise.
+    pub fn run_cores(
+        mc: &MultiCoreMachine,
+        core_traces: &[WorkTrace],
+        underclocks: &[f64],
+        voltages: &[VoltageSetting],
+    ) -> Self {
+        let stock_cfg = MachineConfig::stock();
+        let stock_m = mc.measure_uniform(core_traces, &stock_cfg);
+        let stock = OperatingPoint::from_multicore("stock", stock_cfg, &stock_m);
+
+        let mut points = Vec::new();
+        for &v in voltages {
+            for &u in underclocks {
+                if u == 0.0 && v == VoltageSetting::Stock {
+                    continue;
+                }
+                let cfg = MachineConfig::with_cpu(CpuConfig::underclocked(u, v));
+                let m = mc.measure_uniform(core_traces, &cfg);
+                let point = OperatingPoint::from_multicore(cfg.cpu.label(), cfg, &m);
+                points.push(PvcSweepPoint {
+                    underclock: u,
+                    voltage: v,
+                    energy_ratio: point.energy_ratio(&stock),
+                    time_ratio: point.time_ratio(&stock),
+                    edp_ratio: point.edp_ratio(&stock),
+                    wall_energy_ratio: point.wall_energy_ratio(&stock),
+                    point,
+                });
+            }
+        }
+        Self { stock, points }
+    }
+
+    /// The paper's grid on the cores axis.
+    pub fn paper_grid_cores(mc: &MultiCoreMachine, core_traces: &[WorkTrace]) -> Self {
+        Self::run_cores(mc, core_traces, &[0.05, 0.10, 0.15], &PAPER_VOLTAGES)
     }
 
     /// Points for one voltage setting, ordered by underclock.
@@ -232,6 +278,36 @@ mod tests {
         assert!(r5 < r10 && r10 < r15);
         // And the downgrade makes all of them beat stock.
         assert!(r5 < 1.0);
+    }
+
+    #[test]
+    fn cores_sweep_keeps_paper_shape_and_scales_time() {
+        // The PVC tradeoff survives the cores axis: same grid shape,
+        // with the multi-core makespan well under the single-core time.
+        let machine = Machine::paper_sut();
+        let trace = workload_trace();
+        let serial = PvcSweep::paper_grid(&machine, &trace);
+
+        // Split the workload's execute phases round-robin across cores.
+        let cores = 4;
+        let mut per_core: Vec<WorkTrace> = (0..cores).map(|_| WorkTrace::new()).collect();
+        for (i, p) in trace.phases().iter().enumerate() {
+            per_core[i % cores].push(p.clone());
+        }
+        let mc = eco_simhw::multicore::MultiCoreMachine { machine, cores };
+        let sweep = PvcSweep::run_cores(&mc, &per_core, &[0.05, 0.10, 0.15], &PAPER_VOLTAGES);
+        assert_eq!(sweep.points.len(), 6);
+        assert!(
+            sweep.stock.seconds < 0.6 * serial.stock.seconds,
+            "parallel makespan"
+        );
+        for p in &sweep.points {
+            assert!(p.energy_ratio > 0.0 && p.energy_ratio < 1.0, "{p:?}");
+            assert!(p.time_ratio > 1.0, "{p:?}");
+        }
+        // 5% underclock still EDP-optimal on the grid at 4 cores.
+        let best = sweep.best_edp().expect("a winning point");
+        assert!((best.underclock - 0.05).abs() < 1e-9);
     }
 
     #[test]

@@ -18,11 +18,12 @@
 //! remain meaningful across scale factors.
 
 use eco_query::context::ExecCtx;
-use eco_query::exec::execute;
+use eco_query::exec::{execute, execute_parallel};
 use eco_query::mqo::{split_results, MergedSelection};
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
 use eco_simhw::machine::{Machine, MachineConfig, Measurement};
+use eco_simhw::multicore::{MultiCoreMachine, MultiCoreMeasurement};
 use eco_simhw::trace::{OpClass, Phase, PhaseKind, WorkTrace};
 use eco_storage::{load_tpch, Catalog, EngineKind, Tuple};
 use eco_tpch::{q5_workload, Q5Params, QedQuery, TpchDb, TpchGenerator};
@@ -114,6 +115,20 @@ pub struct QueryRun {
     pub trace: WorkTrace,
     /// The measurement under the requested configuration.
     pub measurement: Measurement,
+}
+
+/// Result of running one statement (or workload) morsel-parallel
+/// across cores.
+#[derive(Debug, Clone)]
+pub struct ParallelQueryRun {
+    /// Result rows — identical to the serial rows.
+    pub rows: Vec<Tuple>,
+    /// One work trace per core (reusable: re-price under other
+    /// configs or core counts via [`MultiCoreMachine::measure`]).
+    /// Their merged ledger is bit-identical to the serial trace.
+    pub core_traces: Vec<WorkTrace>,
+    /// The multi-core measurement under the requested configuration.
+    pub measurement: MultiCoreMeasurement,
 }
 
 /// The ecoDB server: a catalog + machine + profile.
@@ -218,6 +233,196 @@ impl EcoDb {
         let busy = self.machine.stock_busy_seconds(exec_phase);
         let gap_ns = (busy * self.profile.gap_fraction() * 1e9).round() as u64;
         Phase::client_gap(gap_ns.max(1))
+    }
+
+    /// A multi-core view of this database's machine.
+    pub fn multicore(&self, cores: usize) -> MultiCoreMachine {
+        MultiCoreMachine {
+            machine: self.machine.clone(),
+            cores,
+        }
+    }
+
+    /// Execute a plan morsel-parallel as one client statement,
+    /// returning per-core traces. Core 0 (the coordinator) carries the
+    /// client round-trip gap — sized from the statement's *total* work,
+    /// since the round trip does not shrink with intra-query
+    /// parallelism — plus all serial work; cores 1.. carry their
+    /// workers' shares. The merged ledger equals the serial trace's.
+    fn trace_statement_cores(
+        &self,
+        kind: StatementKind,
+        mut plan: BoxedOp,
+        label: &str,
+        workers: usize,
+    ) -> (Vec<Tuple>, Vec<WorkTrace>) {
+        assert!(workers >= 1, "need at least one worker");
+        let mut ctx = ExecCtx::new().with_workers(workers);
+        ctx.charge(OpClass::Parse, parse_tokens(kind));
+        let rows = execute_parallel(plan.as_mut(), &mut ctx, workers);
+        let phases = ctx.take_core_phases(workers, label);
+        (rows, self.assemble_core_traces(phases, None))
+    }
+
+    /// Turn per-core execute phases into per-core traces: the client
+    /// round-trip gap — sized from the statement's *total* stock busy
+    /// time, since the round trip does not shrink with intra-query
+    /// parallelism — lands on core 0, as does the optional trailing
+    /// client phase (e.g. the QED result split).
+    fn assemble_core_traces(
+        &self,
+        phases: Vec<Phase>,
+        core0_tail: Option<Phase>,
+    ) -> Vec<WorkTrace> {
+        let mut combined = Phase::execute("combined");
+        for p in &phases {
+            combined.cpu.merge(&p.cpu);
+            combined.mem_stream_bytes += p.mem_stream_bytes;
+            combined.mem_random_accesses += p.mem_random_accesses;
+            combined.disk.merge(&p.disk);
+        }
+        let gap = self.gap_before(&combined);
+
+        phases
+            .into_iter()
+            .enumerate()
+            .map(|(core, phase)| {
+                let mut t = WorkTrace::new();
+                if core == 0 {
+                    t.push(gap.clone());
+                }
+                t.push(phase);
+                if core == 0 {
+                    if let Some(tail) = &core0_tail {
+                        t.push(tail.clone());
+                    }
+                }
+                t
+            })
+            .collect()
+    }
+
+    /// Trace one TPC-H Q5 instance across `workers` cores.
+    pub fn trace_q5_cores(
+        &self,
+        params: &Q5Params,
+        workers: usize,
+    ) -> (Vec<Tuple>, Vec<WorkTrace>) {
+        self.trace_statement_cores(
+            StatementKind::Q5,
+            plans::q5_plan(&self.catalog, params),
+            &params.label(),
+            workers,
+        )
+    }
+
+    /// Trace the ten-query Q5 PVC workload across `workers` cores
+    /// (per-core traces concatenated statement by statement).
+    pub fn trace_q5_workload_cores(&self, workers: usize) -> (Vec<Vec<Tuple>>, Vec<WorkTrace>) {
+        let mut all_rows = Vec::with_capacity(10);
+        let mut core_traces: Vec<WorkTrace> = (0..workers).map(|_| WorkTrace::new()).collect();
+        for params in q5_workload() {
+            let (rows, traces) = self.trace_q5_cores(&params, workers);
+            all_rows.push(rows);
+            for (acc, t) in core_traces.iter_mut().zip(traces) {
+                acc.extend(t);
+            }
+        }
+        (all_rows, core_traces)
+    }
+
+    /// Trace TPC-H Q6 across `workers` cores.
+    pub fn trace_q6_cores(
+        &self,
+        year: i32,
+        discount_pct: i64,
+        max_qty: i64,
+        workers: usize,
+    ) -> (Vec<Tuple>, Vec<WorkTrace>) {
+        self.trace_statement_cores(
+            StatementKind::Q6,
+            plans::q6_plan(&self.catalog, year, discount_pct, max_qty),
+            "Q6",
+            workers,
+        )
+    }
+
+    /// Trace a single QED selection across `workers` cores.
+    pub fn trace_selection_cores(
+        &self,
+        q: &QedQuery,
+        workers: usize,
+    ) -> (Vec<Tuple>, Vec<WorkTrace>) {
+        self.trace_statement_cores(
+            StatementKind::Selection,
+            plans::selection_plan(&self.catalog, q),
+            &q.label(),
+            workers,
+        )
+    }
+
+    /// Trace a merged QED batch across `workers` cores: the disjunctive
+    /// scan runs morsel-parallel; the client-side split (and the round
+    /// trip) stay on core 0.
+    pub fn trace_merged_selection_cores(
+        &self,
+        queries: &[QedQuery],
+        short_circuit: bool,
+        workers: usize,
+    ) -> (Vec<Vec<Tuple>>, Vec<WorkTrace>) {
+        let mut ctx = if short_circuit {
+            ExecCtx::new()
+        } else {
+            ExecCtx::exhaustive()
+        };
+        ctx.charge(
+            OpClass::Parse,
+            parse_tokens(StatementKind::MergedSelection(queries.len())),
+        );
+        let mut merged = MergedSelection::new(&self.catalog, queries);
+        let tagged = merged.run_parallel(&mut ctx, workers);
+        let label = format!("qed×{}", queries.len());
+        let phases = ctx.take_core_phases(workers, &label);
+
+        // Application-side split, on the client (core 0).
+        let mut client = ExecCtx::new();
+        let split = split_results(tagged, queries.len(), &mut client);
+        let split_phase = client.take_phase(PhaseKind::ClientCompute, "qed split");
+
+        (split, self.assemble_core_traces(phases, Some(split_phase)))
+    }
+
+    /// Run one Q6 morsel-parallel under a per-core configuration.
+    pub fn run_q6_cores(
+        &self,
+        year: i32,
+        discount_pct: i64,
+        max_qty: i64,
+        workers: usize,
+        config: MachineConfig,
+    ) -> ParallelQueryRun {
+        let (rows, core_traces) = self.trace_q6_cores(year, discount_pct, max_qty, workers);
+        let measurement = self
+            .multicore(workers)
+            .measure_uniform(&core_traces, &config);
+        ParallelQueryRun {
+            rows,
+            core_traces,
+            measurement,
+        }
+    }
+
+    /// Run the ten-query Q5 PVC workload morsel-parallel.
+    pub fn run_q5_workload_cores(&self, workers: usize, config: MachineConfig) -> ParallelQueryRun {
+        let (rows, core_traces) = self.trace_q5_workload_cores(workers);
+        let measurement = self
+            .multicore(workers)
+            .measure_uniform(&core_traces, &config);
+        ParallelQueryRun {
+            rows: rows.into_iter().flatten().collect(),
+            core_traces,
+            measurement,
+        }
     }
 
     /// Trace one TPC-H Q5 instance.

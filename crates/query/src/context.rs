@@ -7,6 +7,23 @@ use eco_simhw::trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind};
 /// inside L2 while amortizing per-call dispatch to noise.
 pub const DEFAULT_BATCH_SIZE: usize = 1024;
 
+/// Default number of input tuples per morsel handed to a parallel
+/// worker. Big enough to amortize the per-morsel pipeline setup, small
+/// enough that a scan splits into many more morsels than workers (the
+/// load-balancing granularity of morsel-driven execution).
+pub const DEFAULT_MORSEL_ROWS: usize = 4096;
+
+/// Per-core share of the charges accumulated by parallel sections —
+/// used to split a merged ledger back into per-core [`Phase`]s for the
+/// multi-core machine model.
+#[derive(Debug, Clone, Default)]
+struct CoreCharges {
+    cpu: CpuWork,
+    mem_stream_bytes: u64,
+    mem_random_accesses: u64,
+    disk: DiskWork,
+}
+
 /// Per-execution accounting state, threaded through every operator call.
 #[derive(Debug, Clone)]
 pub struct ExecCtx {
@@ -30,6 +47,26 @@ pub struct ExecCtx {
     /// how work is chunked, never how much work is charged); it is a
     /// pure throughput knob.
     pub batch_size: usize,
+    /// Worker threads available to parallel sections (1 = serial). Like
+    /// `batch_size`, this is a pure throughput knob: the merged ledger
+    /// is identical at every worker count (`tests/integration_parallel.rs`).
+    pub workers: usize,
+    /// Target input tuples per morsel for parallel scans. Leaf
+    /// operators may align this upward (disk scans round to whole
+    /// extents so parallel I/O charges stay identical to serial).
+    pub morsel_rows: usize,
+    /// Streaming-exactness depth: non-zero while opening the subtree of
+    /// an early-terminating operator ([`crate::ops::Limit`]). Parallel
+    /// sections that would pre-materialize a *streaming* child (and so
+    /// consume more of it than scalar execution would) stay serial while
+    /// this is set; blocking operators clear it for their own subtree
+    /// since they drain their input fully in any mode.
+    pub streaming_exact: u32,
+    /// Per-core charge shares recorded by parallel sections (index =
+    /// worker id). Charges made directly on this context (the
+    /// coordinator's serial work) are attributed to core 0 at
+    /// [`Self::take_core_phases`] time.
+    core_charges: Vec<CoreCharges>,
 }
 
 impl Default for ExecCtx {
@@ -42,6 +79,10 @@ impl Default for ExecCtx {
             short_circuit_or: false,
             pred_evals: 0,
             batch_size: DEFAULT_BATCH_SIZE,
+            workers: 1,
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            streaming_exact: 0,
+            core_charges: Vec::new(),
         }
     }
 }
@@ -68,6 +109,54 @@ impl ExecCtx {
         assert!(batch_size > 0, "batch size must be positive");
         self.batch_size = batch_size;
         self
+    }
+
+    /// Same context with a different worker count (builder style).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be positive");
+        self.workers = workers;
+        self
+    }
+
+    /// Same context with a different morsel size (builder style).
+    pub fn with_morsel_rows(mut self, morsel_rows: usize) -> Self {
+        assert!(morsel_rows > 0, "morsel size must be positive");
+        self.morsel_rows = morsel_rows;
+        self
+    }
+
+    /// An empty ledger carrying this context's evaluation knobs — what
+    /// each parallel worker charges into. Workers never re-parallelize
+    /// (`workers = 1`): nesting would oversubscribe the machine without
+    /// changing any ledger.
+    pub fn fork(&self) -> ExecCtx {
+        ExecCtx {
+            short_circuit_or: self.short_circuit_or,
+            batch_size: self.batch_size,
+            morsel_rows: self.morsel_rows,
+            ..ExecCtx::default()
+        }
+    }
+
+    /// Merge a worker's ledger into this one, attributing its charges
+    /// to core `worker` for [`Self::take_core_phases`]. Addition is
+    /// commutative, so the merged totals are identical to serial
+    /// execution regardless of how morsels were scheduled.
+    pub fn merge_worker(&mut self, worker: usize, other: &ExecCtx) {
+        self.cpu.merge(&other.cpu);
+        self.mem_stream_bytes += other.mem_stream_bytes;
+        self.mem_random_accesses += other.mem_random_accesses;
+        self.disk.merge(&other.disk);
+        self.pred_evals += other.pred_evals;
+        if self.core_charges.len() <= worker {
+            self.core_charges
+                .resize_with(worker + 1, CoreCharges::default);
+        }
+        let c = &mut self.core_charges[worker];
+        c.cpu.merge(&other.cpu);
+        c.mem_stream_bytes += other.mem_stream_bytes;
+        c.mem_random_accesses += other.mem_random_accesses;
+        c.disk.merge(&other.disk);
     }
 
     /// Charge `n` operations of `class`.
@@ -106,7 +195,64 @@ impl ExecCtx {
         phase.mem_random_accesses = std::mem::take(&mut self.mem_random_accesses);
         phase.disk = std::mem::take(&mut self.disk);
         self.pred_evals = 0;
+        self.core_charges.clear();
         phase
+    }
+
+    /// Split the accumulated ledger into one execute [`Phase`] per core
+    /// and drain the context. Core `w`'s phase holds the charges worker
+    /// `w` made inside parallel sections; everything charged serially
+    /// (the coordinator: parse, blocking-operator merges, result
+    /// emission, non-parallelized subtrees) lands on core 0. The phases
+    /// sum to exactly what [`Self::take_phase`] would have returned.
+    pub fn take_core_phases(&mut self, cores: usize, label: &str) -> Vec<Phase> {
+        assert!(cores > 0, "need at least one core");
+        let mut remainder_cpu = std::mem::take(&mut self.cpu);
+        let mut remainder_stream = std::mem::take(&mut self.mem_stream_bytes);
+        let mut remainder_random = std::mem::take(&mut self.mem_random_accesses);
+        let mut remainder_disk = std::mem::take(&mut self.disk);
+        let core_charges = std::mem::take(&mut self.core_charges);
+        self.pred_evals = 0;
+        assert!(
+            core_charges.len() <= cores,
+            "recorded charges for {} workers but asked for {cores} core phases",
+            core_charges.len(),
+        );
+
+        // Peel each worker's share off the total; what remains is the
+        // coordinator's serial work. Checked like CpuWork::subtract —
+        // a worker share exceeding the total means merge_worker was
+        // misused, and wrapping would silently price exabytes of DRAM
+        // traffic instead of failing.
+        for c in &core_charges {
+            remainder_cpu.subtract(&c.cpu);
+            remainder_stream = remainder_stream
+                .checked_sub(c.mem_stream_bytes)
+                .expect("subtracting more stream bytes than were recorded");
+            remainder_random = remainder_random
+                .checked_sub(c.mem_random_accesses)
+                .expect("subtracting more random accesses than were recorded");
+            remainder_disk.subtract(&c.disk);
+        }
+
+        (0..cores)
+            .map(|w| {
+                let mut p = Phase::execute(format!("{label} [core {w}]"));
+                if let Some(c) = core_charges.get(w) {
+                    p.cpu = c.cpu.clone();
+                    p.mem_stream_bytes = c.mem_stream_bytes;
+                    p.mem_random_accesses = c.mem_random_accesses;
+                    p.disk = c.disk;
+                }
+                if w == 0 {
+                    p.cpu.merge(&remainder_cpu);
+                    p.mem_stream_bytes += remainder_stream;
+                    p.mem_random_accesses += remainder_random;
+                    p.disk.merge(&remainder_disk);
+                }
+                p
+            })
+            .collect()
     }
 
     /// True when nothing has been charged yet.
@@ -148,5 +294,71 @@ mod tests {
     fn default_modes() {
         assert!(ExecCtx::new().short_circuit_or);
         assert!(!ExecCtx::exhaustive().short_circuit_or);
+    }
+
+    #[test]
+    fn fork_copies_knobs_but_not_charges() {
+        let mut ctx = ExecCtx::exhaustive()
+            .with_batch_size(7)
+            .with_workers(4)
+            .with_morsel_rows(99);
+        ctx.charge(OpClass::Arith, 5);
+        let f = ctx.fork();
+        assert!(f.is_empty());
+        assert!(!f.short_circuit_or);
+        assert_eq!(f.batch_size, 7);
+        assert_eq!(f.morsel_rows, 99);
+        assert_eq!(f.workers, 1, "workers never nest parallel sections");
+    }
+
+    #[test]
+    fn merge_worker_accumulates_totals() {
+        let mut ctx = ExecCtx::new();
+        ctx.charge(OpClass::Parse, 2);
+        let mut w0 = ctx.fork();
+        w0.charge(OpClass::TupleFetch, 10);
+        w0.charge_mem_bytes(100);
+        let mut w1 = ctx.fork();
+        w1.charge(OpClass::TupleFetch, 20);
+        w1.charge_mem_random(4);
+        w1.pred_evals = 3;
+        ctx.merge_worker(0, &w0);
+        ctx.merge_worker(1, &w1);
+        assert_eq!(ctx.cpu.count(OpClass::TupleFetch), 30);
+        assert_eq!(ctx.cpu.count(OpClass::Parse), 2);
+        assert_eq!(ctx.mem_stream_bytes, 100);
+        assert_eq!(ctx.mem_random_accesses, 4);
+        assert_eq!(ctx.pred_evals, 3);
+    }
+
+    #[test]
+    fn core_phases_partition_the_total_exactly() {
+        let mut ctx = ExecCtx::new();
+        ctx.charge(OpClass::Parse, 7); // coordinator work → core 0
+        let mut w0 = ctx.fork();
+        w0.charge(OpClass::TupleFetch, 10);
+        let mut w1 = ctx.fork();
+        w1.charge(OpClass::TupleFetch, 20);
+        w1.charge_mem_bytes(64);
+        ctx.merge_worker(0, &w0);
+        ctx.merge_worker(1, &w1);
+
+        let mut total = ctx.clone();
+        let total_phase = total.take_phase(PhaseKind::Execute, "t");
+
+        let phases = ctx.take_core_phases(3, "t");
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].cpu.count(OpClass::Parse), 7);
+        assert_eq!(phases[0].cpu.count(OpClass::TupleFetch), 10);
+        assert_eq!(phases[1].cpu.count(OpClass::TupleFetch), 20);
+        assert_eq!(phases[1].mem_stream_bytes, 64);
+        assert!(phases[2].cpu.is_empty(), "unused core is idle");
+        assert!(ctx.is_empty(), "take_core_phases must drain");
+
+        let mut sum = CpuWork::new();
+        for p in &phases {
+            sum.merge(&p.cpu);
+        }
+        assert_eq!(sum, total_phase.cpu, "core phases partition the total");
     }
 }

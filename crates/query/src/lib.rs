@@ -9,7 +9,7 @@
 //!
 //! ## Batch execution
 //!
-//! [`Operator::next_batch`](ops::Operator::next_batch) moves up to
+//! [`ops::Operator::next_batch`] moves up to
 //! [`ExecCtx::batch_size`](context::ExecCtx) tuples (default
 //! [`context::DEFAULT_BATCH_SIZE`] = 1024) per virtual call;
 //! [`exec::execute`] drives plans through it, while
@@ -31,6 +31,24 @@
 //! exec_batch_vs_scalar`) while producing the same rows and the same
 //! joules.
 //!
+//! ## Morsel-driven parallel execution
+//!
+//! [`exec::execute_parallel`] runs a plan across worker threads:
+//! partitionable pipelines split into [`parallel::Morsel`]s (rows for
+//! memory sources, whole disk extents for paged tables), workers run
+//! per-morsel pipeline clones charging private forked ledgers, and
+//! results merge back **in morsel order** — through the
+//! [`ops::Exchange`] / [`ops::GatherMerge`] operators, a partitioned
+//! parallel [`ops::HashJoin`] build, per-morsel partial aggregation in
+//! [`ops::HashAggregate`], and an order-preserving gather below
+//! [`ops::Sort`]. The batch-path invariant extends to parallelism: the
+//! **merged ledger is bit-identical to serial execution at every worker
+//! count** (enforced by `tests/integration_parallel.rs` and the
+//! `parallel_matches_serial` property test), so every figure in the
+//! reproduction is reproducible at any core count while wall-clock time
+//! scales with workers (`cargo bench -p eco-bench --bench
+//! exec_parallel_scaling`).
+//!
 //! The crate also provides:
 //!
 //! * hand-built physical plans for TPC-H Q1/Q3/Q5/Q6 and simple
@@ -47,10 +65,12 @@ pub mod exec;
 pub mod expr;
 pub mod mqo;
 pub mod ops;
+pub mod parallel;
 pub mod plans;
 pub mod sql;
 
 pub use context::ExecCtx;
-pub use exec::{execute, execute_into};
+pub use exec::{execute, execute_into, execute_parallel, execute_parallel_into};
 pub use expr::{AggFunc, ArithOp, CmpOp, Expr};
 pub use ops::Operator;
+pub use parallel::Morsel;

@@ -15,6 +15,7 @@ use eco_tpch::QedQuery;
 use crate::context::ExecCtx;
 use crate::expr::Expr;
 use crate::ops::{BoxedOp, Operator, SeqScan};
+use crate::parallel::Morsel;
 use crate::plans::selection_predicate;
 
 /// Filter a stream against many predicates at once, tagging each output
@@ -122,6 +123,22 @@ impl Operator for MultiFilter {
         self.scratch = input;
         more
     }
+
+    fn morsels(&self, target_rows: usize) -> Option<Vec<Morsel>> {
+        self.child.morsels(target_rows)
+    }
+
+    fn clone_morsel(&self, morsel: &Morsel) -> Option<BoxedOp> {
+        let child = self.child.clone_morsel(morsel)?;
+        Some(Box::new(MultiFilter {
+            child,
+            predicates: self.predicates.clone(),
+            disjoint: self.disjoint,
+            schema: self.schema.clone(),
+            pending: std::collections::VecDeque::new(),
+            scratch: Vec::new(),
+        }))
+    }
 }
 
 /// A merged QED batch over the `lineitem` table.
@@ -154,6 +171,13 @@ impl MergedSelection {
     /// Execute the merged scan, returning tagged rows.
     pub fn run(&mut self, ctx: &mut ExecCtx) -> Vec<Tuple> {
         crate::exec::execute(&mut self.plan, ctx)
+    }
+
+    /// Execute the merged scan morsel-parallel across `workers`
+    /// threads: same tagged rows, bit-identical ledger (the disjunctive
+    /// scan is a partitionable pipeline).
+    pub fn run_parallel(&mut self, ctx: &mut ExecCtx, workers: usize) -> Vec<Tuple> {
+        crate::exec::execute_parallel(&mut self.plan, ctx, workers)
     }
 
     /// Batch size.

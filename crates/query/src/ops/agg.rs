@@ -8,6 +8,7 @@ use eco_storage::{ColumnType, Schema, Tuple, Value};
 use crate::context::ExecCtx;
 use crate::expr::{AggFunc, Expr};
 use crate::ops::{drain_batches, BoxedOp, Operator};
+use crate::parallel::run_morsels;
 
 /// One aggregate output: function, input expression, output name.
 #[derive(Debug, Clone)]
@@ -79,6 +80,51 @@ impl AggState {
         }
     }
 
+    /// Fold another partial state for the same group into this one.
+    /// Merging is free in the energy ledger — like the hash table's own
+    /// bookkeeping, it is not one of the paper's metered op classes —
+    /// so per-morsel partial aggregation merges to exactly the serial
+    /// ledger (every row was already charged where it was absorbed).
+    fn merge(&mut self, other: AggState) {
+        match (self, other) {
+            (AggState::Sum(a), AggState::Sum(b)) => *a += b,
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Min(a), AggState::Min(b)) => {
+                if let Some(v) = b {
+                    let replace = match a {
+                        None => true,
+                        Some(cur) => {
+                            v.partial_cmp_typed(cur).expect("comparable MIN")
+                                == std::cmp::Ordering::Less
+                        }
+                    };
+                    if replace {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (AggState::Max(a), AggState::Max(b)) => {
+                if let Some(v) = b {
+                    let replace = match a {
+                        None => true,
+                        Some(cur) => {
+                            v.partial_cmp_typed(cur).expect("comparable MAX")
+                                == std::cmp::Ordering::Greater
+                        }
+                    };
+                    if replace {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (AggState::Avg { sum, count }, AggState::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            _ => unreachable!("partial states of one aggregate share a variant"),
+        }
+    }
+
     fn finish(self) -> Value {
         match self {
             AggState::Sum(v) | AggState::Count(v) => Value::Int(v),
@@ -101,6 +147,144 @@ enum GroupIndex {
     Multi(HashMap<Vec<Value>, usize>),
 }
 
+/// A grouping hash table: first-seen-ordered accumulators plus the
+/// key → slot index. One instance drives serial aggregation; parallel
+/// workers build one per morsel and the coordinator merges them *in
+/// morsel order*, which reproduces the serial stream's global
+/// first-seen group order exactly.
+struct GroupTable {
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    entries: Vec<(Tuple, Vec<AggState>)>,
+    index: GroupIndex,
+    scratch_key: Vec<Value>,
+}
+
+impl GroupTable {
+    fn new(group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
+        let index = if group_cols.len() == 1 {
+            GroupIndex::Single(HashMap::new())
+        } else {
+            GroupIndex::Multi(HashMap::new())
+        };
+        let scratch_key = Vec::with_capacity(group_cols.len());
+        Self {
+            group_cols,
+            aggs,
+            entries: Vec::new(),
+            index,
+            scratch_key,
+        }
+    }
+
+    /// Slot for `t`'s group key, inserting a fresh accumulator row on
+    /// first sight. Charges nothing (the per-row probe charge is made
+    /// by [`Self::absorb`], batch-aggregated).
+    fn slot(&mut self, t: &Tuple) -> usize {
+        match &mut self.index {
+            GroupIndex::Single(m) => {
+                let key = &t[self.group_cols[0]];
+                match m.get(key) {
+                    Some(&i) => i,
+                    None => {
+                        let i = self.entries.len();
+                        m.insert(key.clone(), i);
+                        self.entries.push((
+                            vec![key.clone()],
+                            self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                        ));
+                        i
+                    }
+                }
+            }
+            GroupIndex::Multi(m) => {
+                self.scratch_key.clear();
+                self.scratch_key
+                    .extend(self.group_cols.iter().map(|&i| t[i].clone()));
+                match m.get(self.scratch_key.as_slice()) {
+                    Some(&i) => i,
+                    None => {
+                        let i = self.entries.len();
+                        let key = std::mem::take(&mut self.scratch_key);
+                        m.insert(key.clone(), i);
+                        self.entries.push((
+                            key,
+                            self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                        ));
+                        i
+                    }
+                }
+            }
+        }
+    }
+
+    /// Absorb one input batch: one probe + one latency-bound access per
+    /// input row, and one accumulator update per (row, aggregate) —
+    /// charged per batch, identical in total to per-row charging, and
+    /// identical wherever the row is absorbed (serial drain or any
+    /// worker's morsel).
+    fn absorb(&mut self, ctx: &mut ExecCtx, batch: &[Tuple]) {
+        let rows = batch.len() as u64;
+        ctx.charge(OpClass::HashProbe, rows);
+        ctx.charge_mem_random(rows);
+        ctx.charge(OpClass::AggUpdate, rows * self.aggs.len() as u64);
+        for t in batch {
+            let slot = self.slot(t);
+            let states = &mut self.entries[slot].1;
+            for (state, spec) in states.iter_mut().zip(&self.aggs) {
+                let v = match spec.func {
+                    AggFunc::Count => None,
+                    _ => Some(spec.input.eval(t, ctx)),
+                };
+                state.update(v);
+            }
+        }
+    }
+
+    /// Slot for an already-extracted group-key tuple (merge path).
+    fn slot_for_key(&mut self, key: Tuple) -> usize {
+        match &mut self.index {
+            GroupIndex::Single(m) => match m.get(&key[0]) {
+                Some(&i) => i,
+                None => {
+                    let i = self.entries.len();
+                    m.insert(key[0].clone(), i);
+                    self.entries.push((
+                        key,
+                        self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    ));
+                    i
+                }
+            },
+            GroupIndex::Multi(m) => match m.get(key.as_slice()) {
+                Some(&i) => i,
+                None => {
+                    let i = self.entries.len();
+                    m.insert(key.clone(), i);
+                    self.entries.push((
+                        key,
+                        self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+                    ));
+                    i
+                }
+            },
+        }
+    }
+
+    /// Merge a partial table built from a later portion of the input
+    /// stream. Free in the ledger (see [`AggState::merge`]); first-seen
+    /// order is preserved because `other`'s first sight of any group it
+    /// shares with `self` came later in stream order.
+    fn merge(&mut self, other: GroupTable) {
+        for (key, states) in other.entries {
+            let slot = self.slot_for_key(key);
+            for (mine, theirs) in self.entries[slot].1.iter_mut().zip(states) {
+                mine.merge(theirs);
+            }
+        }
+    }
+}
+
 /// Hash-based GROUP BY aggregation. With no group columns, produces a
 /// single global row (0 rows in ⇒ 1 output row of zero-counts for
 /// `Sum`/`Count`; `Min`/`Max` over empty input panic by design).
@@ -109,6 +293,13 @@ enum GroupIndex {
 /// per-row charges (`HashProbe`, one random access, one `AggUpdate` per
 /// aggregate) are aggregated per batch and are bit-identical to scalar
 /// execution.
+///
+/// With a parallel context and a partitionable child, `open` runs
+/// morsel-parallel *partial aggregation*: each worker absorbs its
+/// morsels into private `GroupTable`s (charging each row exactly as
+/// the serial drain would), and the coordinator folds the partials
+/// together in morsel order — a ledger-free merge that reproduces both
+/// the serial group values and the serial first-seen output order.
 pub struct HashAggregate {
     child: BoxedOp,
     group_cols: Vec<usize>,
@@ -152,71 +343,51 @@ impl Operator for HashAggregate {
     }
 
     fn open(&mut self, ctx: &mut ExecCtx) {
-        self.child.open(ctx);
-        // First-seen-ordered accumulators plus a key → slot index.
-        let mut entries: Vec<(Tuple, Vec<AggState>)> = Vec::new();
-        let mut index = if self.group_cols.len() == 1 {
-            GroupIndex::Single(HashMap::new())
-        } else {
-            GroupIndex::Multi(HashMap::new())
-        };
-        let mut scratch_key: Vec<Value> = Vec::with_capacity(self.group_cols.len());
-        let mut batch = Vec::new();
-
+        // Aggregation drains its input fully in every mode, so a
+        // surrounding Limit's streaming-exactness constraint does not
+        // apply below it.
+        let saved_exact = ctx.streaming_exact;
+        ctx.streaming_exact = 0;
         let group_cols = &self.group_cols;
         let aggs = &self.aggs;
-        drain_batches(self.child.as_mut(), ctx, &mut batch, |ctx, batch| {
-            // One probe + one latency-bound access per input row, and
-            // one accumulator update per (row, aggregate) — charged per
-            // batch, identical in total to per-row charging.
-            let rows = batch.len() as u64;
-            ctx.charge(OpClass::HashProbe, rows);
-            ctx.charge_mem_random(rows);
-            ctx.charge(OpClass::AggUpdate, rows * aggs.len() as u64);
-            for t in batch.iter() {
-                let slot = match &mut index {
-                    GroupIndex::Single(m) => {
-                        let key = &t[group_cols[0]];
-                        match m.get(key) {
-                            Some(&i) => i,
-                            None => {
-                                let i = entries.len();
-                                m.insert(key.clone(), i);
-                                entries.push((
-                                    vec![key.clone()],
-                                    aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                                ));
-                                i
-                            }
-                        }
-                    }
-                    GroupIndex::Multi(m) => {
-                        scratch_key.clear();
-                        scratch_key.extend(group_cols.iter().map(|&i| t[i].clone()));
-                        match m.get(scratch_key.as_slice()) {
-                            Some(&i) => i,
-                            None => {
-                                let i = entries.len();
-                                let key = std::mem::take(&mut scratch_key);
-                                m.insert(key.clone(), i);
-                                entries.push((
-                                    key,
-                                    aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                                ));
-                                i
-                            }
-                        }
-                    }
-                };
-                for (state, spec) in entries[slot].1.iter_mut().zip(aggs) {
-                    let v = match spec.func {
-                        AggFunc::Count => None,
-                        _ => Some(spec.input.eval(t, ctx)),
-                    };
-                    state.update(v);
+        let partials = run_morsels(self.child.as_ref(), ctx, |wctx, pipe| {
+            let mut part = GroupTable::new(group_cols.clone(), aggs.clone());
+            let mut batch = Vec::new();
+            loop {
+                batch.clear();
+                let more = pipe.next_batch(wctx, &mut batch);
+                if !batch.is_empty() {
+                    part.absorb(wctx, &batch);
+                }
+                if !more {
+                    break;
                 }
             }
+            part
         });
+        ctx.streaming_exact = saved_exact;
+
+        let table = match partials {
+            Some(parts) => {
+                // Fold morsel partials in order: serial first-seen
+                // group order, serial values, no extra charges.
+                let mut table = GroupTable::new(self.group_cols.clone(), self.aggs.clone());
+                for part in parts {
+                    table.merge(part);
+                }
+                table
+            }
+            None => {
+                self.child.open(ctx);
+                let mut table = GroupTable::new(self.group_cols.clone(), self.aggs.clone());
+                let mut batch = Vec::new();
+                drain_batches(self.child.as_mut(), ctx, &mut batch, |ctx, batch| {
+                    table.absorb(ctx, batch);
+                });
+                table
+            }
+        };
+        let entries = table.entries;
 
         if entries.is_empty() && self.group_cols.is_empty() {
             // Global aggregate over empty input.

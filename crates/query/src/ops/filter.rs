@@ -5,6 +5,7 @@ use eco_storage::{Schema, Tuple};
 use crate::context::ExecCtx;
 use crate::expr::Expr;
 use crate::ops::{BoxedOp, Operator};
+use crate::parallel::Morsel;
 
 /// Predicate filter. The expression evaluator itself charges one
 /// `PredEval` per comparison, so selective predicates are cheap and
@@ -63,6 +64,15 @@ impl Operator for Filter {
         }
         out.truncate(write);
         more
+    }
+
+    fn morsels(&self, target_rows: usize) -> Option<Vec<Morsel>> {
+        self.child.morsels(target_rows)
+    }
+
+    fn clone_morsel(&self, morsel: &Morsel) -> Option<BoxedOp> {
+        let child = self.child.clone_morsel(morsel)?;
+        Some(Box::new(Filter::new(child, self.predicate.clone())))
     }
 }
 

@@ -7,6 +7,7 @@ use eco_storage::{tuple_width, Schema, Tuple, Value};
 
 use crate::context::ExecCtx;
 use crate::ops::{drain_batches, BoxedOp, Operator};
+use crate::parallel::run_morsels;
 
 /// The build-side hash table. Single-column keys index the table by a
 /// borrowed [`Value`] directly, so probing never allocates a key
@@ -56,6 +57,26 @@ impl JoinTable {
             }
         }
     }
+
+    /// Absorb a partition table built from a *later* morsel of the
+    /// build stream. Appending each key's row list preserves global
+    /// build-insertion (FIFO) order per key, because every row in
+    /// `other` comes after every row already in `self` in stream order.
+    fn absorb(&mut self, other: JoinTable) {
+        match (self, other) {
+            (JoinTable::Single(a), JoinTable::Single(b)) => {
+                for (k, mut rows) in b {
+                    a.entry(k).or_default().append(&mut rows);
+                }
+            }
+            (JoinTable::Multi(a), JoinTable::Multi(b)) => {
+                for (k, mut rows) in b {
+                    a.entry(k).or_default().append(&mut rows);
+                }
+            }
+            _ => unreachable!("partition tables share the join's key arity"),
+        }
+    }
 }
 
 /// In-memory hash join: materializes the build side into a hash table
@@ -69,6 +90,17 @@ impl JoinTable {
 /// Multi-match rows are emitted in build-insertion (FIFO) order, in
 /// both scalar and batch mode, so execution order is deterministic and
 /// path-independent.
+///
+/// With a parallel context (`ExecCtx::workers > 1`) and partitionable
+/// children, `open` runs both sides morsel-parallel: workers build
+/// per-morsel partition tables that are merged in morsel order (so
+/// per-key FIFO order — and therefore output order — is exactly the
+/// serial build's), and the probe pipeline is pre-materialized by
+/// probing the shared table from every worker, gathered in morsel
+/// order. All charges are per-row and additive, so the merged ledger is
+/// bit-identical to serial execution. Probe pre-materialization is
+/// suppressed under a `Limit` ([`ExecCtx::streaming_exact`]) so early
+/// termination keeps consuming exactly what scalar execution would.
 pub struct HashJoin {
     build: BoxedOp,
     probe: BoxedOp,
@@ -78,6 +110,8 @@ pub struct HashJoin {
     table: JoinTable,
     pending: VecDeque<Tuple>,
     scratch: Vec<Tuple>,
+    /// Parallel-probed output (morsel order) and the serve cursor.
+    probed: Option<(Vec<Tuple>, usize)>,
 }
 
 impl HashJoin {
@@ -107,6 +141,7 @@ impl HashJoin {
             table,
             pending: VecDeque::new(),
             scratch: Vec::new(),
+            probed: None,
         }
     }
 
@@ -127,22 +162,110 @@ impl Operator for HashJoin {
     fn open(&mut self, ctx: &mut ExecCtx) {
         self.table.clear();
         self.pending.clear();
-        self.build.open(ctx);
-        let mut scratch = std::mem::take(&mut self.scratch);
-        let (table, keys) = (&mut self.table, &self.build_keys);
-        drain_batches(self.build.as_mut(), ctx, &mut scratch, |ctx, batch| {
-            let bytes: u64 = batch.iter().map(tuple_width).sum();
-            ctx.charge(OpClass::HashBuild, batch.len() as u64);
-            ctx.charge_mem_bytes(bytes);
-            for t in batch.drain(..) {
-                table.insert(t, keys);
+        self.probed = None;
+
+        // Build side: fully consumed in every mode, so a surrounding
+        // Limit's streaming-exactness constraint does not apply below
+        // the build.
+        let saved_exact = ctx.streaming_exact;
+        ctx.streaming_exact = 0;
+        let arity = self.build_keys.len();
+        let build_keys = &self.build_keys;
+        let partitions = run_morsels(self.build.as_ref(), ctx, |wctx, pipe| {
+            // One partition table per morsel, charged exactly as the
+            // serial build charges its batches.
+            let mut part = JoinTable::for_arity(arity);
+            let mut batch = Vec::new();
+            loop {
+                batch.clear();
+                let more = pipe.next_batch(wctx, &mut batch);
+                let bytes: u64 = batch.iter().map(tuple_width).sum();
+                wctx.charge(OpClass::HashBuild, batch.len() as u64);
+                wctx.charge_mem_bytes(bytes);
+                for t in batch.drain(..) {
+                    part.insert(t, build_keys);
+                }
+                if !more {
+                    break;
+                }
             }
+            part
         });
-        self.scratch = scratch;
-        self.probe.open(ctx);
+        match partitions {
+            Some(parts) => {
+                // Merge in morsel order: per-key FIFO equals serial.
+                for part in parts {
+                    self.table.absorb(part);
+                }
+            }
+            None => {
+                self.build.open(ctx);
+                let mut scratch = std::mem::take(&mut self.scratch);
+                let (table, keys) = (&mut self.table, &self.build_keys);
+                drain_batches(self.build.as_mut(), ctx, &mut scratch, |ctx, batch| {
+                    let bytes: u64 = batch.iter().map(tuple_width).sum();
+                    ctx.charge(OpClass::HashBuild, batch.len() as u64);
+                    ctx.charge_mem_bytes(bytes);
+                    for t in batch.drain(..) {
+                        table.insert(t, keys);
+                    }
+                });
+                self.scratch = scratch;
+            }
+        }
+        ctx.streaming_exact = saved_exact;
+
+        // Probe side: pre-materialize morsel-parallel when allowed
+        // (run_morsels declines under streaming_exact / serial ctx).
+        let table = &self.table;
+        let probe_keys = &self.probe_keys;
+        let probed = run_morsels(self.probe.as_ref(), ctx, |wctx, pipe| {
+            let mut rows = Vec::new();
+            let mut probe_in = Vec::new();
+            loop {
+                probe_in.clear();
+                let more = pipe.next_batch(wctx, &mut probe_in);
+                let mut out_bytes = 0u64;
+                for probe_t in &probe_in {
+                    if let Some(matches) = table.lookup(probe_t, probe_keys) {
+                        for build_t in matches {
+                            let t = Self::join_row(build_t, probe_t);
+                            out_bytes += tuple_width(&t);
+                            rows.push(t);
+                        }
+                    }
+                }
+                let n = probe_in.len() as u64;
+                if n > 0 {
+                    wctx.charge(OpClass::HashProbe, n);
+                    wctx.charge_mem_random(n);
+                }
+                wctx.charge_mem_bytes(out_bytes);
+                if !more {
+                    break;
+                }
+            }
+            rows
+        });
+        match probed {
+            Some(parts) => {
+                let total = parts.iter().map(Vec::len).sum();
+                let mut rows = Vec::with_capacity(total);
+                for mut p in parts {
+                    rows.append(&mut p);
+                }
+                self.probed = Some((rows, 0));
+            }
+            None => self.probe.open(ctx),
+        }
     }
 
     fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {
+        if let Some((rows, pos)) = &mut self.probed {
+            let t = rows.get(*pos)?.clone();
+            *pos += 1;
+            return Some(t);
+        }
         loop {
             if let Some(t) = self.pending.pop_front() {
                 return Some(t);
@@ -161,6 +284,12 @@ impl Operator for HashJoin {
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
+        if let Some((rows, pos)) = &mut self.probed {
+            let end = (*pos + ctx.batch_size.max(1)).min(rows.len());
+            out.extend_from_slice(&rows[*pos..end]);
+            *pos = end;
+            return *pos < rows.len();
+        }
         // Drain anything a scalar caller left behind first.
         while let Some(t) = self.pending.pop_front() {
             out.push(t);

@@ -13,6 +13,14 @@ use crate::ops::{BoxedOp, Operator};
 /// batch-invariant even for limits over non-blocking pipelines. The
 /// pipeline *below* a blocking child (sort, aggregate) still runs
 /// vectorized inside that child's `open`.
+///
+/// The same contract governs parallelism: `open` raises
+/// [`ExecCtx::streaming_exact`] while opening its subtree, so streaming
+/// pipelines below never pre-materialize in parallel (they would
+/// consume — and charge — more of the stream than scalar execution).
+/// Blocking descendants clear the flag for their own subtrees, since
+/// they drain their input fully in any mode; so `Limit → Sort → …`
+/// still parallelizes everything below the sort.
 pub struct Limit {
     child: BoxedOp,
     n: usize,
@@ -37,7 +45,9 @@ impl Operator for Limit {
 
     fn open(&mut self, ctx: &mut ExecCtx) {
         self.emitted = 0;
+        ctx.streaming_exact += 1;
         self.child.open(ctx);
+        ctx.streaming_exact -= 1;
     }
 
     fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {

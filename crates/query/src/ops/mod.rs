@@ -39,8 +39,43 @@
 //! exactly as much of the child stream — and charges exactly as much
 //! work — as scalar execution would. Everything below a blocking
 //! operator (sort, aggregate, hash build) still runs vectorized.
+//!
+//! # Morsel-driven parallel execution
+//!
+//! When [`ExecCtx::workers`] is greater than one, partitionable
+//! pipelines execute in parallel: a *morsel* is a contiguous run of a
+//! leaf's input ([`crate::parallel::Morsel`] — rows for memory-resident
+//! sources, whole disk extents for paged tables), and
+//! [`Operator::morsels`] / [`Operator::clone_morsel`] let non-blocking
+//! pipeline segments (scan → filter → project chains) describe and
+//! replicate themselves per morsel. Worker threads each run their
+//! morsels' pipelines to completion, charging a private forked
+//! [`ExecCtx`] ledger; per-morsel outputs are then stitched back
+//! together **in morsel order**, so every consumer observes the exact
+//! tuple stream serial execution would produce.
+//!
+//! Parallel consumption is built into the blocking operators —
+//! [`HashJoin`] (partitioned parallel build, ordered parallel probe),
+//! [`HashAggregate`] (per-morsel partial aggregation with an ordered
+//! final merge) and [`Sort`] (order-preserving gather before a serial
+//! sort, whose comparison count is input-order dependent) — and exposed
+//! as standalone [`Exchange`] / [`GatherMerge`] operators for custom
+//! plans.
+//!
+//! **The ledger is worker-count-invariant by the same construction as
+//! batch invariance**: every charge is per-tuple and additive, morsels
+//! partition the input exactly, and merging worker ledgers is
+//! commutative addition — so the merged parallel ledger is bit-identical
+//! to serial execution at any worker count and any morsel size
+//! (enforced by `tests/integration_parallel.rs` and the
+//! `parallel_matches_serial` property test). [`Limit`]'s early
+//! termination is protected by [`ExecCtx::streaming_exact`]: under a
+//! `Limit`, streaming pipelines never pre-materialize, while blocking
+//! operators (which drain their input fully in any mode) re-enable
+//! parallelism for their own subtrees.
 
 mod agg;
+mod exchange;
 mod filter;
 mod join;
 mod limit;
@@ -51,6 +86,7 @@ mod sort;
 mod source;
 
 pub use agg::{AggSpec, HashAggregate};
+pub use exchange::{Exchange, GatherMerge};
 pub use filter::Filter;
 pub use join::HashJoin;
 pub use limit::Limit;
@@ -64,9 +100,15 @@ use eco_storage::{Schema, Tuple};
 
 use crate::context::ExecCtx;
 use crate::expr::Expr;
+use crate::parallel::Morsel;
 
-/// A Volcano-style physical operator with an optional vectorized path.
-pub trait Operator {
+/// A Volcano-style physical operator with an optional vectorized path
+/// and an optional morsel-parallel decomposition.
+///
+/// Operators are `Send` so pipeline clones can move onto worker
+/// threads; all state an operator owns is tuples, expressions and
+/// `Arc`s of shared storage.
+pub trait Operator: Send {
     /// Output schema.
     fn schema(&self) -> &Schema;
 
@@ -117,6 +159,32 @@ pub trait Operator {
         _predicate: &Expr,
         _out: &mut Vec<Tuple>,
     ) -> Option<bool> {
+        None
+    }
+
+    /// Morsel decomposition: if this subtree is a partitionable
+    /// pipeline (a non-blocking chain over a single source leaf),
+    /// return the morsels that cover its input exactly, sized near
+    /// `target_rows` input tuples each. Leaves choose the unit (rows
+    /// for memory sources; whole disk extents for paged tables, so
+    /// parallel cold-scan I/O classifies identically to serial);
+    /// streaming wrappers (filter, project) delegate to their child.
+    ///
+    /// `None` (the default) means the subtree cannot be partitioned and
+    /// parallel consumers fall back to serial execution — which is
+    /// always ledger-identical.
+    fn morsels(&self, _target_rows: usize) -> Option<Vec<Morsel>> {
+        None
+    }
+
+    /// Build a fresh, unopened copy of this pipeline restricted to one
+    /// morsel of its input. Running every morsel's clone to completion
+    /// and concatenating the outputs in morsel order reproduces this
+    /// operator's serial output stream and charges, exactly.
+    ///
+    /// Must return `Some` for every morsel produced by
+    /// [`Operator::morsels`], and `None` whenever `morsels` does.
+    fn clone_morsel(&self, _morsel: &Morsel) -> Option<BoxedOp> {
         None
     }
 }

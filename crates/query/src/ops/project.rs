@@ -5,6 +5,7 @@ use eco_storage::{ColumnType, Schema, Tuple};
 use crate::context::ExecCtx;
 use crate::expr::Expr;
 use crate::ops::{BoxedOp, Operator};
+use crate::parallel::Morsel;
 
 /// Expression projection with named output columns.
 pub struct Project {
@@ -65,6 +66,20 @@ impl Operator for Project {
         }
         self.scratch = input;
         more
+    }
+
+    fn morsels(&self, target_rows: usize) -> Option<Vec<Morsel>> {
+        self.child.morsels(target_rows)
+    }
+
+    fn clone_morsel(&self, morsel: &Morsel) -> Option<BoxedOp> {
+        let child = self.child.clone_morsel(morsel)?;
+        Some(Box::new(Project {
+            child,
+            exprs: self.exprs.clone(),
+            schema: self.schema.clone(),
+            scratch: Vec::new(),
+        }))
     }
 }
 

@@ -1,5 +1,6 @@
 //! Sequential scan over a stored table (memory or disk engine).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use eco_simhw::trace::OpClass;
@@ -7,7 +8,29 @@ use eco_storage::{Schema, StoredTable, TableData, Tuple};
 
 use crate::context::ExecCtx;
 use crate::expr::Expr;
-use crate::ops::Operator;
+use crate::ops::{BoxedOp, Operator};
+use crate::parallel::{split_units, Morsel};
+
+/// Allocator for private buffer-pool scan streams (stream 0 is the
+/// shared default cursor; partitioned scans each get their own so
+/// sequential-transfer detection survives interleaved workers).
+static NEXT_SCAN_STREAM: AtomicU64 = AtomicU64::new(1);
+
+/// The portion of the table this scan covers.
+#[derive(Debug, Clone, Copy)]
+enum ScanBounds {
+    /// The whole table (the serial scan).
+    Full,
+    /// Rows `[start, end)` of a memory table.
+    MemoryRows { start: usize, end: usize },
+    /// Pages `[start, end)` of a disk table, read on a private
+    /// buffer-pool stream.
+    DiskPages {
+        start: usize,
+        end: usize,
+        stream: u64,
+    },
+}
 
 /// Full-table sequential scan.
 ///
@@ -19,9 +42,17 @@ use crate::ops::Operator;
 /// context's batch size) instead of advancing a per-tuple page cursor;
 /// the fused path additionally evaluates a pushed-down predicate over
 /// borrowed rows so non-matching tuples are never cloned.
+///
+/// For parallel execution the scan partitions itself into [`Morsel`]s:
+/// row ranges on the memory engine, whole disk *extents* on the disk
+/// engine. Extent alignment matters for ledger identity — serial cold
+/// scans charge one repositioning per extent and stream within it, and
+/// an extent-aligned partition read on its own buffer-pool stream
+/// charges exactly the same pattern.
 pub struct SeqScan {
     table: Arc<StoredTable>,
     avg_bytes: u64,
+    bounds: ScanBounds,
     // Disk-engine state.
     page_no: usize,
     current: Option<Arc<Vec<Tuple>>>,
@@ -35,6 +66,7 @@ impl SeqScan {
         Self {
             table,
             avg_bytes,
+            bounds: ScanBounds::Full,
             page_no: 0,
             current: None,
             idx: 0,
@@ -61,8 +93,32 @@ impl SeqScan {
         }
     }
 
+    /// First memory-row index of this scan's range.
+    fn mem_start(&self) -> usize {
+        match self.bounds {
+            ScanBounds::MemoryRows { start, .. } => start,
+            _ => 0,
+        }
+    }
+
+    /// One-past-last memory-row index of this scan's range.
+    fn mem_end(&self, total: usize) -> usize {
+        match self.bounds {
+            ScanBounds::MemoryRows { end, .. } => end.min(total),
+            _ => total,
+        }
+    }
+
+    /// Page range `[start, end)` this scan covers on the disk engine.
+    fn page_range(&self, num_pages: usize) -> (usize, usize) {
+        match self.bounds {
+            ScanBounds::DiskPages { start, end, .. } => (start, end.min(num_pages)),
+            _ => (0, num_pages),
+        }
+    }
+
     /// Ensure `self.current` holds the next unread disk page, charging
-    /// buffer pool I/O. Returns `false` at end of table.
+    /// buffer pool I/O. Returns `false` at end of the scan's range.
     fn advance_disk_page(&mut self, ctx: &mut ExecCtx) -> bool {
         let TableData::Disk(disk) = &self.table.data else {
             unreachable!("advance_disk_page on a memory table");
@@ -72,13 +128,32 @@ impl SeqScan {
                 return true;
             }
         }
-        if self.page_no >= disk.num_pages() {
+        let (_, end) = self.page_range(disk.num_pages());
+        if self.page_no >= end {
             self.current = None;
+            if let ScanBounds::DiskPages { stream, .. } = self.bounds {
+                // Release the pool's per-stream scan-position entry —
+                // stream ids are never reused, so a finished partition
+                // must clean up after itself.
+                disk.end_stream(stream);
+            }
             return false;
         }
-        let page = disk.read_page(self.page_no);
-        // Attribute whatever I/O the pool performed to this query.
-        ctx.charge_disk(disk.pool().take_io());
+        let page = match self.bounds {
+            ScanBounds::DiskPages { stream, .. } => {
+                // Private stream: this access's I/O is returned directly
+                // and attributed to this worker's ledger.
+                let (page, io) = disk.read_page_stream(self.page_no, stream);
+                ctx.charge_disk(io);
+                page
+            }
+            _ => {
+                let page = disk.read_page(self.page_no);
+                // Attribute whatever I/O the pool performed to this query.
+                ctx.charge_disk(disk.pool().take_io());
+                page
+            }
+        };
         self.page_no += 1;
         self.idx = 0;
         self.current = Some(page);
@@ -92,16 +167,25 @@ impl Operator for SeqScan {
     }
 
     fn open(&mut self, _ctx: &mut ExecCtx) {
-        self.page_no = 0;
         self.current = None;
-        self.idx = 0;
+        match (&self.table.data, self.bounds) {
+            (TableData::Disk(disk), _) => {
+                let (start, _) = self.page_range(disk.num_pages());
+                self.page_no = start;
+                self.idx = 0;
+            }
+            (TableData::Memory(_), _) => {
+                self.page_no = 0;
+                self.idx = self.mem_start();
+            }
+        }
     }
 
     fn next(&mut self, ctx: &mut ExecCtx) -> Option<Tuple> {
         match &self.table.data {
             TableData::Memory(heap) => {
                 let tuples = heap.tuples();
-                if self.idx < tuples.len() {
+                if self.idx < self.mem_end(tuples.len()) {
                     let t = tuples[self.idx].clone();
                     self.idx += 1;
                     self.charge_tuple(ctx);
@@ -135,6 +219,59 @@ impl Operator for SeqScan {
     ) -> Option<bool> {
         Some(self.scan_batch(ctx, Some(predicate), out))
     }
+
+    fn morsels(&self, target_rows: usize) -> Option<Vec<Morsel>> {
+        if !matches!(self.bounds, ScanBounds::Full) {
+            // Already a partition of some other scan; never re-split.
+            return None;
+        }
+        match &self.table.data {
+            TableData::Memory(heap) => {
+                let n = heap.tuples().len();
+                (n > 0).then(|| split_units(n, target_rows))
+            }
+            TableData::Disk(disk) => {
+                let pages = disk.num_pages();
+                if pages == 0 {
+                    return None;
+                }
+                // Convert the row target to pages, then round *up* to
+                // whole extents: serial scans charge one repositioning
+                // per extent start, so extent-aligned morsels on
+                // private streams reproduce the exact same I/O split.
+                let extent = eco_storage::bufferpool::EXTENT_PAGES as usize;
+                let tuples_per_page = disk.len().div_ceil(pages).max(1);
+                let raw_pages = target_rows.div_ceil(tuples_per_page).max(1);
+                let per_morsel = raw_pages.div_ceil(extent) * extent;
+                Some(split_units(pages, per_morsel))
+            }
+        }
+    }
+
+    fn clone_morsel(&self, morsel: &Morsel) -> Option<BoxedOp> {
+        if !matches!(self.bounds, ScanBounds::Full) {
+            return None;
+        }
+        let bounds = match &self.table.data {
+            TableData::Memory(_) => ScanBounds::MemoryRows {
+                start: morsel.start,
+                end: morsel.end,
+            },
+            TableData::Disk(_) => ScanBounds::DiskPages {
+                start: morsel.start,
+                end: morsel.end,
+                stream: NEXT_SCAN_STREAM.fetch_add(1, Ordering::Relaxed),
+            },
+        };
+        Some(Box::new(SeqScan {
+            table: Arc::clone(&self.table),
+            avg_bytes: self.avg_bytes,
+            bounds,
+            page_no: 0,
+            current: None,
+            idx: 0,
+        }))
+    }
 }
 
 impl SeqScan {
@@ -165,11 +302,12 @@ impl SeqScan {
         match &self.table.data {
             TableData::Memory(heap) => {
                 let tuples = heap.tuples();
-                let end = (self.idx + want).min(tuples.len());
+                let limit = self.mem_end(tuples.len());
+                let end = (self.idx + want).min(limit);
                 emit(&tuples[self.idx..end], predicate, ctx, out);
                 self.charge_tuples(ctx, (end - self.idx) as u64);
                 self.idx = end;
-                self.idx < tuples.len()
+                self.idx < limit
             }
             TableData::Disk(_) => {
                 let mut scanned = 0usize;
@@ -252,5 +390,62 @@ mod tests {
         assert!(scan.next(&mut ctx).is_some());
         scan.open(&mut ctx);
         assert_eq!(scan.next(&mut ctx).unwrap()[0], Value::Int(0));
+    }
+
+    #[test]
+    fn memory_morsels_cover_rows_exactly_once() {
+        let cat = catalog();
+        let scan = SeqScan::new(cat.expect("m"));
+        let morsels = scan.morsels(128).expect("memory scans partition");
+        assert!(morsels.len() >= 3);
+        let mut ctx = ExecCtx::new();
+        let mut all = Vec::new();
+        for m in &morsels {
+            let mut part = scan.clone_morsel(m).expect("clone");
+            part.open(&mut ctx);
+            while let Some(t) = part.next(&mut ctx) {
+                all.push(t);
+            }
+        }
+        let expected: Vec<Tuple> = (0..500).map(|i| vec![Value::Int(i)]).collect();
+        assert_eq!(all, expected, "morsel order reproduces the serial stream");
+        assert_eq!(ctx.cpu.count(OpClass::TupleFetch), 500);
+    }
+
+    #[test]
+    fn disk_morsels_are_extent_aligned_and_charge_identical_io() {
+        let schema = Schema::new(&[("k", ColumnType::Int), ("s", ColumnType::Str)]);
+        let tuples: Vec<Tuple> = (0..20_000)
+            .map(|i| vec![Value::Int(i), Value::str(format!("row-{i:08}"))])
+            .collect();
+        let mut cat = Catalog::new(1 << 20);
+        cat.add_disk_table("d", schema, &tuples);
+        let table = cat.expect("d");
+
+        // Serial cold scan I/O.
+        let mut serial_ctx = ExecCtx::new();
+        let mut scan = SeqScan::new(Arc::clone(&table));
+        scan.open(&mut serial_ctx);
+        let serial_rows = std::iter::from_fn(|| scan.next(&mut serial_ctx)).count();
+        let serial_io = serial_ctx.disk;
+
+        // Flush and rescan cold through morsels.
+        cat.pool().flush();
+        let scan = SeqScan::new(table);
+        let morsels = scan.morsels(1024).expect("disk scans partition");
+        assert!(morsels.len() >= 2, "{morsels:?}");
+        let extent = eco_storage::bufferpool::EXTENT_PAGES as usize;
+        for m in &morsels {
+            assert_eq!(m.start % extent, 0, "morsels start on extent boundaries");
+        }
+        let mut ctx = ExecCtx::new();
+        let mut rows = 0;
+        for m in &morsels {
+            let mut part = scan.clone_morsel(m).expect("clone");
+            part.open(&mut ctx);
+            rows += std::iter::from_fn(|| part.next(&mut ctx)).count();
+        }
+        assert_eq!(rows, serial_rows);
+        assert_eq!(ctx.disk, serial_io, "cold morsel I/O identical to serial");
     }
 }

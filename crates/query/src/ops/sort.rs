@@ -5,6 +5,7 @@ use eco_storage::{tuple_width, Schema, Tuple};
 
 use crate::context::ExecCtx;
 use crate::ops::{drain_batches, BoxedOp, Operator};
+use crate::parallel::gather_parallel;
 
 /// One sort key: column index plus direction.
 #[derive(Debug, Clone, Copy)]
@@ -29,6 +30,14 @@ impl SortKey {
 
 /// Full materializing sort. Charges one `SortCmp` per actual comparison
 /// performed by the sort algorithm plus materialization bytes.
+///
+/// In a parallel context a partitionable child is drained through an
+/// order-preserving morsel gather (the inlined [`super::GatherMerge`]
+/// pattern) and the sort itself runs serially over the gathered rows.
+/// The comparison count of the sort algorithm depends on input order,
+/// so presenting the *exact serial input sequence* is what keeps the
+/// `SortCmp` charge — and with it the energy ledger — identical at
+/// every worker count.
 pub struct Sort {
     child: BoxedOp,
     keys: Vec<SortKey>,
@@ -53,14 +62,32 @@ impl Operator for Sort {
     }
 
     fn open(&mut self, ctx: &mut ExecCtx) {
-        self.child.open(ctx);
-        let mut rows = Vec::new();
-        let mut scratch = Vec::new();
-        drain_batches(self.child.as_mut(), ctx, &mut scratch, |ctx, batch| {
-            let bytes: u64 = batch.iter().map(tuple_width).sum();
-            ctx.charge_mem_bytes(bytes);
-            rows.append(batch);
-        });
+        // A sort drains its input fully in every mode; clear any
+        // surrounding Limit's streaming-exactness constraint for the
+        // subtree.
+        let saved_exact = ctx.streaming_exact;
+        ctx.streaming_exact = 0;
+        let mut rows = match gather_parallel(self.child.as_ref(), ctx) {
+            Some(rows) => {
+                // Materialization charge, identical to the serial
+                // per-batch sum below.
+                let bytes: u64 = rows.iter().map(tuple_width).sum();
+                ctx.charge_mem_bytes(bytes);
+                rows
+            }
+            None => {
+                self.child.open(ctx);
+                let mut rows = Vec::new();
+                let mut scratch = Vec::new();
+                drain_batches(self.child.as_mut(), ctx, &mut scratch, |ctx, batch| {
+                    let bytes: u64 = batch.iter().map(tuple_width).sum();
+                    ctx.charge_mem_bytes(bytes);
+                    rows.append(batch);
+                });
+                rows
+            }
+        };
+        ctx.streaming_exact = saved_exact;
         let keys = self.keys.clone();
         let mut comparisons: u64 = 0;
         rows.sort_by(|a, b| {

@@ -1,28 +1,45 @@
 //! In-memory tuple source (tests, intermediate materializations).
 
+use std::sync::Arc;
+
 use eco_storage::{Schema, Tuple};
 
 use crate::context::ExecCtx;
 use crate::expr::Expr;
-use crate::ops::Operator;
+use crate::ops::{BoxedOp, Operator};
+use crate::parallel::{split_units, Morsel};
 
 /// Emits a fixed vector of tuples. Charges nothing — the tuples are
 /// assumed already materialized (use [`crate::ops::SeqScan`] for
 /// table access that should be priced).
+///
+/// The tuples are held behind an `Arc`, so morsel partitions
+/// ([`Operator::clone_morsel`]) share the data instead of copying it.
 pub struct VecSource {
     schema: Schema,
-    tuples: Vec<Tuple>,
+    tuples: Arc<Vec<Tuple>>,
+    start: usize,
+    end: usize,
     idx: usize,
 }
 
 impl VecSource {
     /// Source over `tuples` with the given schema.
     pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Self {
+        let end = tuples.len();
         Self {
             schema,
-            tuples,
+            tuples: Arc::new(tuples),
+            start: 0,
+            end,
             idx: 0,
         }
+    }
+
+    /// True when this source covers the full tuple vector (i.e. it is
+    /// not itself a morsel partition).
+    fn is_full(&self) -> bool {
+        self.start == 0 && self.end == self.tuples.len()
     }
 }
 
@@ -32,20 +49,23 @@ impl Operator for VecSource {
     }
 
     fn open(&mut self, _ctx: &mut ExecCtx) {
-        self.idx = 0;
+        self.idx = self.start;
     }
 
     fn next(&mut self, _ctx: &mut ExecCtx) -> Option<Tuple> {
-        let t = self.tuples.get(self.idx)?.clone();
+        if self.idx >= self.end {
+            return None;
+        }
+        let t = self.tuples[self.idx].clone();
         self.idx += 1;
         Some(t)
     }
 
     fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
-        let end = (self.idx + ctx.batch_size.max(1)).min(self.tuples.len());
+        let end = (self.idx + ctx.batch_size.max(1)).min(self.end);
         out.extend_from_slice(&self.tuples[self.idx..end]);
         self.idx = end;
-        self.idx < self.tuples.len()
+        self.idx < self.end
     }
 
     fn next_batch_filtered(
@@ -54,14 +74,32 @@ impl Operator for VecSource {
         predicate: &Expr,
         out: &mut Vec<Tuple>,
     ) -> Option<bool> {
-        let end = (self.idx + ctx.batch_size.max(1)).min(self.tuples.len());
+        let end = (self.idx + ctx.batch_size.max(1)).min(self.end);
         for t in &self.tuples[self.idx..end] {
             if predicate.eval_bool(t, ctx) {
                 out.push(t.clone());
             }
         }
         self.idx = end;
-        Some(self.idx < self.tuples.len())
+        Some(self.idx < self.end)
+    }
+
+    fn morsels(&self, target_rows: usize) -> Option<Vec<Morsel>> {
+        (self.is_full() && !self.tuples.is_empty())
+            .then(|| split_units(self.tuples.len(), target_rows))
+    }
+
+    fn clone_morsel(&self, morsel: &Morsel) -> Option<BoxedOp> {
+        if !self.is_full() {
+            return None;
+        }
+        Some(Box::new(VecSource {
+            schema: self.schema.clone(),
+            tuples: Arc::clone(&self.tuples),
+            start: morsel.start,
+            end: morsel.end.min(self.tuples.len()),
+            idx: morsel.start,
+        }))
     }
 }
 
@@ -81,5 +119,26 @@ mod tests {
         assert!(s.next(&mut ctx).is_none());
         s.open(&mut ctx);
         assert_eq!(s.next(&mut ctx).unwrap()[0], Value::Int(1));
+    }
+
+    #[test]
+    fn morsel_partitions_share_and_cover() {
+        let schema = Schema::new(&[("k", ColumnType::Int)]);
+        let s = VecSource::new(schema, (0..10).map(|i| vec![Value::Int(i)]).collect());
+        let morsels = s.morsels(4).expect("partitionable");
+        assert_eq!(morsels.len(), 3);
+        let mut ctx = ExecCtx::new();
+        let mut all = Vec::new();
+        for m in &morsels {
+            let mut part = s.clone_morsel(m).expect("clone");
+            part.open(&mut ctx);
+            while let Some(t) = part.next(&mut ctx) {
+                all.push(t[0].as_int().unwrap());
+            }
+        }
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        // Partitions never re-split.
+        let part = s.clone_morsel(&morsels[0]).unwrap();
+        assert!(part.morsels(2).is_none());
     }
 }

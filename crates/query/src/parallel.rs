@@ -1,0 +1,257 @@
+//! Morsel-driven parallel execution machinery.
+//!
+//! A [`Morsel`] is a contiguous slice of a leaf operator's input — the
+//! scheduling granule of HyPer-style morsel-driven parallelism. The
+//! driver here (`run_morsels`) partitions a pipeline into per-morsel
+//! clones (via [`Operator::clone_morsel`]), runs them on worker
+//! threads, and returns the per-morsel results **in morsel order**
+//! together with each worker's private energy ledger merged back into
+//! the caller's [`ExecCtx`].
+//!
+//! # Determinism
+//!
+//! Two properties make parallel execution reproducible:
+//!
+//! 1. **Merged-ledger identity.** Every operator charge is per-tuple
+//!    and additive, morsels partition the input exactly, and ledger
+//!    merging is commutative addition — so the merged ledger equals the
+//!    serial ledger bit-for-bit at any worker count.
+//! 2. **Deterministic per-core attribution.** Morsels are assigned to
+//!    workers *statically* (worker `w` takes morsels `w, w+N, w+2N, …`)
+//!    rather than through a work-stealing queue. Uniform morsels make
+//!    static assignment load-balanced anyway, and it means the per-core
+//!    ledger split — which the multi-core machine model prices — is a
+//!    pure function of the plan, not of thread scheduling. (The merged
+//!    ledger would be identical either way; the *per-core* split would
+//!    not.)
+//!
+//! The one intentionally scheduling-dependent detail: on the disk
+//! engine, warm-run re-read charges (`BufferPool::set_warm_reread_every`)
+//! land on whichever worker performs the Nth buffer-pool hit. Their
+//! *total* is a function of the hit count alone and therefore still
+//! merges identically to serial execution; only the per-core split of
+//! those few charges can vary between runs.
+//!
+//! **Disk-engine precondition:** merged-ledger identity on the disk
+//! engine additionally requires the buffer pool to hold the scanned
+//! working set without evicting (as the shipped profiles do — the
+//! paper's tables fit in memory). With a pool smaller than the tables,
+//! hit/miss counts depend on the residency state left behind by
+//! thread-interleaved evictions, which is scheduling-dependent in
+//! parallel mode; the memory engine has no such precondition.
+
+use eco_storage::Tuple;
+
+use crate::context::ExecCtx;
+use crate::ops::{BoxedOp, Operator};
+
+/// A contiguous range `[start, end)` of a leaf operator's input, in the
+/// unit the leaf chose (rows for memory sources, pages for disk
+/// tables). Only meaningful to the pipeline that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Morsel {
+    /// First input unit (inclusive).
+    pub start: usize,
+    /// Last input unit (exclusive).
+    pub end: usize,
+}
+
+impl Morsel {
+    /// Number of input units covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the morsel covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// Split `total` units into morsels of about `per_morsel` units each
+/// (the leaf-side helper behind [`Operator::morsels`] implementations).
+pub fn split_units(total: usize, per_morsel: usize) -> Vec<Morsel> {
+    let per = per_morsel.max(1);
+    (0..total)
+        .step_by(per)
+        .map(|start| Morsel {
+            start,
+            end: (start + per).min(total),
+        })
+        .collect()
+}
+
+/// Drain an opened pipeline to completion through its batch path.
+pub(crate) fn drain_pipeline(ctx: &mut ExecCtx, op: &mut dyn Operator) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    while op.next_batch(ctx, &mut out) {}
+    out
+}
+
+/// Run `child`'s pipeline morsel-parallel: clone it per morsel, open
+/// and reduce each clone with `run` on a worker thread, and return the
+/// per-morsel results in morsel order. Worker ledgers are merged into
+/// `ctx` (totals *and* per-core attribution).
+///
+/// Returns `None` — and charges nothing — when parallel execution is
+/// not applicable: one worker, a non-partitionable child, a child too
+/// small to split, or inside a [`ExecCtx::streaming_exact`] region
+/// (under a `Limit`, pre-materializing a streaming child would consume
+/// more of it than scalar execution). Callers fall back to their serial
+/// path, which is ledger-identical by construction.
+pub(crate) fn run_morsels<T, F>(child: &dyn Operator, ctx: &mut ExecCtx, run: F) -> Option<Vec<T>>
+where
+    T: Send,
+    F: Fn(&mut ExecCtx, &mut dyn Operator) -> T + Sync,
+{
+    if ctx.workers <= 1 || ctx.streaming_exact > 0 {
+        return None;
+    }
+    let morsels = child.morsels(ctx.morsel_rows)?;
+    if morsels.len() < 2 {
+        return None;
+    }
+    let pipes: Option<Vec<BoxedOp>> = morsels.iter().map(|m| child.clone_morsel(m)).collect();
+    let pipes = pipes?;
+
+    let workers = ctx.workers.min(pipes.len());
+    // Static strided assignment: worker w owns morsels w, w+N, w+2N, …
+    // (see module docs for why this beats a stealing queue here).
+    let mut assignments: Vec<Vec<(usize, BoxedOp)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, pipe) in pipes.into_iter().enumerate() {
+        assignments[i % workers].push((i, pipe));
+    }
+
+    let template = ctx.fork();
+    let run = &run;
+    let worker_outputs: Vec<(ExecCtx, Vec<(usize, T)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assignments
+            .into_iter()
+            .map(|work| {
+                let mut wctx = template.fork();
+                scope.spawn(move || {
+                    let mut results = Vec::with_capacity(work.len());
+                    for (idx, mut pipe) in work {
+                        pipe.open(&mut wctx);
+                        results.push((idx, run(&mut wctx, pipe.as_mut())));
+                    }
+                    (wctx, results)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<T>> = Vec::new();
+    for (w, (wctx, results)) in worker_outputs.into_iter().enumerate() {
+        ctx.merge_worker(w, &wctx);
+        for (idx, t) in results {
+            if slots.len() <= idx {
+                slots.resize_with(idx + 1, || None);
+            }
+            slots[idx] = Some(t);
+        }
+    }
+    Some(
+        slots
+            .into_iter()
+            .map(|s| s.expect("every morsel produces a result"))
+            .collect(),
+    )
+}
+
+/// Morsel-parallel gather: run `child`'s pipeline in parallel and
+/// return all of its output tuples concatenated in morsel order — the
+/// exact stream serial execution would produce. `None` under the same
+/// conditions as [`run_morsels`].
+pub(crate) fn gather_parallel(child: &dyn Operator, ctx: &mut ExecCtx) -> Option<Vec<Tuple>> {
+    let parts = run_morsels(child, ctx, |wctx, pipe| drain_pipeline(wctx, pipe))?;
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for mut p in parts {
+        out.append(&mut p);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+    use crate::ops::{Filter, VecSource};
+    use eco_simhw::trace::OpClass;
+    use eco_storage::{ColumnType, Schema, Value};
+
+    fn pipeline(n: i64) -> Filter {
+        let schema = Schema::new(&[("v", ColumnType::Int)]);
+        let src = VecSource::new(schema, (0..n).map(|i| vec![Value::Int(i)]).collect());
+        Filter::new(
+            Box::new(src),
+            Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(n / 2)),
+        )
+    }
+
+    #[test]
+    fn split_units_covers_exactly() {
+        let ms = split_units(10, 3);
+        assert_eq!(ms.len(), 4);
+        assert_eq!(ms[0], Morsel { start: 0, end: 3 });
+        assert_eq!(ms[3], Morsel { start: 9, end: 10 });
+        assert!(split_units(0, 3).is_empty());
+    }
+
+    #[test]
+    fn gather_matches_serial_rows_and_ledger() {
+        let serial_rows;
+        let mut serial_ctx = ExecCtx::new();
+        {
+            let mut p = pipeline(1000);
+            p.open(&mut serial_ctx);
+            serial_rows = drain_pipeline(&mut serial_ctx, &mut p);
+        }
+        for workers in [2, 3, 8] {
+            let p = pipeline(1000);
+            let mut ctx = ExecCtx::new().with_workers(workers).with_morsel_rows(64);
+            let rows = gather_parallel(&p, &mut ctx).expect("partitionable");
+            assert_eq!(rows, serial_rows, "workers={workers}");
+            assert_eq!(ctx.cpu, serial_ctx.cpu, "workers={workers}");
+            assert_eq!(ctx.pred_evals, serial_ctx.pred_evals);
+        }
+    }
+
+    #[test]
+    fn serial_context_declines_parallelism() {
+        let p = pipeline(100);
+        let mut ctx = ExecCtx::new(); // workers = 1
+        assert!(gather_parallel(&p, &mut ctx).is_none());
+        assert!(ctx.is_empty());
+    }
+
+    #[test]
+    fn streaming_exact_region_declines_parallelism() {
+        let p = pipeline(1000);
+        let mut ctx = ExecCtx::new().with_workers(4);
+        ctx.streaming_exact = 1;
+        assert!(gather_parallel(&p, &mut ctx).is_none());
+    }
+
+    #[test]
+    fn per_core_attribution_is_deterministic() {
+        let charges = |workers: usize| {
+            let p = pipeline(2000);
+            let mut ctx = ExecCtx::new().with_workers(workers).with_morsel_rows(128);
+            gather_parallel(&p, &mut ctx).expect("partitionable");
+            ctx.take_core_phases(workers, "t")
+                .into_iter()
+                .map(|ph| ph.cpu.count(OpClass::PredEval))
+                .collect::<Vec<_>>()
+        };
+        let a = charges(4);
+        let b = charges(4);
+        assert_eq!(a, b, "static morsel assignment is reproducible");
+        assert!(a.iter().all(|&c| c > 0), "all cores get work: {a:?}");
+    }
+}

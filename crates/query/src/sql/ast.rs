@@ -129,6 +129,20 @@ pub enum SelectItem {
     },
 }
 
+impl SelectItem {
+    /// The expression and alias of a non-`*` item, or a
+    /// [`super::SqlError::Parse`] for `*` — the fallible accessor
+    /// consumers (and tests) use instead of panicking on the variant.
+    pub fn expr_item(&self) -> Result<(&SqlExpr, Option<&str>), super::SqlError> {
+        match self {
+            SelectItem::Expr { expr, alias } => Ok((expr, alias.as_deref())),
+            SelectItem::Star => Err(super::SqlError::Parse(
+                "expected expression item, found `*`".to_string(),
+            )),
+        }
+    }
+}
+
 /// An `ORDER BY` key: output column name + direction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrderKey {

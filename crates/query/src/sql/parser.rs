@@ -396,7 +396,7 @@ mod tests {
     }
 
     #[test]
-    fn parses_q5_shape() {
+    fn parses_q5_shape() -> Result<(), SqlError> {
         let s = parse_select(
             "SELECT n_name, SUM(l_extendedprice * (100 - l_discount) / 100) AS revenue \
              FROM customer, orders, lineitem, supplier, nation, region \
@@ -407,17 +407,15 @@ mod tests {
                AND o_orderdate >= DATE '1994-01-01' \
                AND o_orderdate < DATE '1995-01-01' \
              GROUP BY n_name ORDER BY revenue DESC",
-        )
-        .unwrap();
+        )?;
         assert_eq!(s.from.len(), 6);
         assert_eq!(s.group_by, vec!["n_name"]);
         assert_eq!(s.order_by.len(), 1);
         assert!(s.order_by[0].desc);
-        let SelectItem::Expr { expr, alias } = &s.items[1] else {
-            panic!("expected expression item");
-        };
-        assert_eq!(alias.as_deref(), Some("revenue"));
+        let (expr, alias) = s.items[1].expr_item()?;
+        assert_eq!(alias, Some("revenue"));
         assert!(expr.has_aggregate());
+        Ok(())
     }
 
     #[test]
@@ -443,11 +441,9 @@ mod tests {
     }
 
     #[test]
-    fn qualified_columns() {
-        let s = parse_select("SELECT lineitem.l_orderkey FROM lineitem").unwrap();
-        let SelectItem::Expr { expr, .. } = &s.items[0] else {
-            panic!()
-        };
+    fn qualified_columns() -> Result<(), SqlError> {
+        let s = parse_select("SELECT lineitem.l_orderkey FROM lineitem")?;
+        let (expr, _) = s.items[0].expr_item()?;
         assert_eq!(
             expr,
             &SqlExpr::Column {
@@ -455,18 +451,25 @@ mod tests {
                 name: "l_orderkey".into()
             }
         );
+        Ok(())
     }
 
     #[test]
-    fn count_star_and_decimal() {
-        let s = parse_select("SELECT COUNT(*) FROM lineitem WHERE l_discount <= 0.07").unwrap();
-        let SelectItem::Expr { expr, .. } = &s.items[0] else {
-            panic!()
-        };
+    fn count_star_and_decimal() -> Result<(), SqlError> {
+        let s = parse_select("SELECT COUNT(*) FROM lineitem WHERE l_discount <= 0.07")?;
+        let (expr, _) = s.items[0].expr_item()?;
         assert_eq!(expr, &SqlExpr::CountStar);
         // 0.07 scaled to hundredths.
         let w = format!("{:?}", s.where_clause.unwrap());
         assert!(w.contains("Decimal(7)"), "{w}");
+        Ok(())
+    }
+
+    #[test]
+    fn star_item_is_a_parse_error_not_a_panic() {
+        let s = parse_select("SELECT * FROM t").unwrap();
+        let err = s.items[0].expr_item().unwrap_err();
+        assert!(matches!(err, SqlError::Parse(m) if m.contains("expected expression item")));
     }
 
     #[test]
@@ -478,6 +481,36 @@ mod tests {
         assert!(parse_select("SELECT a FROM t extra junk").is_err());
         assert!(parse_select("SELECT DATE 'not-a-date' FROM t").is_err());
         assert!(parse_select("SELECT a FROM t WHERE d = DATE '1994-13-01'").is_err());
+    }
+
+    #[test]
+    fn malformed_inputs_return_parse_errors() {
+        // Every one of these must produce Err(SqlError::…), never a
+        // panic inside the lexer/parser.
+        let malformed = [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT SUM( FROM t",
+            "SELECT SUM(a FROM t",
+            "SELECT a FROM t WHERE x BETWEEN 1",
+            "SELECT a FROM t WHERE x BETWEEN 1 OR 2",
+            "SELECT a FROM t WHERE x IN",
+            "SELECT a FROM t WHERE x IN ()",
+            "SELECT a FROM t WHERE x IN (1, 2",
+            "SELECT t. FROM t",
+            "SELECT (a + b FROM t",
+            "SELECT a FROM t GROUP BY",
+            "SELECT a FROM t ORDER BY",
+            "SELECT a FROM t LIMIT -3",
+            "SELECT a, FROM t",
+            "SELECT DATE FROM t",
+            "SELECT a FROM t WHERE NOT",
+        ];
+        for sql in malformed {
+            let r = parse_select(sql);
+            assert!(r.is_err(), "{sql:?} parsed as {r:?}");
+        }
     }
 
     #[test]

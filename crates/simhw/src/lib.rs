@@ -18,6 +18,12 @@
 //! p-state policy), into a [`machine::Measurement`]: elapsed time, CPU
 //! joules, DRAM joules, disk joules, and wall joules.
 //!
+//! [`multicore::MultiCoreMachine`] scales the model out to N cores —
+//! one trace and one DVFS governor per core, idle-tail halt pricing at
+//! the barrier, shared DRAM/disk rails charged once, and the summed DC
+//! draw through the shared PSU efficiency curve — which is how the
+//! morsel-driven parallel executor in `eco-query` gets priced.
+//!
 //! All tuned constants live in [`calib`] with provenance notes tying
 //! them back to the paper's reported data points.
 
@@ -28,6 +34,7 @@ pub mod dvfs;
 pub mod machine;
 pub mod mem;
 pub mod meter;
+pub mod multicore;
 pub mod power;
 pub mod psu;
 pub mod trace;
@@ -35,4 +42,5 @@ pub mod trace;
 pub use cpu::{CpuConfig, CpuSpec, PState, VoltageSetting};
 pub use disk::{AccessPattern, DiskSpec};
 pub use machine::{Machine, MachineConfig, Measurement};
+pub use multicore::{MultiCoreMachine, MultiCoreMeasurement};
 pub use trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind, WorkTrace};

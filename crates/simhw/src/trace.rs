@@ -155,6 +155,17 @@ impl CpuWork {
         }
     }
 
+    /// Subtract `other` from this ledger. Panics if `other` records more
+    /// of any class than this ledger — callers only ever subtract a
+    /// part from its whole (e.g. a worker's share from a merged total).
+    pub fn subtract(&mut self, other: &CpuWork) {
+        for i in 0..N_OP_CLASSES {
+            self.counts[i] = self.counts[i]
+                .checked_sub(other.counts[i])
+                .expect("subtracting more work than was recorded");
+        }
+    }
+
     /// True when no operations have been recorded.
     pub fn is_empty(&self) -> bool {
         self.counts.iter().all(|&c| c == 0)
@@ -194,6 +205,23 @@ impl DiskWork {
         self.sequential_bytes += other.sequential_bytes;
         self.random_ios += other.random_ios;
         self.random_bytes += other.random_bytes;
+    }
+
+    /// Subtract `other` from this ledger. Panics if `other` records
+    /// more I/O than this ledger (see [`CpuWork::subtract`]).
+    pub fn subtract(&mut self, other: &DiskWork) {
+        self.sequential_bytes = self
+            .sequential_bytes
+            .checked_sub(other.sequential_bytes)
+            .expect("subtracting more sequential I/O than was recorded");
+        self.random_ios = self
+            .random_ios
+            .checked_sub(other.random_ios)
+            .expect("subtracting more random I/Os than were recorded");
+        self.random_bytes = self
+            .random_bytes
+            .checked_sub(other.random_bytes)
+            .expect("subtracting more random bytes than were recorded");
     }
 }
 

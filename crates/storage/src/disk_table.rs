@@ -103,9 +103,32 @@ impl DiskTable {
             .get(id, || Arc::new(self.pages[page_no].all_tuples()))
     }
 
+    /// Read one page on a private scan stream (see
+    /// [`BufferPool::get_stream`]), returning the I/O this access
+    /// charged so the caller can attribute it to its own ledger.
+    pub fn read_page_stream(
+        &self,
+        page_no: usize,
+        stream: u64,
+    ) -> (Arc<Vec<Tuple>>, eco_simhw::trace::DiskWork) {
+        assert!(page_no < self.pages.len(), "page {page_no} out of range");
+        let id = PageId {
+            table: self.table_id,
+            page: page_no as u32,
+        };
+        self.pool
+            .get_stream(id, stream, || Arc::new(self.pages[page_no].all_tuples()))
+    }
+
     /// The buffer pool this table reads through.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// Release a finished scan stream's position tracking (see
+    /// [`BufferPool::end_stream`]).
+    pub fn end_stream(&self, stream: u64) {
+        self.pool.end_stream(self.table_id, stream);
     }
 }
 

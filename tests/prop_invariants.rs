@@ -6,9 +6,10 @@ use proptest::prelude::*;
 
 use ecodb::core::server::{EcoDb, EngineProfile};
 use ecodb::query::context::ExecCtx;
-use ecodb::query::exec::execute;
+use ecodb::query::exec::{execute, execute_parallel};
 use ecodb::query::mqo::{split_results, MergedSelection};
-use ecodb::query::plans::selection_plan;
+use ecodb::query::ops::BoxedOp;
+use ecodb::query::plans::{self, selection_plan};
 use ecodb::simhw::machine::{Machine, MachineConfig};
 use ecodb::simhw::trace::{OpClass, Phase, WorkTrace};
 use ecodb::simhw::{CpuConfig, VoltageSetting};
@@ -52,6 +53,39 @@ proptest! {
             let individual = execute(plan.as_mut(), &mut sctx);
             prop_assert_eq!(&split[i], &individual);
         }
+    }
+
+    /// The morsel-parallel executor is a pure throughput knob: for any
+    /// plan, worker count and morsel size, the result rows and the
+    /// merged energy ledger are identical to serial execution.
+    #[test]
+    fn parallel_matches_serial(
+        plan_idx in 0usize..5,
+        workers in 1usize..=8,
+        morsel_rows in prop_oneof![Just(64usize), Just(333), Just(4096)],
+    ) {
+        let db = shared_db();
+        let mk = |cat: &ecodb::storage::Catalog| -> BoxedOp {
+            match plan_idx {
+                0 => plans::q1_plan(cat, 90),
+                1 => plans::q3_plan(cat, "BUILDING", Date::from_ymd(1995, 3, 15)),
+                2 => plans::q5_plan(cat, &ecodb::tpch::Q5Params::new("ASIA", 1994)),
+                3 => plans::q6_plan(cat, 1994, 6, 24),
+                _ => plans::selection_plan(cat, &QedQuery { quantity: 17 }),
+            }
+        };
+        let mut sctx = ExecCtx::new();
+        let serial = execute(mk(db.catalog()).as_mut(), &mut sctx);
+
+        let mut pctx = ExecCtx::new().with_morsel_rows(morsel_rows);
+        let parallel = execute_parallel(mk(db.catalog()).as_mut(), &mut pctx, workers);
+
+        prop_assert_eq!(parallel, serial, "rows (plan {})", plan_idx);
+        prop_assert_eq!(&pctx.cpu, &sctx.cpu, "op counts (plan {})", plan_idx);
+        prop_assert_eq!(pctx.mem_stream_bytes, sctx.mem_stream_bytes);
+        prop_assert_eq!(pctx.mem_random_accesses, sctx.mem_random_accesses);
+        prop_assert_eq!(pctx.disk, sctx.disk);
+        prop_assert_eq!(pctx.pred_evals, sctx.pred_evals);
     }
 
     /// Tuple serialization round-trips arbitrary values.

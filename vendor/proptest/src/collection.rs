@@ -49,7 +49,7 @@ pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
     }
 }
 
-/// The result of [`vec`].
+/// The result of [`vec()`].
 pub struct VecStrategy<S> {
     elem: S,
     size: SizeRange,
