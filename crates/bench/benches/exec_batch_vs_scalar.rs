@@ -1,7 +1,9 @@
-//! Batch (vectorized) vs scalar (tuple-at-a-time) execution over TPC-H
-//! Q1/Q3/Q5/Q6 on the memory engine — the wall-clock payoff of the
-//! `next_batch` path, whose energy ledger is bit-identical to scalar
-//! execution by construction (`tests/integration_vectorized.rs`).
+//! Scalar (tuple-at-a-time) vs batch (vectorized `Vec<Tuple>`) vs
+//! columnar (typed column vectors + selection vectors) execution over
+//! TPC-H Q1/Q3/Q5/Q6 on the memory engine — the wall-clock payoff of
+//! the `next_batch` and `next_chunk` paths, whose energy ledgers are
+//! bit-identical to scalar execution by construction
+//! (`tests/integration_vectorized.rs`, `tests/integration_columnar.rs`).
 //!
 //! Prints an explicit speedup summary first (median of several timed
 //! runs per mode), then registers the individual criterion benchmarks.
@@ -12,7 +14,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use eco_bench::bench_db_memory;
 use eco_core::server::EcoDb;
 use eco_query::context::ExecCtx;
-use eco_query::exec::{execute, execute_scalar};
+use eco_query::exec::{execute, execute_columnar, execute_scalar};
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
 use std::hint::black_box;
@@ -53,6 +55,12 @@ fn run_batch(db: &EcoDb, plan_fn: PlanFn) -> usize {
     execute(plan.as_mut(), &mut ctx).len()
 }
 
+fn run_columnar(db: &EcoDb, plan_fn: PlanFn) -> usize {
+    let mut plan = plan_fn(db);
+    let mut ctx = ExecCtx::new(); // default chunk size (1024)
+    execute_columnar(plan.as_mut(), &mut ctx).len()
+}
+
 fn median_time(mut f: impl FnMut() -> usize, samples: usize) -> Duration {
     black_box(f()); // warm-up
     let mut times: Vec<Duration> = (0..samples)
@@ -67,15 +75,20 @@ fn median_time(mut f: impl FnMut() -> usize, samples: usize) -> Duration {
 }
 
 fn speedup_report(db: &EcoDb) {
-    println!("== vectorized batch execution vs tuple-at-a-time (memory engine) ==");
+    println!("== scalar vs batch vs columnar execution (memory engine) ==");
     for (name, plan_fn) in QUERIES {
         let scalar = median_time(|| run_scalar(db, plan_fn), 7);
         let batch = median_time(|| run_batch(db, plan_fn), 7);
-        let speedup = scalar.as_secs_f64() / batch.as_secs_f64();
+        let columnar = median_time(|| run_columnar(db, plan_fn), 7);
+        let batch_speedup = scalar.as_secs_f64() / batch.as_secs_f64();
+        let col_speedup = scalar.as_secs_f64() / columnar.as_secs_f64();
+        let col_vs_batch = batch.as_secs_f64() / columnar.as_secs_f64();
         println!(
-            "{name}: scalar {:>10.3} ms  batch {:>10.3} ms  speedup {speedup:.2}x",
+            "{name}: scalar {:>9.3} ms  batch {:>9.3} ms ({batch_speedup:.2}x)  \
+             columnar {:>9.3} ms ({col_speedup:.2}x, {col_vs_batch:.2}x over batch)",
             scalar.as_secs_f64() * 1e3,
             batch.as_secs_f64() * 1e3,
+            columnar.as_secs_f64() * 1e3,
         );
     }
 }
@@ -92,6 +105,9 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_function(format!("{name}/batch"), |b| {
             b.iter(|| black_box(run_batch(&db, plan_fn)))
+        });
+        g.bench_function(format!("{name}/columnar"), |b| {
+            b.iter(|| black_box(run_columnar(&db, plan_fn)))
         });
     }
     g.finish();

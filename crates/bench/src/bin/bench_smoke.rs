@@ -1,25 +1,32 @@
 //! `bench_smoke` — the CI perf-trajectory recorder.
 //!
-//! Measures the morsel-parallel executor's wall-clock scaling on TPC-H
-//! Q1/Q5/Q6 (memory engine), verifies the merged parallel ledger is
-//! bit-identical to serial execution at every worker count, and writes
-//! the medians + speedups as JSON for the workflow artifact:
+//! Two artifacts per run, both guarded by ledger-identity checks that
+//! fail the job on mismatch:
+//!
+//! * `BENCH_parallel_scaling.json` — the morsel-parallel executor's
+//!   wall-clock scaling on TPC-H Q1/Q5/Q6 (memory engine), with the
+//!   merged parallel ledger verified bit-identical to serial execution
+//!   at every worker count;
+//! * `BENCH_columnar.json` — batch vs columnar medians and speedups on
+//!   TPC-H Q1/Q6 (the scan/aggregate-bound queries the columnar path
+//!   targets), with rows and ledgers verified identical across engines.
 //!
 //! ```text
-//! cargo run -p eco-bench --bin bench_smoke --release [-- <out.json>]
+//! cargo run -p eco-bench --bin bench_smoke --release \
+//!     [-- <parallel.json> [<columnar.json>]]
 //! ```
 //!
-//! Defaults to `BENCH_parallel_scaling.json` in the current directory
-//! (CI runs it from the repo root). Exits non-zero if any ledger or
-//! row-identity check fails, so the smoke job guards correctness, not
-//! just timing.
+//! Paths default to `BENCH_parallel_scaling.json` /
+//! `BENCH_columnar.json` in the current directory (CI runs it from the
+//! repo root). Exits non-zero if any ledger or row-identity check
+//! fails, so the smoke job guards correctness, not just timing.
 
 use std::time::{Duration, Instant};
 
 use eco_bench::bench_db_memory;
 use eco_core::server::EcoDb;
 use eco_query::context::ExecCtx;
-use eco_query::exec::{execute, execute_parallel};
+use eco_query::exec::{execute, execute_columnar, execute_parallel, execute_scalar};
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
 
@@ -55,10 +62,79 @@ fn median_ns(mut f: impl FnMut(), samples: usize) -> u128 {
     times[times.len() / 2].as_nanos()
 }
 
+/// Batch-vs-columnar medians + identity flags for `BENCH_columnar.json`.
+/// Returns the JSON blob and the number of identity failures.
+fn columnar_report(db: &EcoDb) -> (String, usize) {
+    let mut failures = 0usize;
+    let mut blobs = Vec::new();
+    for (name, plan_fn) in [("q1", q1 as PlanFn), ("q6", q6 as PlanFn)] {
+        // Identity: scalar is the reference; batch and columnar must
+        // match its rows and its full ledger bit-for-bit.
+        let mut sctx = ExecCtx::new().with_batch_size(1);
+        let scalar_rows = execute_scalar(plan_fn(db).as_mut(), &mut sctx);
+        let mut bctx = ExecCtx::new();
+        let batch_rows = execute(plan_fn(db).as_mut(), &mut bctx);
+        let mut cctx = ExecCtx::new();
+        let columnar_rows = execute_columnar(plan_fn(db).as_mut(), &mut cctx);
+        let identical = |ctx: &ExecCtx, rows: &[Vec<eco_storage::Value>]| {
+            rows == &scalar_rows[..]
+                && ctx.cpu == sctx.cpu
+                && ctx.mem_stream_bytes == sctx.mem_stream_bytes
+                && ctx.mem_random_accesses == sctx.mem_random_accesses
+                && ctx.disk == sctx.disk
+                && ctx.pred_evals == sctx.pred_evals
+        };
+        let batch_identical = identical(&bctx, &batch_rows);
+        let columnar_identical = identical(&cctx, &columnar_rows);
+        if !batch_identical || !columnar_identical {
+            eprintln!(
+                "FAIL: {name} engine identity (batch={batch_identical}, columnar={columnar_identical})"
+            );
+            failures += 1;
+        }
+
+        let batch_ns = median_ns(
+            || {
+                let mut ctx = ExecCtx::new();
+                std::hint::black_box(execute(plan_fn(db).as_mut(), &mut ctx).len());
+            },
+            SAMPLES,
+        );
+        let columnar_ns = median_ns(
+            || {
+                let mut ctx = ExecCtx::new();
+                std::hint::black_box(execute_columnar(plan_fn(db).as_mut(), &mut ctx).len());
+            },
+            SAMPLES,
+        );
+        let speedup = batch_ns as f64 / columnar_ns as f64;
+        println!(
+            "{name} columnar: batch {:.3} ms, columnar {:.3} ms, speedup {speedup:.2}x, \
+             ledger_identical={columnar_identical}",
+            batch_ns as f64 / 1e6,
+            columnar_ns as f64 / 1e6,
+        );
+        blobs.push(format!(
+            "\"{name}\":{{\"batch_median_ns\":{batch_ns},\"columnar_median_ns\":{columnar_ns},\
+             \"speedup\":{speedup:.4},\"batch_ledger_identical\":{batch_identical},\
+             \"columnar_ledger_identical\":{columnar_identical}}}"
+        ));
+    }
+    let json = format!(
+        "{{\"bench\":\"exec_columnar_vs_batch\",\"scale\":{},\"samples\":{SAMPLES},\"queries\":{{{}}}}}\n",
+        eco_bench::BENCH_SCALE,
+        blobs.join(",")
+    );
+    (json, failures)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_parallel_scaling.json".to_string());
+    let columnar_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_columnar.json".to_string());
     let host_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -132,6 +208,14 @@ fn main() {
         std::process::exit(2);
     });
     println!("wrote {out_path}");
+
+    let (columnar_json, columnar_failures) = columnar_report(&db);
+    failures += columnar_failures;
+    std::fs::write(&columnar_path, &columnar_json).unwrap_or_else(|e| {
+        eprintln!("cannot write {columnar_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {columnar_path}");
 
     if failures > 0 {
         eprintln!("{failures} ledger-identity check(s) failed");

@@ -18,7 +18,7 @@
 //! remain meaningful across scale factors.
 
 use eco_query::context::ExecCtx;
-use eco_query::exec::{execute, execute_parallel};
+use eco_query::exec::{execute_parallel, ExecEngine};
 use eco_query::mqo::{split_results, MergedSelection};
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
@@ -138,6 +138,7 @@ pub struct EcoDb {
     source: TpchDb,
     catalog: Catalog,
     machine: Machine,
+    engine: ExecEngine,
 }
 
 impl EcoDb {
@@ -162,12 +163,40 @@ impl EcoDb {
             source,
             catalog,
             machine: Machine::paper_sut(),
+            engine: ExecEngine::Batch,
         }
     }
 
     /// The engine profile.
     pub fn profile(&self) -> EngineProfile {
         self.profile
+    }
+
+    /// The execution engine driving statements (default
+    /// [`ExecEngine::Batch`]).
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Same database with a different execution engine (builder style).
+    ///
+    /// Because scalar, batch and columnar execution produce bit-identical
+    /// energy ledgers, every PVC/QED sweep and paper grid can be re-run
+    /// under [`ExecEngine::Columnar`] and yields the same figures —
+    /// only the wall-clock cost of *producing* the traces drops.
+    pub fn with_engine(mut self, engine: ExecEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Switch the execution engine in place.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        self.engine = engine;
+    }
+
+    /// A fresh [`ExecCtx`] configured for this database's engine.
+    fn exec_ctx(&self) -> ExecCtx {
+        ExecCtx::new().with_columnar(self.engine == ExecEngine::Columnar)
     }
 
     /// The scale factor.
@@ -218,9 +247,9 @@ impl EcoDb {
         mut plan: BoxedOp,
         label: &str,
     ) -> (Vec<Tuple>, WorkTrace) {
-        let mut ctx = ExecCtx::new();
+        let mut ctx = self.exec_ctx();
         ctx.charge(OpClass::Parse, parse_tokens(kind));
-        let rows = execute(plan.as_mut(), &mut ctx);
+        let rows = self.engine.execute(plan.as_mut(), &mut ctx);
         let exec_phase = ctx.take_phase(PhaseKind::Execute, label);
         let mut trace = WorkTrace::new();
         trace.push(self.gap_before(&exec_phase));
@@ -257,7 +286,10 @@ impl EcoDb {
         workers: usize,
     ) -> (Vec<Tuple>, Vec<WorkTrace>) {
         assert!(workers >= 1, "need at least one worker");
-        let mut ctx = ExecCtx::new().with_workers(workers);
+        // Workers run batch or columnar pipelines per the engine knob
+        // (a Scalar engine falls back to batch pipelines here — the
+        // morsel driver is inherently batched).
+        let mut ctx = self.exec_ctx().with_workers(workers);
         ctx.charge(OpClass::Parse, parse_tokens(kind));
         let rows = execute_parallel(plan.as_mut(), &mut ctx, workers);
         let phases = ctx.take_core_phases(workers, label);
@@ -374,7 +406,8 @@ impl EcoDb {
             ExecCtx::new()
         } else {
             ExecCtx::exhaustive()
-        };
+        }
+        .with_columnar(self.engine == ExecEngine::Columnar);
         ctx.charge(
             OpClass::Parse,
             parse_tokens(StatementKind::MergedSelection(queries.len())),
@@ -468,7 +501,8 @@ impl EcoDb {
             ExecCtx::new()
         } else {
             ExecCtx::exhaustive()
-        };
+        }
+        .with_columnar(self.engine == ExecEngine::Columnar);
         ctx.charge(
             OpClass::Parse,
             parse_tokens(StatementKind::MergedSelection(queries.len())),
@@ -523,10 +557,10 @@ impl EcoDb {
         sql: &str,
     ) -> Result<(Vec<Tuple>, WorkTrace), eco_query::sql::SqlError> {
         let mut plan = eco_query::sql::compile(&self.catalog, sql)?;
-        let mut ctx = ExecCtx::new();
+        let mut ctx = self.exec_ctx();
         let tokens = (sql.split_whitespace().count() as u64).max(4);
         ctx.charge(OpClass::Parse, tokens);
-        let rows = execute(plan.as_mut(), &mut ctx);
+        let rows = self.engine.execute(plan.as_mut(), &mut ctx);
         let exec_phase = ctx.take_phase(PhaseKind::Execute, "sql");
         let mut trace = WorkTrace::new();
         trace.push(self.gap_before(&exec_phase));

@@ -55,6 +55,13 @@ pub struct ExecCtx {
     /// operators may align this upward (disk scans round to whole
     /// extents so parallel I/O charges stay identical to serial).
     pub morsel_rows: usize,
+    /// Columnar execution: when set, drivers and blocking operators
+    /// move data through [`crate::ops::Operator::next_chunk`] (typed
+    /// column vectors + selection vectors) instead of `Vec<Tuple>`
+    /// batches. Like `batch_size` and `workers`, a pure throughput
+    /// knob: the energy ledger is bit-identical either way
+    /// (`tests/integration_columnar.rs`).
+    pub columnar: bool,
     /// Streaming-exactness depth: non-zero while opening the subtree of
     /// an early-terminating operator ([`crate::ops::Limit`]). Parallel
     /// sections that would pre-materialize a *streaming* child (and so
@@ -81,6 +88,7 @@ impl Default for ExecCtx {
             batch_size: DEFAULT_BATCH_SIZE,
             workers: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            columnar: false,
             streaming_exact: 0,
             core_charges: Vec::new(),
         }
@@ -125,6 +133,12 @@ impl ExecCtx {
         self
     }
 
+    /// Same context with columnar execution toggled (builder style).
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
+        self
+    }
+
     /// An empty ledger carrying this context's evaluation knobs — what
     /// each parallel worker charges into. Workers never re-parallelize
     /// (`workers = 1`): nesting would oversubscribe the machine without
@@ -134,6 +148,7 @@ impl ExecCtx {
             short_circuit_or: self.short_circuit_or,
             batch_size: self.batch_size,
             morsel_rows: self.morsel_rows,
+            columnar: self.columnar,
             ..ExecCtx::default()
         }
     }
@@ -301,13 +316,15 @@ mod tests {
         let mut ctx = ExecCtx::exhaustive()
             .with_batch_size(7)
             .with_workers(4)
-            .with_morsel_rows(99);
+            .with_morsel_rows(99)
+            .with_columnar(true);
         ctx.charge(OpClass::Arith, 5);
         let f = ctx.fork();
         assert!(f.is_empty());
         assert!(!f.short_circuit_or);
         assert_eq!(f.batch_size, 7);
         assert_eq!(f.morsel_rows, 99);
+        assert!(f.columnar, "columnar mode survives forking");
         assert_eq!(f.workers, 1, "workers never nest parallel sections");
     }
 

@@ -1,15 +1,19 @@
 //! Driving a plan to completion.
 //!
 //! [`execute`] / [`execute_into`] drive the plan through the vectorized
-//! batch path ([`Operator::next_batch`]); [`execute_scalar`] /
-//! [`execute_into_scalar`] retain the tuple-at-a-time Volcano loop;
-//! [`execute_parallel`] adds morsel-driven intra-query parallelism on
-//! worker threads. All three produce identical result rows and
+//! batch path ([`Operator::next_batch`]); [`execute_columnar`] drives
+//! it through the columnar path ([`Operator::next_chunk`] — typed
+//! column vectors and selection vectors, rows materialized only at the
+//! top); [`execute_scalar`] / [`execute_into_scalar`] retain the
+//! tuple-at-a-time Volcano loop; [`execute_parallel`] adds
+//! morsel-driven intra-query parallelism on worker threads and composes
+//! with all of them (a columnar context runs columnar pipelines on
+//! every worker). All paths produce identical result rows and
 //! bit-identical [`ExecCtx`] ledgers (see
-//! `tests/integration_vectorized.rs` and
-//! `tests/integration_parallel.rs`) — batch size and worker count are
-//! purely throughput knobs; the energy accounting the paper's figures
-//! are computed from never changes.
+//! `tests/integration_vectorized.rs`, `tests/integration_columnar.rs`
+//! and `tests/integration_parallel.rs`) — engine choice, batch size and
+//! worker count are purely throughput knobs; the energy accounting the
+//! paper's figures are computed from never changes.
 
 use eco_simhw::trace::OpClass;
 use eco_storage::{tuple_width, Tuple};
@@ -17,6 +21,53 @@ use eco_storage::{tuple_width, Tuple};
 use crate::context::ExecCtx;
 use crate::ops::Operator;
 use crate::parallel::gather_parallel;
+
+/// Which execution engine drives a plan — a pure throughput knob; all
+/// three produce identical rows and bit-identical ledgers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecEngine {
+    /// Tuple-at-a-time Volcano loop (the measured baseline).
+    Scalar,
+    /// Vectorized `Vec<Tuple>` batches (PR 2).
+    Batch,
+    /// Typed column vectors + selection vectors with late
+    /// materialization (this PR); the fastest path on scan-heavy plans.
+    Columnar,
+}
+
+impl ExecEngine {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::Scalar => "scalar",
+            ExecEngine::Batch => "batch",
+            ExecEngine::Columnar => "columnar",
+        }
+    }
+
+    /// Execute `plan` under this engine, appending into `out`. The
+    /// engine choice is authoritative: a context whose
+    /// [`ExecCtx::columnar`] flag disagrees is overridden for the
+    /// duration of the run (and restored), so `ExecEngine::Batch`
+    /// always measures the batch driver.
+    pub fn execute_into(self, plan: &mut dyn Operator, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) {
+        let saved = ctx.columnar;
+        ctx.columnar = false;
+        match self {
+            ExecEngine::Scalar => execute_into_scalar(plan, ctx, out),
+            ExecEngine::Batch => execute_into(plan, ctx, out),
+            ExecEngine::Columnar => execute_columnar_into(plan, ctx, out),
+        }
+        ctx.columnar = saved;
+    }
+
+    /// Execute `plan` under this engine, returning all result tuples.
+    pub fn execute(self, plan: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        self.execute_into(plan, ctx, &mut out);
+        out
+    }
+}
 
 /// Execute a plan through the batch path, returning all result tuples.
 /// Each result row charges one `ResultEmit` plus its width in memory
@@ -30,7 +81,15 @@ pub fn execute(plan: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Tuple> {
 
 /// Like [`execute`], appending into an existing buffer (lets callers
 /// reuse a workhorse allocation across queries).
+///
+/// A context with [`ExecCtx::columnar`] set is routed through the
+/// columnar driver, so callers that thread a context through generic
+/// entry points (the server facade, the QED merger) get the columnar
+/// path without new plumbing.
 pub fn execute_into(plan: &mut dyn Operator, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) {
+    if ctx.columnar {
+        return execute_columnar_into(plan, ctx, out);
+    }
     plan.open(ctx);
     loop {
         let start = out.len();
@@ -45,6 +104,40 @@ pub fn execute_into(plan: &mut dyn Operator, ctx: &mut ExecCtx, out: &mut Vec<Tu
             return;
         }
     }
+}
+
+/// Execute a plan through the columnar path ([`Operator::next_chunk`]),
+/// returning all result tuples. Chunks stream through the plan as typed
+/// column vectors with selection vectors; rows are materialized only
+/// here, at the top (late materialization), charging the same
+/// `ResultEmit` + width bytes per row as the other drivers.
+pub fn execute_columnar(plan: &mut dyn Operator, ctx: &mut ExecCtx) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    execute_columnar_into(plan, ctx, &mut out);
+    out
+}
+
+/// Like [`execute_columnar`], appending into an existing buffer.
+///
+/// The context's [`ExecCtx::columnar`] flag is raised for the duration
+/// of the run (blocking operators consult it when draining children)
+/// and restored afterwards, so a reused context does not silently
+/// switch later [`execute`] calls onto the columnar driver.
+pub fn execute_columnar_into(plan: &mut dyn Operator, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) {
+    let saved = ctx.columnar;
+    ctx.columnar = true;
+    plan.open(ctx);
+    while let Some(chunk) = plan.next_chunk(ctx) {
+        if chunk.is_empty() {
+            continue;
+        }
+        let start = out.len();
+        chunk.to_tuples(out);
+        let bytes: u64 = out[start..].iter().map(tuple_width).sum();
+        ctx.charge(OpClass::ResultEmit, (out.len() - start) as u64);
+        ctx.charge_mem_bytes(bytes);
+    }
+    ctx.columnar = saved;
 }
 
 /// Execute a plan with `workers` morsel-parallel worker threads.
@@ -143,6 +236,16 @@ mod tests {
             assert_eq!(ctx_b.mem_random_accesses, ctx_s.mem_random_accesses);
             assert_eq!(ctx_b.pred_evals, ctx_s.pred_evals);
         }
+    }
+
+    #[test]
+    fn columnar_driver_restores_the_context_flag() {
+        let mut ctx = ExecCtx::new();
+        let rows_c = execute_columnar(&mut plan(), &mut ctx);
+        assert!(!ctx.columnar, "flag must not leak out of the columnar run");
+        // The same context now drives a genuine batch run.
+        let rows_b = execute(&mut plan(), &mut ctx);
+        assert_eq!(rows_b, rows_c);
     }
 
     #[test]

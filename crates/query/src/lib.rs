@@ -31,6 +31,27 @@
 //! exec_batch_vs_scalar`) while producing the same rows and the same
 //! joules.
 //!
+//! ## Columnar execution
+//!
+//! [`ops::Operator::next_chunk`] streams [`chunk::Chunk`]s — `Arc`-shared
+//! windows of typed column vectors (`eco-storage`'s `DataChunk`) plus a
+//! *selection vector* of live rows — through the plan instead of
+//! `Vec<Tuple>` batches. Scans emit windows over a table's columnar
+//! mirror with no per-row clone; filters refine the selection vector
+//! column-at-a-time (short-circuiting becomes selection narrowing, with
+//! identical evaluation counts); aggregates update typed accumulator
+//! arrays keyed by group id; joins hash key columns directly; rows are
+//! re-materialized only at pipeline breakers and at the very top
+//! (**late materialization**). [`exec::execute_columnar`] drives the
+//! path (and [`exec::ExecEngine`] names all three engines); on
+//! scan-heavy TPC-H Q1/Q6 it is ~3-4x faster than the batch path
+//! (`exec_batch_vs_scalar` bench, recorded per-commit in CI's
+//! `BENCH_columnar.json`) while producing the same rows and **the same
+//! bit-identical energy ledger** — enforced by
+//! `tests/integration_columnar.rs` and the `columnar_matches_scalar`
+//! property test, on both storage engines, cold and warm, serial and
+//! morsel-parallel.
+//!
 //! ## Morsel-driven parallel execution
 //!
 //! [`exec::execute_parallel`] runs a plan across worker threads:
@@ -59,6 +80,7 @@
 //! * a cardinality + energy/time cost model ([`estimate`]) — the
 //!   "energy-aware optimizer" piece of the paper's vision.
 
+pub mod chunk;
 pub mod context;
 pub mod estimate;
 pub mod exec;
@@ -69,8 +91,12 @@ pub mod parallel;
 pub mod plans;
 pub mod sql;
 
+pub use chunk::{Chunk, Rows};
 pub use context::ExecCtx;
-pub use exec::{execute, execute_into, execute_parallel, execute_parallel_into};
+pub use exec::{
+    execute, execute_columnar, execute_columnar_into, execute_into, execute_parallel,
+    execute_parallel_into, ExecEngine,
+};
 pub use expr::{AggFunc, ArithOp, CmpOp, Expr};
 pub use ops::Operator;
 pub use parallel::Morsel;

@@ -8,10 +8,15 @@
 //! respect to splitting the result, which … we do in the application
 //! logic and include the time and energy cost").
 
+use std::sync::Arc;
+
 use eco_simhw::trace::OpClass;
-use eco_storage::{tuple_width, Catalog, ColumnType, Schema, Tuple, Value};
+use eco_storage::{
+    tuple_width, Catalog, ColumnChunk, ColumnData, ColumnType, DataChunk, Schema, Tuple, Value,
+};
 use eco_tpch::QedQuery;
 
+use crate::chunk::{Chunk, Rows};
 use crate::context::ExecCtx;
 use crate::expr::Expr;
 use crate::ops::{BoxedOp, Operator, SeqScan};
@@ -25,8 +30,13 @@ use crate::plans::selection_predicate;
 /// stops at the first matching predicate (sound only when at most one
 /// can match — true for QED's distinct `l_quantity` values). Otherwise
 /// every predicate is evaluated and a row may fan out to several
-/// queries; fan-out rows emit in predicate order in both scalar and
-/// batch mode.
+/// queries; fan-out rows emit in predicate order (row-major) in scalar,
+/// batch and columnar mode alike.
+///
+/// The batch and columnar paths are steady-state allocation-lean: the
+/// input scratch buffer, the columnar match buffers and (disjoint path)
+/// the output reservation are all reused across batches, so QED's
+/// disjoint fast path performs no per-batch buffer allocation.
 pub struct MultiFilter {
     child: BoxedOp,
     predicates: Vec<Expr>,
@@ -34,6 +44,11 @@ pub struct MultiFilter {
     schema: Schema,
     pending: std::collections::VecDeque<Tuple>,
     scratch: Vec<Tuple>,
+    /// Columnar scratch: live-row indices not yet claimed by a
+    /// predicate (disjoint short-circuit narrowing).
+    alive: Vec<u32>,
+    /// Columnar scratch: matched `(row, query id)` pairs.
+    matches: Vec<(u32, u16)>,
 }
 
 impl MultiFilter {
@@ -52,6 +67,8 @@ impl MultiFilter {
             schema: Schema::new(&refs),
             pending: std::collections::VecDeque::new(),
             scratch: Vec::new(),
+            alive: Vec::new(),
+            matches: Vec::new(),
         }
     }
 
@@ -115,6 +132,11 @@ impl Operator for MultiFilter {
         let mut input = std::mem::take(&mut self.scratch);
         input.clear();
         let more = self.child.next_batch(ctx, &mut input);
+        if self.disjoint {
+            // At most one output per input row: reserve the fan-out
+            // upper bound once so the fast path never regrows `out`.
+            out.reserve(input.len());
+        }
         for t in &input {
             Self::route(&self.predicates, self.disjoint, t, ctx, |tagged| {
                 out.push(tagged);
@@ -122,6 +144,68 @@ impl Operator for MultiFilter {
         }
         self.scratch = input;
         more
+    }
+
+    /// Columnar routing: evaluate each predicate over the rows still in
+    /// play (disjoint short-circuit narrows the live set exactly like
+    /// the scalar `stop_at_first` loop, so predicate-evaluation charges
+    /// are identical), collect `(row, query)` matches in row-major
+    /// order, and emit one gathered chunk: the tag column plus the
+    /// child's columns — no per-row tuple is built.
+    fn next_chunk(&mut self, ctx: &mut ExecCtx) -> Option<Chunk> {
+        let chunk = self.child.next_chunk(ctx)?;
+        self.matches.clear();
+        let stop_at_first = self.disjoint && ctx.short_circuit_or;
+        if stop_at_first {
+            self.alive.clear();
+            chunk.rows().for_each(|_, i| self.alive.push(i as u32));
+            for (qid, pred) in self.predicates.iter().enumerate() {
+                if self.alive.is_empty() {
+                    break;
+                }
+                let flags = pred.eval_flags(&chunk.data, Rows::Sel(&self.alive), ctx);
+                let mut write = 0;
+                for (k, &matched) in flags.iter().enumerate() {
+                    if matched {
+                        self.matches.push((self.alive[k], qid as u16));
+                    } else {
+                        self.alive[write] = self.alive[k];
+                        write += 1;
+                    }
+                }
+                self.alive.truncate(write);
+            }
+            // Narrowing discovers matches predicate-major; the output
+            // contract is row-major (each row appears at most once here,
+            // so sorting by row id restores the scalar emission order).
+            self.matches.sort_unstable_by_key(|&(row, _)| row);
+        } else {
+            // Every predicate sees every live row; a row may fan out to
+            // several queries, emitted in predicate order per row.
+            let rows = chunk.rows();
+            let flags_per_pred: Vec<Vec<bool>> = self
+                .predicates
+                .iter()
+                .map(|p| p.eval_flags(&chunk.data, rows, ctx))
+                .collect();
+            rows.for_each(|k, i| {
+                for (qid, flags) in flags_per_pred.iter().enumerate() {
+                    if flags[k] {
+                        self.matches.push((i as u32, qid as u16));
+                    }
+                }
+            });
+        }
+
+        // Gather the output chunk: tag column + child columns.
+        let tags = ColumnData::Int(self.matches.iter().map(|&(_, q)| q as i64).collect());
+        let indices: Vec<u32> = self.matches.iter().map(|&(row, _)| row).collect();
+        let mut cols = Vec::with_capacity(1 + chunk.data.arity());
+        cols.push(ColumnChunk::new(tags));
+        for c in chunk.data.columns() {
+            cols.push(c.gather(&indices));
+        }
+        Some(Chunk::dense(Arc::new(DataChunk::new(cols))))
     }
 
     fn morsels(&self, target_rows: usize) -> Option<Vec<Morsel>> {
@@ -137,6 +221,8 @@ impl Operator for MultiFilter {
             schema: self.schema.clone(),
             pending: std::collections::VecDeque::new(),
             scratch: Vec::new(),
+            alive: Vec::new(),
+            matches: Vec::new(),
         }))
     }
 }

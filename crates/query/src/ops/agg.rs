@@ -5,9 +5,10 @@ use std::collections::HashMap;
 use eco_simhw::trace::OpClass;
 use eco_storage::{ColumnType, Schema, Tuple, Value};
 
+use crate::chunk::Chunk;
 use crate::context::ExecCtx;
 use crate::expr::{AggFunc, Expr};
-use crate::ops::{drain_batches, BoxedOp, Operator};
+use crate::ops::{drain_batches, drain_chunks, BoxedOp, Operator};
 use crate::parallel::run_morsels;
 
 /// One aggregate output: function, input expression, output name.
@@ -136,8 +137,8 @@ impl AggState {
 }
 
 /// Index from group key to slot in the ordered accumulator list.
-/// Single-column keys are indexed by a borrowed [`Value`] directly and
-/// composite keys are looked up through a reused scratch vector (via
+/// Single-column keys are indexed by a [`Value`] directly and composite
+/// keys are looked up through a reused scratch vector (via
 /// `Vec<Value>: Borrow<[Value]>`), so the steady-state path performs no
 /// per-row key allocation.
 enum GroupIndex {
@@ -145,6 +146,38 @@ enum GroupIndex {
     Single(HashMap<Value, usize>),
     /// Zero or several group columns.
     Multi(HashMap<Vec<Value>, usize>),
+}
+
+impl GroupIndex {
+    /// Slot of the group key currently held in `scratch` (single-key
+    /// callers place the one value there too). Lookup borrows the
+    /// scratch — no allocation; on first sight the key is inserted with
+    /// slot `next` and the materialized key tuple is returned for the
+    /// caller to register in its first-seen-ordered storage.
+    ///
+    /// This is the *single* source of truth for slot assignment: both
+    /// the row-path [`GroupTable`] and the columnar
+    /// [`ColumnarGroups`] route through it, so their group order (and
+    /// with it rows and ledgers) cannot drift apart.
+    fn slot_or_insert(&mut self, scratch: &mut Vec<Value>, next: usize) -> (usize, Option<Tuple>) {
+        match self {
+            GroupIndex::Single(m) => match m.get(&scratch[0]) {
+                Some(&s) => (s, None),
+                None => {
+                    m.insert(scratch[0].clone(), next);
+                    (next, Some(std::mem::take(scratch)))
+                }
+            },
+            GroupIndex::Multi(m) => match m.get(scratch.as_slice()) {
+                Some(&s) => (s, None),
+                None => {
+                    let key = std::mem::take(scratch);
+                    m.insert(key.clone(), next);
+                    (next, Some(key))
+                }
+            },
+        }
+    }
 }
 
 /// A grouping hash table: first-seen-ordered accumulators plus the
@@ -181,41 +214,19 @@ impl GroupTable {
     /// first sight. Charges nothing (the per-row probe charge is made
     /// by [`Self::absorb`], batch-aggregated).
     fn slot(&mut self, t: &Tuple) -> usize {
-        match &mut self.index {
-            GroupIndex::Single(m) => {
-                let key = &t[self.group_cols[0]];
-                match m.get(key) {
-                    Some(&i) => i,
-                    None => {
-                        let i = self.entries.len();
-                        m.insert(key.clone(), i);
-                        self.entries.push((
-                            vec![key.clone()],
-                            self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                        ));
-                        i
-                    }
-                }
-            }
-            GroupIndex::Multi(m) => {
-                self.scratch_key.clear();
-                self.scratch_key
-                    .extend(self.group_cols.iter().map(|&i| t[i].clone()));
-                match m.get(self.scratch_key.as_slice()) {
-                    Some(&i) => i,
-                    None => {
-                        let i = self.entries.len();
-                        let key = std::mem::take(&mut self.scratch_key);
-                        m.insert(key.clone(), i);
-                        self.entries.push((
-                            key,
-                            self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                        ));
-                        i
-                    }
-                }
-            }
+        self.scratch_key.clear();
+        self.scratch_key
+            .extend(self.group_cols.iter().map(|&i| t[i].clone()));
+        let (slot, new_key) = self
+            .index
+            .slot_or_insert(&mut self.scratch_key, self.entries.len());
+        if let Some(key) = new_key {
+            self.entries.push((
+                key,
+                self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+            ));
         }
+        slot
     }
 
     /// Absorb one input batch: one probe + one latency-bound access per
@@ -243,32 +254,17 @@ impl GroupTable {
 
     /// Slot for an already-extracted group-key tuple (merge path).
     fn slot_for_key(&mut self, key: Tuple) -> usize {
-        match &mut self.index {
-            GroupIndex::Single(m) => match m.get(&key[0]) {
-                Some(&i) => i,
-                None => {
-                    let i = self.entries.len();
-                    m.insert(key[0].clone(), i);
-                    self.entries.push((
-                        key,
-                        self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                    ));
-                    i
-                }
-            },
-            GroupIndex::Multi(m) => match m.get(key.as_slice()) {
-                Some(&i) => i,
-                None => {
-                    let i = self.entries.len();
-                    m.insert(key.clone(), i);
-                    self.entries.push((
-                        key,
-                        self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
-                    ));
-                    i
-                }
-            },
+        self.scratch_key = key;
+        let (slot, new_key) = self
+            .index
+            .slot_or_insert(&mut self.scratch_key, self.entries.len());
+        if let Some(key) = new_key {
+            self.entries.push((
+                key,
+                self.aggs.iter().map(|a| AggState::new(a.func)).collect(),
+            ));
         }
+        slot
     }
 
     /// Merge a partial table built from a later portion of the input
@@ -282,6 +278,206 @@ impl GroupTable {
                 mine.merge(theirs);
             }
         }
+    }
+}
+
+/// One aggregate's accumulators for the columnar path: a typed array
+/// indexed by group id, updated in tight per-chunk loops instead of
+/// per-row `AggState` enum dispatch.
+enum ColAcc {
+    Sum(Vec<i64>),
+    Count(Vec<i64>),
+    Min(Vec<Option<Value>>),
+    Max(Vec<Option<Value>>),
+    Avg { sums: Vec<i64>, counts: Vec<i64> },
+}
+
+impl ColAcc {
+    fn new(f: AggFunc) -> Self {
+        match f {
+            AggFunc::Sum => ColAcc::Sum(Vec::new()),
+            AggFunc::Count => ColAcc::Count(Vec::new()),
+            AggFunc::Min => ColAcc::Min(Vec::new()),
+            AggFunc::Max => ColAcc::Max(Vec::new()),
+            AggFunc::Avg => ColAcc::Avg {
+                sums: Vec::new(),
+                counts: Vec::new(),
+            },
+        }
+    }
+
+    /// Add a zeroed slot for a newly-seen group.
+    fn grow(&mut self) {
+        match self {
+            ColAcc::Sum(v) | ColAcc::Count(v) => v.push(0),
+            ColAcc::Min(v) | ColAcc::Max(v) => v.push(None),
+            ColAcc::Avg { sums, counts } => {
+                sums.push(0);
+                counts.push(0);
+            }
+        }
+    }
+
+    /// The group's final [`AggState`] (for the shared merge/finish
+    /// machinery).
+    fn state(&self, gid: usize) -> AggState {
+        match self {
+            ColAcc::Sum(v) => AggState::Sum(v[gid]),
+            ColAcc::Count(v) => AggState::Count(v[gid]),
+            ColAcc::Min(v) => AggState::Min(v[gid].clone()),
+            ColAcc::Max(v) => AggState::Max(v[gid].clone()),
+            ColAcc::Avg { sums, counts } => AggState::Avg {
+                sum: sums[gid],
+                count: counts[gid],
+            },
+        }
+    }
+}
+
+/// The columnar grouping table: the same key → first-seen-slot index as
+/// [`GroupTable`], but with typed accumulator arrays ([`ColAcc`]) keyed
+/// by group id. Absorbing a chunk computes group ids for every live
+/// row, then updates each aggregate in a typed column loop
+/// ([`Expr::eval_num`] resolves `SUM`/`AVG` inputs straight to `i64`
+/// slices). Charges are identical to [`GroupTable::absorb`]: one
+/// `HashProbe` + one random access per row, one `AggUpdate` per
+/// (row, aggregate), plus whatever the input expressions charge.
+struct ColumnarGroups {
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    keys: Vec<Tuple>,
+    index: GroupIndex,
+    accs: Vec<ColAcc>,
+    /// Reused per-chunk group-id buffer.
+    gids: Vec<u32>,
+    scratch_key: Vec<Value>,
+}
+
+impl ColumnarGroups {
+    fn new(group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
+        let index = if group_cols.len() == 1 {
+            GroupIndex::Single(HashMap::new())
+        } else {
+            GroupIndex::Multi(HashMap::new())
+        };
+        let accs = aggs.iter().map(|a| ColAcc::new(a.func)).collect();
+        Self {
+            scratch_key: Vec::with_capacity(group_cols.len()),
+            group_cols,
+            aggs,
+            keys: Vec::new(),
+            index,
+            accs,
+            gids: Vec::new(),
+        }
+    }
+
+    /// Group id for row `i` of `chunk`, inserting a fresh slot (and
+    /// growing every accumulator) on first sight. Slot assignment is
+    /// the shared [`GroupIndex::slot_or_insert`] discipline, so group
+    /// order is the row path's by construction.
+    fn gid_of(&mut self, chunk: &Chunk, i: usize) -> u32 {
+        self.scratch_key.clear();
+        self.scratch_key
+            .extend(self.group_cols.iter().map(|&c| chunk.data.value(c, i)));
+        let (slot, new_key) = self
+            .index
+            .slot_or_insert(&mut self.scratch_key, self.keys.len());
+        if let Some(key) = new_key {
+            self.keys.push(key);
+            self.accs.iter_mut().for_each(ColAcc::grow);
+        }
+        slot as u32
+    }
+
+    /// Absorb one chunk (see type docs for the charge contract).
+    fn absorb(&mut self, ctx: &mut ExecCtx, chunk: &Chunk) {
+        let n = chunk.len();
+        if n == 0 {
+            return;
+        }
+        ctx.charge(OpClass::HashProbe, n as u64);
+        ctx.charge_mem_random(n as u64);
+        ctx.charge(OpClass::AggUpdate, (n * self.aggs.len()) as u64);
+
+        let mut gids = std::mem::take(&mut self.gids);
+        gids.clear();
+        gids.reserve(n);
+        chunk.rows().for_each(|_, i| {
+            let gid = self.gid_of(chunk, i);
+            gids.push(gid);
+        });
+
+        let rows = chunk.rows();
+        for (spec, acc) in self.aggs.iter().zip(&mut self.accs) {
+            match (spec.func, acc) {
+                (AggFunc::Count, ColAcc::Count(counts)) => {
+                    for &g in &gids {
+                        counts[g as usize] += 1;
+                    }
+                }
+                (AggFunc::Sum, ColAcc::Sum(sums)) => {
+                    let src = spec.input.eval_num(&chunk.data, rows, ctx);
+                    rows.for_each(|k, i| sums[gids[k] as usize] += src.get(k, i));
+                }
+                (AggFunc::Avg, ColAcc::Avg { sums, counts }) => {
+                    let src = spec.input.eval_num(&chunk.data, rows, ctx);
+                    rows.for_each(|k, i| {
+                        let g = gids[k] as usize;
+                        sums[g] += src.get(k, i);
+                        counts[g] += 1;
+                    });
+                }
+                (AggFunc::Min, ColAcc::Min(accs)) => {
+                    let col = spec.input.eval_column(&chunk.data, rows, ctx);
+                    rows.for_each(|k, _| {
+                        let g = gids[k] as usize;
+                        let v = col.data.value(k);
+                        let replace = match &accs[g] {
+                            None => true,
+                            Some(cur) => {
+                                v.partial_cmp_typed(cur).expect("comparable MIN")
+                                    == std::cmp::Ordering::Less
+                            }
+                        };
+                        if replace {
+                            accs[g] = Some(v);
+                        }
+                    });
+                }
+                (AggFunc::Max, ColAcc::Max(accs)) => {
+                    let col = spec.input.eval_column(&chunk.data, rows, ctx);
+                    rows.for_each(|k, _| {
+                        let g = gids[k] as usize;
+                        let v = col.data.value(k);
+                        let replace = match &accs[g] {
+                            None => true,
+                            Some(cur) => {
+                                v.partial_cmp_typed(cur).expect("comparable MAX")
+                                    == std::cmp::Ordering::Greater
+                            }
+                        };
+                        if replace {
+                            accs[g] = Some(v);
+                        }
+                    });
+                }
+                _ => unreachable!("accumulator variant matches its spec"),
+            }
+        }
+        self.gids = gids;
+    }
+
+    /// Convert into a [`GroupTable`] (first-seen order preserved) so
+    /// partial-merge and output assembly stay on one code path.
+    fn into_group_table(self) -> GroupTable {
+        let mut table = GroupTable::new(self.group_cols, self.aggs);
+        for (gid, key) in self.keys.into_iter().enumerate() {
+            let slot = table.slot_for_key(key);
+            debug_assert_eq!(slot, gid);
+            table.entries[slot].1 = self.accs.iter().map(|a| a.state(gid)).collect();
+        }
+        table
     }
 }
 
@@ -351,6 +547,14 @@ impl Operator for HashAggregate {
         let group_cols = &self.group_cols;
         let aggs = &self.aggs;
         let partials = run_morsels(self.child.as_ref(), ctx, |wctx, pipe| {
+            // Columnar workers absorb chunks into typed accumulator
+            // arrays; either way the partial is handed back as a
+            // GroupTable so the in-order fold below is engine-agnostic.
+            if wctx.columnar {
+                let mut part = ColumnarGroups::new(group_cols.clone(), aggs.clone());
+                drain_chunks(pipe, wctx, |wctx, chunk| part.absorb(wctx, chunk));
+                return part.into_group_table();
+            }
             let mut part = GroupTable::new(group_cols.clone(), aggs.clone());
             let mut batch = Vec::new();
             loop {
@@ -376,6 +580,14 @@ impl Operator for HashAggregate {
                     table.merge(part);
                 }
                 table
+            }
+            None if ctx.columnar => {
+                self.child.open(ctx);
+                let mut groups = ColumnarGroups::new(self.group_cols.clone(), self.aggs.clone());
+                drain_chunks(self.child.as_mut(), ctx, |ctx, chunk| {
+                    groups.absorb(ctx, chunk);
+                });
+                groups.into_group_table()
             }
             None => {
                 self.child.open(ctx);
@@ -531,6 +743,67 @@ mod tests {
             }],
         );
         assert!(run(&mut agg).is_empty());
+    }
+
+    /// Micro-assertion for the multi-column group-key path: composite
+    /// keys produce identical groups, values and ledgers across scalar,
+    /// batch and columnar execution (the columnar path probes the same
+    /// scratch-buffered index, so no `Vec<Value>` per row anywhere).
+    #[test]
+    fn multi_key_groups_and_ledgers_identical_across_engines() {
+        use crate::exec::ExecEngine;
+        let schema = Schema::new(&[
+            ("g1", ColumnType::Str),
+            ("g2", ColumnType::Int),
+            ("v", ColumnType::Int),
+        ]);
+        let mk = || {
+            let src = VecSource::new(
+                schema.clone(),
+                (0..50)
+                    .map(|i| {
+                        vec![
+                            Value::str(format!("s{}", i % 3)),
+                            Value::Int(i % 4),
+                            Value::Int(i),
+                        ]
+                    })
+                    .collect(),
+            );
+            HashAggregate::new(
+                Box::new(src),
+                vec![0, 1],
+                vec![
+                    AggSpec {
+                        func: AggFunc::Sum,
+                        input: Expr::col(2),
+                        name: "s".into(),
+                    },
+                    AggSpec {
+                        func: AggFunc::Min,
+                        input: Expr::col(2),
+                        name: "mn".into(),
+                    },
+                ],
+            )
+        };
+
+        let mut sctx = ExecCtx::new().with_batch_size(1);
+        let mut agg = mk();
+        let scalar_rows = crate::exec::execute_scalar(&mut agg, &mut sctx);
+        assert_eq!(scalar_rows.len(), 12, "3 × 4 composite groups");
+
+        for engine in [ExecEngine::Batch, ExecEngine::Columnar] {
+            let mut ctx = ExecCtx::new();
+            let mut agg = mk();
+            let rows = engine.execute(&mut agg, &mut ctx);
+            assert_eq!(rows, scalar_rows, "{engine:?}: groups differ");
+            assert_eq!(ctx.cpu, sctx.cpu, "{engine:?}: op counts differ");
+            assert_eq!(
+                ctx.mem_random_accesses, sctx.mem_random_accesses,
+                "{engine:?}"
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use eco_storage::{Schema, Tuple};
 
+use crate::chunk::Chunk;
 use crate::context::ExecCtx;
 use crate::expr::Expr;
 use crate::ops::{BoxedOp, Operator};
@@ -16,6 +17,12 @@ use crate::parallel::Morsel;
 /// it over borrowed rows and never materialize non-matching tuples.
 /// Children without a fused path fall back to a pulled batch compacted
 /// in place.
+///
+/// In columnar mode ([`Operator::next_chunk`]) the predicate is
+/// evaluated column-at-a-time into the chunk's *selection vector* —
+/// no row is ever materialized or moved; non-matching rows are simply
+/// dropped from the selection. Charges are identical to evaluating the
+/// predicate against every live row ([`Expr::filter_sel`]).
 pub struct Filter {
     child: BoxedOp,
     predicate: Expr,
@@ -64,6 +71,19 @@ impl Operator for Filter {
         }
         out.truncate(write);
         more
+    }
+
+    fn next_chunk(&mut self, ctx: &mut ExecCtx) -> Option<Chunk> {
+        let mut chunk = self.child.next_chunk(ctx)?;
+        if chunk.is_empty() {
+            return Some(chunk);
+        }
+        let mut sel = match chunk.sel.take() {
+            Some(sel) => sel,
+            None => chunk.rows().to_indices(),
+        };
+        self.predicate.filter_sel(&chunk.data, &mut sel, ctx);
+        Some(chunk.with_sel(sel))
     }
 
     fn morsels(&self, target_rows: usize) -> Option<Vec<Morsel>> {

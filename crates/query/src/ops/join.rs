@@ -1,21 +1,25 @@
 //! Hash join (equi-join, possibly multi-column keys).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use eco_simhw::trace::OpClass;
-use eco_storage::{tuple_width, Schema, Tuple, Value};
+use eco_storage::{tuple_width, DataChunk, Schema, Tuple, Value};
 
+use crate::chunk::Chunk;
 use crate::context::ExecCtx;
-use crate::ops::{drain_batches, BoxedOp, Operator};
+use crate::ops::{drain_batches, drain_chunks, BoxedOp, Operator};
 use crate::parallel::run_morsels;
 
 /// The build-side hash table. Single-column keys index the table by a
-/// borrowed [`Value`] directly, so probing never allocates a key
-/// vector — the common case for every TPC-H join in this repo.
+/// borrowed [`Value`] directly, and composite keys are looked up
+/// through a caller-provided scratch vector (`Vec<Value>:
+/// Borrow<[Value]>`), so the steady-state probe path performs **no
+/// per-row key allocation** at any arity.
 enum JoinTable {
     /// One join key: probe with `&tuple[key]`, zero allocation.
     Single(HashMap<Value, Vec<Tuple>>),
-    /// Composite keys: probe with a materialized key vector.
+    /// Composite keys: probe through a reused scratch key.
     Multi(HashMap<Vec<Value>, Vec<Tuple>>),
 }
 
@@ -48,12 +52,41 @@ impl JoinTable {
     }
 
     /// Rows matching `probe`'s key columns, in build-insertion order.
-    fn lookup(&self, probe: &Tuple, keys: &[usize]) -> Option<&[Tuple]> {
+    /// `scratch` is a reused buffer for composite keys — cleared and
+    /// refilled with cheap value clones, looked up by slice borrow, so
+    /// no `Vec<Value>` is allocated per probe.
+    fn lookup<'t>(
+        &'t self,
+        probe: &Tuple,
+        keys: &[usize],
+        scratch: &mut Vec<Value>,
+    ) -> Option<&'t [Tuple]> {
         match self {
             JoinTable::Single(m) => m.get(&probe[keys[0]]).map(Vec::as_slice),
             JoinTable::Multi(m) => {
-                let key: Vec<Value> = keys.iter().map(|&i| probe[i].clone()).collect();
-                m.get(&key).map(Vec::as_slice)
+                scratch.clear();
+                scratch.extend(keys.iter().map(|&i| probe[i].clone()));
+                m.get(scratch.as_slice()).map(Vec::as_slice)
+            }
+        }
+    }
+
+    /// Columnar lookup: key values read straight from the chunk's
+    /// columns (no probe-row materialization). Same scratch discipline
+    /// as [`JoinTable::lookup`].
+    fn lookup_chunk<'t>(
+        &'t self,
+        data: &DataChunk,
+        row: usize,
+        keys: &[usize],
+        scratch: &mut Vec<Value>,
+    ) -> Option<&'t [Tuple]> {
+        match self {
+            JoinTable::Single(m) => m.get(&data.value(keys[0], row)).map(Vec::as_slice),
+            JoinTable::Multi(m) => {
+                scratch.clear();
+                scratch.extend(keys.iter().map(|&i| data.value(i, row)));
+                m.get(scratch.as_slice()).map(Vec::as_slice)
             }
         }
     }
@@ -110,6 +143,8 @@ pub struct HashJoin {
     table: JoinTable,
     pending: VecDeque<Tuple>,
     scratch: Vec<Tuple>,
+    /// Reused composite-key probe buffer (see [`JoinTable::lookup`]).
+    key_scratch: Vec<Value>,
     /// Parallel-probed output (morsel order) and the serve cursor.
     probed: Option<(Vec<Tuple>, usize)>,
 }
@@ -141,6 +176,7 @@ impl HashJoin {
             table,
             pending: VecDeque::new(),
             scratch: Vec::new(),
+            key_scratch: Vec::new(),
             probed: None,
         }
     }
@@ -151,6 +187,39 @@ impl HashJoin {
         out.extend(build_t.iter().cloned());
         out.extend(probe_t.iter().cloned());
         out
+    }
+
+    /// Columnar probe kernel: hash the key column(s) straight out of
+    /// the chunk and materialize a probe row only when it matches (late
+    /// materialization — non-matching probe rows are never built).
+    /// Charges one `HashProbe` + one random access per live probe row
+    /// and the output rows' widths, exactly like the row paths.
+    fn probe_chunk(
+        table: &JoinTable,
+        probe_keys: &[usize],
+        chunk: &Chunk,
+        key_scratch: &mut Vec<Value>,
+        rows: &mut Vec<Tuple>,
+        ctx: &mut ExecCtx,
+    ) {
+        let n = chunk.len() as u64;
+        if n == 0 {
+            return;
+        }
+        let mut out_bytes = 0u64;
+        chunk.rows().for_each(|_, i| {
+            if let Some(matches) = table.lookup_chunk(&chunk.data, i, probe_keys, key_scratch) {
+                let probe_t = chunk.data.row(i);
+                for build_t in matches {
+                    let t = Self::join_row(build_t, &probe_t);
+                    out_bytes += tuple_width(&t);
+                    rows.push(t);
+                }
+            }
+        });
+        ctx.charge(OpClass::HashProbe, n);
+        ctx.charge_mem_random(n);
+        ctx.charge_mem_bytes(out_bytes);
     }
 }
 
@@ -173,8 +242,24 @@ impl Operator for HashJoin {
         let build_keys = &self.build_keys;
         let partitions = run_morsels(self.build.as_ref(), ctx, |wctx, pipe| {
             // One partition table per morsel, charged exactly as the
-            // serial build charges its batches.
+            // serial build charges its batches. A columnar worker
+            // drains chunks and materializes survivors here (the hash
+            // build is a pipeline breaker) — same rows, same charges.
             let mut part = JoinTable::for_arity(arity);
+            if wctx.columnar {
+                let mut batch = Vec::new();
+                drain_chunks(pipe, wctx, |wctx, chunk| {
+                    batch.clear();
+                    chunk.to_tuples(&mut batch);
+                    let bytes: u64 = batch.iter().map(tuple_width).sum();
+                    wctx.charge(OpClass::HashBuild, batch.len() as u64);
+                    wctx.charge_mem_bytes(bytes);
+                    for t in batch.drain(..) {
+                        part.insert(t, build_keys);
+                    }
+                });
+                return part;
+            }
             let mut batch = Vec::new();
             loop {
                 batch.clear();
@@ -197,6 +282,22 @@ impl Operator for HashJoin {
                 for part in parts {
                     self.table.absorb(part);
                 }
+            }
+            None if ctx.columnar => {
+                self.build.open(ctx);
+                let mut batch = std::mem::take(&mut self.scratch);
+                let (table, keys) = (&mut self.table, &self.build_keys);
+                drain_chunks(self.build.as_mut(), ctx, |ctx, chunk| {
+                    batch.clear();
+                    chunk.to_tuples(&mut batch);
+                    let bytes: u64 = batch.iter().map(tuple_width).sum();
+                    ctx.charge(OpClass::HashBuild, batch.len() as u64);
+                    ctx.charge_mem_bytes(bytes);
+                    for t in batch.drain(..) {
+                        table.insert(t, keys);
+                    }
+                });
+                self.scratch = batch;
             }
             None => {
                 self.build.open(ctx);
@@ -221,13 +322,20 @@ impl Operator for HashJoin {
         let probe_keys = &self.probe_keys;
         let probed = run_morsels(self.probe.as_ref(), ctx, |wctx, pipe| {
             let mut rows = Vec::new();
+            let mut key_scratch = Vec::new();
+            if wctx.columnar {
+                drain_chunks(pipe, wctx, |wctx, chunk| {
+                    Self::probe_chunk(table, probe_keys, chunk, &mut key_scratch, &mut rows, wctx);
+                });
+                return rows;
+            }
             let mut probe_in = Vec::new();
             loop {
                 probe_in.clear();
                 let more = pipe.next_batch(wctx, &mut probe_in);
                 let mut out_bytes = 0u64;
                 for probe_t in &probe_in {
-                    if let Some(matches) = table.lookup(probe_t, probe_keys) {
+                    if let Some(matches) = table.lookup(probe_t, probe_keys, &mut key_scratch) {
                         for build_t in matches {
                             let t = Self::join_row(build_t, probe_t);
                             out_bytes += tuple_width(&t);
@@ -273,7 +381,10 @@ impl Operator for HashJoin {
             let probe_t = self.probe.next(ctx)?;
             ctx.charge(OpClass::HashProbe, 1);
             ctx.charge_mem_random(1);
-            if let Some(matches) = self.table.lookup(&probe_t, &self.probe_keys) {
+            if let Some(matches) =
+                self.table
+                    .lookup(&probe_t, &self.probe_keys, &mut self.key_scratch)
+            {
                 for build_t in matches {
                     let out = Self::join_row(build_t, &probe_t);
                     ctx.charge_mem_bytes(tuple_width(&out));
@@ -299,7 +410,10 @@ impl Operator for HashJoin {
         let more = self.probe.next_batch(ctx, &mut probe_in);
         let mut out_bytes = 0u64;
         for probe_t in &probe_in {
-            if let Some(matches) = self.table.lookup(probe_t, &self.probe_keys) {
+            if let Some(matches) =
+                self.table
+                    .lookup(probe_t, &self.probe_keys, &mut self.key_scratch)
+            {
                 for build_t in matches {
                     let t = Self::join_row(build_t, probe_t);
                     out_bytes += tuple_width(&t);
@@ -315,6 +429,37 @@ impl Operator for HashJoin {
         ctx.charge_mem_bytes(out_bytes);
         self.scratch = probe_in;
         more
+    }
+
+    /// Columnar probe: key values are hashed straight out of the probe
+    /// chunk's columns and only matching probe rows materialize. The
+    /// join output is a fresh row-major chunk — the join is the late
+    /// materialization point of its pipeline.
+    fn next_chunk(&mut self, ctx: &mut ExecCtx) -> Option<Chunk> {
+        if let Some((rows, pos)) = &mut self.probed {
+            // Serve the parallel pre-probed rows as decomposed chunks.
+            if *pos >= rows.len() {
+                return None;
+            }
+            let end = (*pos + ctx.batch_size.max(1)).min(rows.len());
+            let data = DataChunk::from_rows(&self.schema, &rows[*pos..end]);
+            *pos = end;
+            return Some(Chunk::dense(Arc::new(data)));
+        }
+        let chunk = self.probe.next_chunk(ctx)?;
+        let mut rows = Vec::new();
+        Self::probe_chunk(
+            &self.table,
+            &self.probe_keys,
+            &chunk,
+            &mut self.key_scratch,
+            &mut rows,
+            ctx,
+        );
+        Some(Chunk::dense(Arc::new(DataChunk::from_rows(
+            &self.schema,
+            &rows,
+        ))))
     }
 }
 
@@ -458,5 +603,48 @@ mod tests {
         let build = src("a", &[]);
         let probe = src("b", &[]);
         let _ = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0, 1]);
+    }
+
+    /// Micro-assertion for the borrowed multi-key probe path: composite
+    /// keys (including string components, the allocation-heavy case the
+    /// scratch buffer eliminates) produce identical rows and identical
+    /// ledgers across scalar, batch and columnar execution.
+    #[test]
+    fn multi_key_rows_and_ledgers_identical_across_engines() {
+        use crate::exec::ExecEngine;
+        let schema = Schema::new(&[("k1", ColumnType::Int), ("k2", ColumnType::Str)]);
+        let mk = || {
+            let build = VecSource::new(
+                schema.clone(),
+                (0..40)
+                    .map(|i| vec![Value::Int(i % 5), Value::str(format!("g{}", i % 3))])
+                    .collect(),
+            );
+            let probe = VecSource::new(
+                schema.clone(),
+                (0..60)
+                    .map(|i| vec![Value::Int(i % 7), Value::str(format!("g{}", i % 4))])
+                    .collect(),
+            );
+            HashJoin::new(Box::new(build), Box::new(probe), vec![0, 1], vec![0, 1])
+        };
+
+        let mut sctx = ExecCtx::new().with_batch_size(1);
+        let mut j = mk();
+        let scalar_rows = crate::exec::execute_scalar(&mut j, &mut sctx);
+        assert!(!scalar_rows.is_empty(), "the workload must join something");
+
+        for engine in [ExecEngine::Batch, ExecEngine::Columnar] {
+            let mut ctx = ExecCtx::new();
+            let mut j = mk();
+            let rows = engine.execute(&mut j, &mut ctx);
+            assert_eq!(rows, scalar_rows, "{engine:?}: rows differ");
+            assert_eq!(ctx.cpu, sctx.cpu, "{engine:?}: op counts differ");
+            assert_eq!(ctx.mem_stream_bytes, sctx.mem_stream_bytes, "{engine:?}");
+            assert_eq!(
+                ctx.mem_random_accesses, sctx.mem_random_accesses,
+                "{engine:?}"
+            );
+        }
     }
 }

@@ -40,6 +40,47 @@
 //! work — as scalar execution would. Everything below a blocking
 //! operator (sort, aggregate, hash build) still runs vectorized.
 //!
+//! # Columnar execution
+//!
+//! [`Operator::next_chunk`] is the columnar counterpart of
+//! [`Operator::next_batch`]: instead of a `Vec<Tuple>` of heap-allocated
+//! tagged values, a [`crate::chunk::Chunk`] moves an `Arc`-shared window
+//! of typed column vectors (`eco-storage`'s [`DataChunk`] — one
+//! contiguous `i64`/`i32`/`char`/`Arc<str>` array per column, plus
+//! optional validity) together with an optional **selection vector**
+//! naming the live rows. The pipeline idiom is
+//! scan → select → compute → late-materialize:
+//!
+//! * [`SeqScan`] / [`VecSource`] emit windows over their table's
+//!   columnar mirror — zero per-row work beyond the ledger charge;
+//! * [`Filter`] (and the QED [`crate::mqo::MultiFilter`]) evaluate
+//!   predicates column-at-a-time ([`crate::expr::Expr::filter_sel`]),
+//!   refining the selection vector without touching data — short-circuit
+//!   semantics become *selection narrowing*, with identical evaluation
+//!   counts;
+//! * [`Project`] runs expression kernels over typed slices into fresh
+//!   columns; [`HashAggregate`] updates typed accumulator arrays keyed
+//!   by group id; [`HashJoin`] hashes key columns directly and
+//!   materializes only matching probe rows;
+//! * rows come back into existence ([`crate::chunk::Chunk::to_tuples`])
+//!   only at pipeline breakers that inherently need them (sort buffers,
+//!   hash-build tables) and at the top of the plan.
+//!
+//! Every operator works under the columnar driver: the default
+//! `next_chunk` wraps `next_batch` and decomposes the batch, so
+//! operators without a native chunk path (e.g. [`Limit`], which must
+//! keep scalar-exact stream consumption) remain correct.
+//!
+//! **The ledger is engine-invariant by the same construction as batch
+//! invariance**: columnar paths charge the same per-tuple op classes
+//! with the same counts, aggregated per chunk — never re-priced — and
+//! columnar disk scans still drive every covered page through the
+//! buffer pool (the columnar mirror supplies data, never I/O). Scalar,
+//! batch and columnar ledgers are bit-identical on both storage
+//! engines, cold and warm, at any chunk size and worker count
+//! (`tests/integration_columnar.rs` and the `columnar_matches_scalar`
+//! property test).
+//!
 //! # Morsel-driven parallel execution
 //!
 //! When [`ExecCtx::workers`] is greater than one, partitionable
@@ -96,8 +137,11 @@ pub use scan::SeqScan;
 pub use sort::{Sort, SortKey};
 pub use source::VecSource;
 
-use eco_storage::{Schema, Tuple};
+use std::sync::Arc;
 
+use eco_storage::{DataChunk, Schema, Tuple};
+
+use crate::chunk::Chunk;
 use crate::context::ExecCtx;
 use crate::expr::Expr;
 use crate::parallel::Morsel;
@@ -141,6 +185,30 @@ pub trait Operator: Send {
             }
         }
         true
+    }
+
+    /// Produce the next [`Chunk`] of the columnar path, or `None` at
+    /// end of stream.
+    ///
+    /// A returned chunk may have zero live rows (e.g. a filtered chunk
+    /// where nothing matched) while the stream continues; drivers loop
+    /// until `None`. Native implementations emit `Arc`-shared windows
+    /// over columnar storage mirrors and refine *selection vectors*
+    /// instead of materializing rows; the provided default wraps
+    /// [`Operator::next_batch`] and decomposes the batch, so every
+    /// operator — including third-party ones — keeps working under the
+    /// columnar driver, with identical charges (decomposition itself is
+    /// never charged, exactly like the row path's `Vec` shuffling).
+    fn next_chunk(&mut self, ctx: &mut ExecCtx) -> Option<Chunk> {
+        let mut rows = Vec::new();
+        let more = self.next_batch(ctx, &mut rows);
+        if rows.is_empty() && !more {
+            return None;
+        }
+        Some(Chunk::dense(Arc::new(DataChunk::from_rows(
+            self.schema(),
+            &rows,
+        ))))
     }
 
     /// Scan fusion hook: produce the next batch of tuples *satisfying
@@ -222,6 +290,22 @@ pub(crate) fn drain_batches(
         }
         if !more {
             return;
+        }
+    }
+}
+
+/// Drain `child` to exhaustion through the columnar path, invoking
+/// `consume` on each non-empty chunk (the columnar counterpart of
+/// [`drain_batches`], used by blocking operators when
+/// [`ExecCtx::columnar`] is set).
+pub(crate) fn drain_chunks(
+    child: &mut dyn Operator,
+    ctx: &mut ExecCtx,
+    mut consume: impl FnMut(&mut ExecCtx, &Chunk),
+) {
+    while let Some(chunk) = child.next_chunk(ctx) {
+        if !chunk.is_empty() {
+            consume(ctx, &chunk);
         }
     }
 }

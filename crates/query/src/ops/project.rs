@@ -1,7 +1,10 @@
 //! Projection: compute output expressions per tuple.
 
-use eco_storage::{ColumnType, Schema, Tuple};
+use std::sync::Arc;
 
+use eco_storage::{ColumnChunk, ColumnType, DataChunk, Schema, Tuple};
+
+use crate::chunk::Chunk;
 use crate::context::ExecCtx;
 use crate::expr::Expr;
 use crate::ops::{BoxedOp, Operator};
@@ -66,6 +69,22 @@ impl Operator for Project {
         }
         self.scratch = input;
         more
+    }
+
+    /// Columnar projection: evaluate each output expression over the
+    /// live rows as typed column kernels ([`Expr::eval_column`]),
+    /// producing a fresh dense chunk (computed columns have no
+    /// selection vector to inherit; passthrough columns keep their
+    /// validity masks). Charges match per-row evaluation.
+    fn next_chunk(&mut self, ctx: &mut ExecCtx) -> Option<Chunk> {
+        let chunk = self.child.next_chunk(ctx)?;
+        let rows = chunk.rows();
+        let cols: Vec<ColumnChunk> = self
+            .exprs
+            .iter()
+            .map(|e| e.eval_column(&chunk.data, rows, ctx))
+            .collect();
+        Some(Chunk::dense(Arc::new(DataChunk::new(cols))))
     }
 
     fn morsels(&self, target_rows: usize) -> Option<Vec<Morsel>> {

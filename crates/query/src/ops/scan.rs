@@ -6,6 +6,7 @@ use std::sync::Arc;
 use eco_simhw::trace::OpClass;
 use eco_storage::{Schema, StoredTable, TableData, Tuple};
 
+use crate::chunk::Chunk;
 use crate::context::ExecCtx;
 use crate::expr::Expr;
 use crate::ops::{BoxedOp, Operator};
@@ -209,6 +210,68 @@ impl Operator for SeqScan {
 
     fn next_batch(&mut self, ctx: &mut ExecCtx, out: &mut Vec<Tuple>) -> bool {
         self.scan_batch(ctx, None, out)
+    }
+
+    /// Columnar scan: emit `Arc`-shared windows over the table's
+    /// columnar mirror — no per-row clone, no per-tuple `Vec`. Charges
+    /// are identical to the row scan: one `TupleFetch` plus the average
+    /// width per row, and on the disk engine every covered page is
+    /// still driven through the buffer pool (same misses, hits and warm
+    /// re-reads — the mirror supplies the *data*, never the I/O).
+    fn next_chunk(&mut self, ctx: &mut ExecCtx) -> Option<Chunk> {
+        match &self.table.data {
+            TableData::Memory(heap) => {
+                let cols = heap.columns();
+                let limit = self.mem_end(cols.len());
+                if self.idx >= limit {
+                    return None;
+                }
+                let end = (self.idx + ctx.batch_size.max(1)).min(limit);
+                let chunk = Chunk::window(Arc::clone(cols), self.idx..end);
+                self.charge_tuples(ctx, (end - self.idx) as u64);
+                self.idx = end;
+                Some(chunk)
+            }
+            TableData::Disk(disk) => {
+                let (_, bound_end) = self.page_range(disk.num_pages());
+                if self.page_no >= bound_end {
+                    return None;
+                }
+                // One extent (the I/O scheduling granule) per call:
+                // charge the pool for every covered page, then emit the
+                // extent chunk's matching row window.
+                let extent = eco_storage::bufferpool::EXTENT_PAGES as usize;
+                let extent_no = self.page_no / extent;
+                let page_end = ((extent_no + 1) * extent).min(bound_end);
+                for p in self.page_no..page_end {
+                    match self.bounds {
+                        ScanBounds::DiskPages { stream, .. } => {
+                            let (_, io) = disk.read_page_stream(p, stream);
+                            ctx.charge_disk(io);
+                        }
+                        _ => {
+                            disk.read_page(p);
+                            ctx.charge_disk(disk.pool().take_io());
+                        }
+                    }
+                }
+                let cols = disk.columnar();
+                let (g0, g1) = cols.page_row_range(self.page_no, page_end);
+                let base = cols.extent_row_start(extent_no);
+                let chunk = Chunk::window(
+                    Arc::clone(cols.extent_chunk(extent_no)),
+                    (g0 - base)..(g1 - base),
+                );
+                self.charge_tuples(ctx, (g1 - g0) as u64);
+                self.page_no = page_end;
+                if self.page_no >= bound_end {
+                    if let ScanBounds::DiskPages { stream, .. } = self.bounds {
+                        disk.end_stream(stream);
+                    }
+                }
+                Some(chunk)
+            }
+        }
     }
 
     fn next_batch_filtered(

@@ -4,7 +4,7 @@ use eco_simhw::trace::OpClass;
 use eco_storage::{tuple_width, Schema, Tuple};
 
 use crate::context::ExecCtx;
-use crate::ops::{drain_batches, BoxedOp, Operator};
+use crate::ops::{drain_batches, drain_chunks, BoxedOp, Operator};
 use crate::parallel::gather_parallel;
 
 /// One sort key: column index plus direction.
@@ -73,6 +73,20 @@ impl Operator for Sort {
                 // per-batch sum below.
                 let bytes: u64 = rows.iter().map(tuple_width).sum();
                 ctx.charge_mem_bytes(bytes);
+                rows
+            }
+            None if ctx.columnar => {
+                // Columnar child: the sort is a pipeline breaker, so
+                // this is where rows materialize (late), with the same
+                // per-row width charge as the batch drain below.
+                self.child.open(ctx);
+                let mut rows = Vec::new();
+                drain_chunks(self.child.as_mut(), ctx, |ctx, chunk| {
+                    let start = rows.len();
+                    chunk.to_tuples(&mut rows);
+                    let bytes: u64 = rows[start..].iter().map(tuple_width).sum();
+                    ctx.charge_mem_bytes(bytes);
+                });
                 rows
             }
             None => {

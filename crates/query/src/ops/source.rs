@@ -1,9 +1,10 @@
 //! In-memory tuple source (tests, intermediate materializations).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use eco_storage::{Schema, Tuple};
+use eco_storage::{DataChunk, Schema, Tuple};
 
+use crate::chunk::Chunk;
 use crate::context::ExecCtx;
 use crate::expr::Expr;
 use crate::ops::{BoxedOp, Operator};
@@ -14,10 +15,13 @@ use crate::parallel::{split_units, Morsel};
 /// table access that should be priced).
 ///
 /// The tuples are held behind an `Arc`, so morsel partitions
-/// ([`Operator::clone_morsel`]) share the data instead of copying it.
+/// ([`Operator::clone_morsel`]) share the data instead of copying it;
+/// the lazily-built columnar mirror behind [`Operator::next_chunk`] is
+/// shared the same way.
 pub struct VecSource {
     schema: Schema,
     tuples: Arc<Vec<Tuple>>,
+    columns: Arc<OnceLock<Arc<DataChunk>>>,
     start: usize,
     end: usize,
     idx: usize,
@@ -30,6 +34,7 @@ impl VecSource {
         Self {
             schema,
             tuples: Arc::new(tuples),
+            columns: Arc::new(OnceLock::new()),
             start: 0,
             end,
             idx: 0,
@@ -84,6 +89,19 @@ impl Operator for VecSource {
         Some(self.idx < self.end)
     }
 
+    fn next_chunk(&mut self, ctx: &mut ExecCtx) -> Option<Chunk> {
+        if self.idx >= self.end {
+            return None;
+        }
+        let cols = self
+            .columns
+            .get_or_init(|| Arc::new(DataChunk::from_rows(&self.schema, &self.tuples)));
+        let end = (self.idx + ctx.batch_size.max(1)).min(self.end);
+        let chunk = Chunk::window(Arc::clone(cols), self.idx..end);
+        self.idx = end;
+        Some(chunk)
+    }
+
     fn morsels(&self, target_rows: usize) -> Option<Vec<Morsel>> {
         (self.is_full() && !self.tuples.is_empty())
             .then(|| split_units(self.tuples.len(), target_rows))
@@ -96,6 +114,7 @@ impl Operator for VecSource {
         Some(Box::new(VecSource {
             schema: self.schema.clone(),
             tuples: Arc::clone(&self.tuples),
+            columns: Arc::clone(&self.columns),
             start: morsel.start,
             end: morsel.end.min(self.tuples.len()),
             idx: morsel.start,

@@ -1,0 +1,350 @@
+//! Columnar storage: typed column vectors and data chunks.
+//!
+//! A [`DataChunk`] holds one contiguous typed array per column
+//! ([`ColumnData`]) plus an optional per-column validity mask
+//! ([`ColumnChunk`]) — the decomposed (DSM) mirror of a run of row
+//! tuples. The columnar execution path in `eco-query` streams these
+//! chunks through operators instead of `Vec<Tuple>` rows, so hot loops
+//! run over `&[i64]` / `&[i32]` slices with no per-value enum dispatch
+//! and no per-row allocation.
+//!
+//! Chunks are *mirrors*, not a second source of truth: they are built
+//! from the same tuples the row engines store, and
+//! [`DataChunk::row`] materializes back the exact `Tuple` the row path
+//! would have produced. The energy ledger never charges for building a
+//! mirror — the columnar executor charges the same per-tuple op classes
+//! as the row executor (see `eco-query::ops` docs), which is what keeps
+//! scalar/batch/columnar ledgers bit-identical.
+//!
+//! Validity masks exist for forward compatibility with NULL-bearing
+//! sources: no TPC-H loader produces NULLs, so end-to-end executions
+//! always see fully-valid chunks, and the masks are exercised by the
+//! selection-vector unit tests (an invalid value fails every
+//! comparison, like SQL `NULL`).
+
+use std::sync::Arc;
+
+use crate::value::{ColumnType, Schema, Tuple, Value};
+
+/// One typed column vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// 64-bit integers (also fixed-point money in cents).
+    Int(Vec<i64>),
+    /// Strings (shared; a gather clones only the `Arc`).
+    Str(Vec<Arc<str>>),
+    /// Dates as day offsets.
+    Date(Vec<i32>),
+    /// Single characters.
+    Char(Vec<char>),
+    /// Booleans (predicate results).
+    Bool(Vec<bool>),
+}
+
+impl ColumnData {
+    /// An empty column of the given type.
+    pub fn empty(ty: ColumnType) -> Self {
+        Self::with_capacity(ty, 0)
+    }
+
+    /// An empty column of the given type with reserved capacity.
+    pub fn with_capacity(ty: ColumnType, cap: usize) -> Self {
+        match ty {
+            ColumnType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            ColumnType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+            ColumnType::Date => ColumnData::Date(Vec::with_capacity(cap)),
+            ColumnType::Char => ColumnData::Char(Vec::with_capacity(cap)),
+            ColumnType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+            ColumnData::Char(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The column's type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            ColumnData::Int(_) => ColumnType::Int,
+            ColumnData::Str(_) => ColumnType::Str,
+            ColumnData::Date(_) => ColumnType::Date,
+            ColumnData::Char(_) => ColumnType::Char,
+            ColumnData::Bool(_) => ColumnType::Bool,
+        }
+    }
+
+    /// Append one `Value`; panics on a type mismatch.
+    pub fn push(&mut self, v: &Value) {
+        match (self, v) {
+            (ColumnData::Int(c), Value::Int(x)) => c.push(*x),
+            (ColumnData::Str(c), Value::Str(x)) => c.push(Arc::clone(x)),
+            (ColumnData::Date(c), Value::Date(x)) => c.push(*x),
+            (ColumnData::Char(c), Value::Char(x)) => c.push(*x),
+            (ColumnData::Bool(c), Value::Bool(x)) => c.push(*x),
+            (c, v) => panic!("cannot push {v:?} into a {:?} column", c.column_type()),
+        }
+    }
+
+    /// The value at `i` as a row-engine [`Value`] (materialization).
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Str(v) => Value::Str(Arc::clone(&v[i])),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Char(v) => Value::Char(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Typed access: `&[i64]` when this is an `Int` column.
+    pub fn as_ints(&self) -> Option<&[i64]> {
+        match self {
+            ColumnData::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed access: `&[i32]` when this is a `Date` column.
+    pub fn as_dates(&self) -> Option<&[i32]> {
+        match self {
+            ColumnData::Date(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Typed access: `&[bool]` when this is a `Bool` column.
+    pub fn as_bools(&self) -> Option<&[bool]> {
+        match self {
+            ColumnData::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Gather the values at `indices` into a fresh column (strings cost
+    /// one `Arc` bump each). Indices may repeat (join fan-out).
+    pub fn gather(&self, indices: &[u32]) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Str(v) => ColumnData::Str(
+                indices
+                    .iter()
+                    .map(|&i| Arc::clone(&v[i as usize]))
+                    .collect(),
+            ),
+            ColumnData::Date(v) => {
+                ColumnData::Date(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Char(v) => {
+                ColumnData::Char(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Bool(v) => {
+                ColumnData::Bool(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+        }
+    }
+}
+
+/// One column of a chunk: data plus an optional validity mask
+/// (`None` = every value valid; the common case everywhere).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnChunk {
+    /// The typed values.
+    pub data: ColumnData,
+    /// Per-row validity: `false` marks a NULL. Must match `data.len()`
+    /// when present.
+    pub validity: Option<Vec<bool>>,
+}
+
+impl ColumnChunk {
+    /// A fully-valid column.
+    pub fn new(data: ColumnData) -> Self {
+        Self {
+            data,
+            validity: None,
+        }
+    }
+
+    /// A column with a validity mask; panics if the lengths differ.
+    pub fn with_validity(data: ColumnData, validity: Vec<bool>) -> Self {
+        assert_eq!(data.len(), validity.len(), "validity mask length mismatch");
+        Self {
+            data,
+            validity: Some(validity),
+        }
+    }
+
+    /// True when row `i` holds a valid (non-NULL) value.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().is_none_or(|v| v[i])
+    }
+
+    /// Gather rows `indices` into a fresh column, carrying validity.
+    pub fn gather(&self, indices: &[u32]) -> ColumnChunk {
+        ColumnChunk {
+            data: self.data.gather(indices),
+            validity: self
+                .validity
+                .as_ref()
+                .map(|v| indices.iter().map(|&i| v[i as usize]).collect()),
+        }
+    }
+}
+
+/// A run of rows in decomposed (columnar) form: one [`ColumnChunk`] per
+/// schema column, all the same length.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DataChunk {
+    columns: Vec<ColumnChunk>,
+    len: usize,
+}
+
+impl DataChunk {
+    /// Build from columns; panics if lengths disagree.
+    pub fn new(columns: Vec<ColumnChunk>) -> Self {
+        let len = columns.first().map_or(0, |c| c.data.len());
+        for c in &columns {
+            assert_eq!(c.data.len(), len, "ragged chunk");
+        }
+        Self { columns, len }
+    }
+
+    /// Decompose row tuples into a chunk, using `schema` for the column
+    /// types (required so empty runs still carry typed columns).
+    pub fn from_rows(schema: &Schema, rows: &[Tuple]) -> Self {
+        let mut cols: Vec<ColumnData> = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::with_capacity(c.ty, rows.len()))
+            .collect();
+        for row in rows {
+            assert_eq!(row.len(), cols.len(), "row arity mismatch");
+            for (col, v) in cols.iter_mut().zip(row) {
+                col.push(v);
+            }
+        }
+        Self {
+            columns: cols.into_iter().map(ColumnChunk::new).collect(),
+            len: rows.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[ColumnChunk] {
+        &self.columns
+    }
+
+    /// One column.
+    pub fn column(&self, i: usize) -> &ColumnChunk {
+        &self.columns[i]
+    }
+
+    /// Materialize row `i` back into the row-engine tuple it mirrors.
+    pub fn row(&self, i: usize) -> Tuple {
+        self.columns.iter().map(|c| c.data.value(i)).collect()
+    }
+
+    /// The value at (`col`, `row`).
+    pub fn value(&self, col: usize, row: usize) -> Value {
+        self.columns[col].data.value(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType as T;
+
+    fn schema() -> Schema {
+        Schema::new(&[("k", T::Int), ("s", T::Str), ("d", T::Date), ("c", T::Char)])
+    }
+
+    fn rows() -> Vec<Tuple> {
+        (0..5)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::str(format!("s{i}")),
+                    Value::Date(i as i32 * 10),
+                    Value::Char(char::from(b'a' + i as u8)),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_rows_roundtrips() {
+        let rows = rows();
+        let chunk = DataChunk::from_rows(&schema(), &rows);
+        assert_eq!(chunk.len(), 5);
+        assert_eq!(chunk.arity(), 4);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(&chunk.row(i), r, "row {i}");
+        }
+        assert_eq!(chunk.column(0).data.as_ints().unwrap(), &[0, 1, 2, 3, 4]);
+        assert_eq!(
+            chunk.column(2).data.as_dates().unwrap(),
+            &[0, 10, 20, 30, 40]
+        );
+    }
+
+    #[test]
+    fn empty_chunk_keeps_types() {
+        let chunk = DataChunk::from_rows(&schema(), &[]);
+        assert!(chunk.is_empty());
+        assert_eq!(chunk.arity(), 4);
+        assert_eq!(chunk.column(1).data.column_type(), T::Str);
+    }
+
+    #[test]
+    fn validity_defaults_to_all_valid() {
+        let col = ColumnChunk::new(ColumnData::Int(vec![1, 2]));
+        assert!(col.is_valid(0) && col.is_valid(1));
+        let masked = ColumnChunk::with_validity(ColumnData::Int(vec![1, 2]), vec![true, false]);
+        assert!(masked.is_valid(0));
+        assert!(!masked.is_valid(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged chunk")]
+    fn ragged_chunk_rejected() {
+        DataChunk::new(vec![
+            ColumnChunk::new(ColumnData::Int(vec![1])),
+            ColumnChunk::new(ColumnData::Int(vec![1, 2])),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot push")]
+    fn typed_push_rejects_mismatch() {
+        let mut c = ColumnData::Int(vec![]);
+        c.push(&Value::str("nope"));
+    }
+}

@@ -8,11 +8,54 @@
 //! tuple-fetch work, same as the memory engine — the engines differ in
 //! I/O, not in tuple-access accounting).
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::bufferpool::{BufferPool, PageId};
+use crate::bufferpool::{BufferPool, PageId, EXTENT_PAGES};
+use crate::column::DataChunk;
 use crate::page::{Page, PAGE_SIZE};
 use crate::value::{Schema, Tuple};
+
+/// The columnar mirror of a [`DiskTable`]: one [`DataChunk`] per disk
+/// *extent* (the I/O scheduling granule, [`EXTENT_PAGES`] pages), plus
+/// the page → row mapping needed to translate page-range scan bounds
+/// into chunk row windows.
+///
+/// The mirror is decoded once, lazily, straight from the table's pages
+/// — never through the buffer pool, so building it charges no I/O. The
+/// columnar scan still drives every covered page through the pool for
+/// its ledger charges (misses, hits, warm re-reads), exactly like the
+/// row scan; only the tuple *data* comes from the mirror.
+#[derive(Debug)]
+pub struct ColumnarExtents {
+    /// Cumulative tuple offsets per page: page `p` holds rows
+    /// `[page_rows[p], page_rows[p + 1])`. Length `num_pages + 1`.
+    page_rows: Vec<usize>,
+    /// One chunk per extent, in extent order.
+    extents: Vec<Arc<DataChunk>>,
+}
+
+impl ColumnarExtents {
+    /// Number of extents.
+    pub fn num_extents(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// The chunk holding extent `e`'s rows.
+    pub fn extent_chunk(&self, e: usize) -> &Arc<DataChunk> {
+        &self.extents[e]
+    }
+
+    /// First table-global row of extent `e`.
+    pub fn extent_row_start(&self, e: usize) -> usize {
+        self.page_rows[e * EXTENT_PAGES as usize]
+    }
+
+    /// Table-global row range `[start, end)` covered by pages
+    /// `[page_start, page_end)`.
+    pub fn page_row_range(&self, page_start: usize, page_end: usize) -> (usize, usize) {
+        (self.page_rows[page_start], self.page_rows[page_end])
+    }
+}
 
 /// A read-only paged table.
 pub struct DiskTable {
@@ -21,6 +64,7 @@ pub struct DiskTable {
     pages: Vec<Page>,
     num_tuples: usize,
     pool: Arc<BufferPool>,
+    columnar: OnceLock<ColumnarExtents>,
 }
 
 impl DiskTable {
@@ -53,7 +97,31 @@ impl DiskTable {
             pages,
             num_tuples: tuples.len(),
             pool,
+            columnar: OnceLock::new(),
         }
+    }
+
+    /// The lazily-built columnar mirror (see [`ColumnarExtents`]).
+    pub fn columnar(&self) -> &ColumnarExtents {
+        self.columnar.get_or_init(|| {
+            let mut page_rows = Vec::with_capacity(self.pages.len() + 1);
+            page_rows.push(0usize);
+            let mut total = 0usize;
+            for p in &self.pages {
+                total += p.len();
+                page_rows.push(total);
+            }
+            let extent = EXTENT_PAGES as usize;
+            let mut extents = Vec::with_capacity(self.pages.len().div_ceil(extent));
+            for chunk_pages in self.pages.chunks(extent) {
+                let mut rows = Vec::new();
+                for p in chunk_pages {
+                    rows.extend(p.all_tuples());
+                }
+                extents.push(Arc::new(DataChunk::from_rows(&self.schema, &rows)));
+            }
+            ColumnarExtents { page_rows, extents }
+        })
     }
 
     /// The table's schema.
@@ -227,6 +295,30 @@ mod tests {
             io.total_bytes() as usize >= (t.num_pages() - 1) * PAGE_SIZE,
             "rescan should re-read nearly everything"
         );
+    }
+
+    #[test]
+    fn columnar_mirror_matches_pages() {
+        let pool = Arc::new(BufferPool::new(256));
+        let data = tuples(2000);
+        let t = DiskTable::load(1, schema(), &data, pool);
+        let cols = t.columnar();
+        let extent = crate::bufferpool::EXTENT_PAGES as usize;
+        assert_eq!(cols.num_extents(), t.num_pages().div_ceil(extent));
+        // Every extent chunk reproduces the exact page tuples.
+        let mut global = 0usize;
+        for e in 0..cols.num_extents() {
+            let chunk = cols.extent_chunk(e);
+            assert_eq!(cols.extent_row_start(e), global);
+            for i in 0..chunk.len() {
+                assert_eq!(chunk.row(i), data[global + i], "extent {e} row {i}");
+            }
+            global += chunk.len();
+        }
+        assert_eq!(global, 2000);
+        // Page row ranges are consistent with the pages themselves.
+        let (s, end) = cols.page_row_range(0, t.num_pages());
+        assert_eq!((s, end), (0, 2000));
     }
 
     #[test]

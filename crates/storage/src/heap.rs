@@ -4,6 +4,9 @@
 //! no disk involvement, which is exactly why the paper uses the memory
 //! engine "to stress the CPU" (§3.3).
 
+use std::sync::{Arc, OnceLock};
+
+use crate::column::DataChunk;
 use crate::value::{tuple_width, Schema, Tuple};
 
 /// An append-only in-memory table.
@@ -12,6 +15,9 @@ pub struct HeapTable {
     schema: Schema,
     tuples: Vec<Tuple>,
     bytes: u64,
+    /// Lazily-built columnar mirror of `tuples` (see
+    /// [`HeapTable::columns`]); invalidated on insert.
+    columns: OnceLock<Arc<DataChunk>>,
 }
 
 impl HeapTable {
@@ -21,6 +27,7 @@ impl HeapTable {
             schema,
             tuples: Vec::new(),
             bytes: 0,
+            columns: OnceLock::new(),
         }
     }
 
@@ -42,6 +49,18 @@ impl HeapTable {
         );
         self.bytes += tuple_width(&tuple);
         self.tuples.push(tuple);
+        // The columnar mirror no longer matches; rebuild on next use.
+        self.columns.take();
+    }
+
+    /// The whole table as one columnar [`DataChunk`] mirror, built
+    /// lazily on first use and shared thereafter. The mirror holds
+    /// exactly the tuples of [`Self::tuples`] in insertion order; the
+    /// columnar scan path reads it instead of cloning row tuples, while
+    /// charging the ledger identically to the row path.
+    pub fn columns(&self) -> &Arc<DataChunk> {
+        self.columns
+            .get_or_init(|| Arc::new(DataChunk::from_rows(&self.schema, &self.tuples)))
     }
 
     /// The table's schema.
@@ -106,6 +125,19 @@ mod tests {
     fn schema_mismatch_rejected() {
         let mut t = HeapTable::new(schema());
         t.insert(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn columnar_mirror_tracks_inserts() {
+        let mut t = HeapTable::new(schema());
+        t.insert(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(t.columns().len(), 1);
+        // Insert invalidates and a fresh mirror sees the new row.
+        t.insert(vec![Value::Int(2), Value::str("b")]);
+        let cols = t.columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols.row(1), t.tuples()[1]);
+        assert_eq!(cols.column(0).data.as_ints().unwrap(), &[1, 2]);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 pub mod bufferpool;
 pub mod catalog;
+pub mod column;
 pub mod disk_table;
 pub mod heap;
 pub mod loader;
@@ -23,6 +24,8 @@ pub mod value;
 
 pub use bufferpool::{BufferPool, PageId};
 pub use catalog::{Catalog, StoredTable, TableData};
+pub use column::{ColumnChunk, ColumnData, DataChunk};
+pub use disk_table::ColumnarExtents;
 pub use heap::HeapTable;
 pub use loader::{load_tpch, EngineKind};
 pub use value::{tuple_width, Column, ColumnType, Schema, Tuple, Value};

@@ -1,0 +1,268 @@
+//! The columnar contract: scalar, batch and columnar execution must
+//! produce **identical result rows** and **bit-identical energy
+//! ledgers** — op-class counts, memory stream bytes, random accesses
+//! and disk I/O — for TPC-H Q1/Q3/Q5/Q6 and the QED merged scan, on
+//! both storage engines, cold and warm, serial and morsel-parallel,
+//! across chunk sizes. The paper-reproduction figures are priced from
+//! the ledger, so any drift here silently corrupts them.
+
+use std::sync::OnceLock;
+
+use ecodb::core::server::{EcoDb, EngineProfile};
+use ecodb::query::context::ExecCtx;
+use ecodb::query::exec::{execute_columnar, execute_parallel, execute_scalar, ExecEngine};
+use ecodb::query::ops::BoxedOp;
+use ecodb::query::plans;
+use ecodb::simhw::OpClass;
+use ecodb::storage::{load_tpch, Catalog, EngineKind, Tuple};
+use ecodb::tpch::{Q5Params, TpchDb, TpchGenerator};
+
+const SCALE: f64 = 0.003;
+
+fn source_db() -> &'static TpchDb {
+    static DB: OnceLock<TpchDb> = OnceLock::new();
+    DB.get_or_init(|| TpchGenerator::new(SCALE).generate())
+}
+
+fn fresh_catalog(engine: EngineKind) -> Catalog {
+    // A roomy pool: cold runs charge the full read once, warm runs are
+    // I/O-free — deterministically, for every execution engine alike.
+    load_tpch(source_db(), engine, 1 << 20)
+}
+
+fn assert_ledgers_equal(a: &ExecCtx, b: &ExecCtx, what: &str) {
+    assert_eq!(a.cpu, b.cpu, "{what}: op-class counts differ");
+    assert_eq!(
+        a.mem_stream_bytes, b.mem_stream_bytes,
+        "{what}: memory stream bytes differ"
+    );
+    assert_eq!(
+        a.mem_random_accesses, b.mem_random_accesses,
+        "{what}: random memory accesses differ"
+    );
+    assert_eq!(a.disk, b.disk, "{what}: disk I/O differs");
+    assert_eq!(a.pred_evals, b.pred_evals, "{what}: pred_evals differ");
+}
+
+/// Run `mk`'s plan cold then warm on a fresh catalog under the given
+/// engine; return rows and ledgers for both runs.
+fn run_twice(
+    engine: EngineKind,
+    mk: &dyn Fn(&Catalog) -> BoxedOp,
+    mut ctx_of: impl FnMut() -> ExecCtx,
+    exec: ExecEngine,
+) -> [(Vec<Tuple>, ExecCtx); 2] {
+    let catalog = fresh_catalog(engine);
+    [(); 2].map(|_| {
+        let mut plan = mk(&catalog);
+        let mut ctx = ctx_of();
+        let rows = exec.execute(plan.as_mut(), &mut ctx);
+        (rows, ctx)
+    })
+}
+
+fn check_query(name: &str, mk: &dyn Fn(&Catalog) -> BoxedOp) {
+    for engine in [EngineKind::Memory, EngineKind::Disk] {
+        // The baseline: a genuinely tuple-at-a-time pipeline.
+        let scalar = run_twice(
+            engine,
+            mk,
+            || ExecCtx::new().with_batch_size(1),
+            ExecEngine::Scalar,
+        );
+
+        // Columnar execution at several chunkings, including sizes that
+        // do not divide the table and the default.
+        for chunk_size in [3, 257, 1024] {
+            let columnar = run_twice(
+                engine,
+                mk,
+                || ExecCtx::new().with_batch_size(chunk_size),
+                ExecEngine::Columnar,
+            );
+            for (pass, label) in [(0, "cold"), (1, "warm")] {
+                let what = format!("{name}/{engine:?}/{label}/chunk={chunk_size}");
+                assert_eq!(columnar[pass].0, scalar[pass].0, "{what}: rows differ");
+                assert_ledgers_equal(&columnar[pass].1, &scalar[pass].1, &what);
+            }
+        }
+
+        // Sanity: the workload actually exercised the ledger.
+        assert!(
+            scalar[0].1.cpu.count(OpClass::TupleFetch) > 0,
+            "{name}: no fetches"
+        );
+        if engine == EngineKind::Disk {
+            assert!(
+                !scalar[0].1.disk.is_empty(),
+                "{name}: cold disk run charged no I/O"
+            );
+            assert!(
+                scalar[1].1.disk.is_empty(),
+                "{name}: warm disk run still paid I/O"
+            );
+        }
+    }
+}
+
+#[test]
+fn q1_columnar_scalar_identical() {
+    check_query("Q1", &|cat| plans::q1_plan(cat, 90));
+}
+
+#[test]
+fn q3_columnar_scalar_identical() {
+    check_query("Q3", &|cat| {
+        plans::q3_plan(cat, "BUILDING", ecodb::tpch::Date::from_ymd(1995, 3, 15))
+    });
+}
+
+#[test]
+fn q5_columnar_scalar_identical() {
+    check_query("Q5", &|cat| {
+        plans::q5_plan(cat, &Q5Params::new("ASIA", 1994))
+    });
+}
+
+#[test]
+fn q6_columnar_scalar_identical() {
+    check_query("Q6", &|cat| plans::q6_plan(cat, 1994, 6, 24));
+}
+
+/// Columnar execution composes with morsel-driven parallelism: the
+/// merged ledger and rows stay bit-identical to serial scalar execution
+/// at every worker count, cold and warm, on both storage engines.
+#[test]
+fn parallel_columnar_identical_to_scalar() {
+    type PlanFn = fn(&Catalog) -> BoxedOp;
+    let queries: [(&str, PlanFn); 3] = [
+        ("q1", |cat| plans::q1_plan(cat, 90)),
+        ("q5", |cat| {
+            plans::q5_plan(cat, &Q5Params::new("ASIA", 1994))
+        }),
+        ("q6", |cat| plans::q6_plan(cat, 1994, 6, 24)),
+    ];
+    for engine in [EngineKind::Memory, EngineKind::Disk] {
+        for (name, mk) in queries {
+            let cat = fresh_catalog(engine);
+            let mut sctx = ExecCtx::new().with_batch_size(1);
+            let cold_rows = execute_scalar(mk(&cat).as_mut(), &mut sctx);
+            let mut wctx = ExecCtx::new().with_batch_size(1);
+            let warm_rows = execute_scalar(mk(&cat).as_mut(), &mut wctx);
+
+            for workers in [1usize, 2, 4] {
+                let cat = fresh_catalog(engine);
+                let mut cold_par = ExecCtx::new().with_columnar(true);
+                let rows = execute_parallel(mk(&cat).as_mut(), &mut cold_par, workers);
+                let what = format!("{name}/{engine:?}/cold/workers={workers}");
+                assert_eq!(rows, cold_rows, "{what}: rows differ");
+                assert_ledgers_equal(&cold_par, &sctx, &what);
+
+                let mut warm_par = ExecCtx::new().with_columnar(true);
+                let rows = execute_parallel(mk(&cat).as_mut(), &mut warm_par, workers);
+                let what = format!("{name}/{engine:?}/warm/workers={workers}");
+                assert_eq!(rows, warm_rows, "{what}: rows differ");
+                assert_ledgers_equal(&warm_par, &wctx, &what);
+            }
+        }
+    }
+}
+
+/// The QED merged scan (MultiFilter) obeys the same contract, in both
+/// short-circuit and exhaustive OR mode — the disjoint fast path and
+/// the fan-out path both route through the columnar selection machinery.
+#[test]
+fn merged_selection_columnar_identical() {
+    use ecodb::query::mqo::MergedSelection;
+    let queries = ecodb::tpch::qed_workload(8);
+    for engine in [EngineKind::Memory, EngineKind::Disk] {
+        for short_circuit in [true, false] {
+            let run = |columnar: bool, chunk_size: usize| {
+                let catalog = fresh_catalog(engine);
+                let mut merged = MergedSelection::new(&catalog, &queries);
+                let mut ctx = if short_circuit {
+                    ExecCtx::new()
+                } else {
+                    ExecCtx::exhaustive()
+                }
+                .with_batch_size(chunk_size)
+                .with_columnar(columnar);
+                let rows = merged.run(&mut ctx);
+                (rows, ctx)
+            };
+            let (rows_s, ctx_s) = run(false, 1);
+            for chunk_size in [7, 1024] {
+                let (rows_c, ctx_c) = run(true, chunk_size);
+                let what = format!("QED/{engine:?}/sc={short_circuit}/chunk={chunk_size}");
+                assert_eq!(rows_c, rows_s, "{what}: rows differ");
+                assert_ledgers_equal(&ctx_c, &ctx_s, &what);
+            }
+        }
+    }
+}
+
+/// A LIMIT over a streaming pipeline keeps scalar-exact stream
+/// consumption under the columnar driver (the limit pulls its child
+/// tuple-at-a-time in every engine).
+#[test]
+fn limit_over_streaming_pipeline_columnar_identical() {
+    use ecodb::query::expr::{CmpOp, Expr};
+    use ecodb::query::ops::{Filter, Limit, SeqScan};
+
+    for engine in [EngineKind::Memory, EngineKind::Disk] {
+        let mk = |cat: &Catalog| -> BoxedOp {
+            let scan = Box::new(SeqScan::new(cat.expect("lineitem")));
+            let qty = cat.expect("lineitem").schema().expect_index("l_quantity");
+            let filtered = Box::new(Filter::new(
+                scan,
+                Expr::cmp(CmpOp::Lt, Expr::col(qty), Expr::int(10)),
+            ));
+            Box::new(Limit::new(filtered, 25))
+        };
+
+        let catalog = fresh_catalog(engine);
+        let mut sctx = ExecCtx::new().with_batch_size(1);
+        let rows_s = execute_scalar(mk(&catalog).as_mut(), &mut sctx);
+        assert_eq!(rows_s.len(), 25);
+
+        let catalog = fresh_catalog(engine);
+        let mut cctx = ExecCtx::new();
+        let rows_c = execute_columnar(mk(&catalog).as_mut(), &mut cctx);
+        let what = format!("limit/{engine:?}/columnar");
+        assert_eq!(rows_c, rows_s, "{what}: rows differ");
+        assert_ledgers_equal(&cctx, &sctx, &what);
+    }
+}
+
+/// The engine knob on the server facade: identical rows and identical
+/// work traces (hence identical priced figures) under every engine.
+#[test]
+fn ecodb_engine_knob_produces_identical_traces() {
+    let mk = || EcoDb::tpch(EngineProfile::MemoryEngine, 0.002);
+    let batch_db = mk();
+    let (rows_b, trace_b) = batch_db.trace_q1(90);
+    for engine in [ExecEngine::Scalar, ExecEngine::Columnar] {
+        let db = mk().with_engine(engine);
+        assert_eq!(db.engine(), engine);
+        let (rows, trace) = db.trace_q1(90);
+        assert_eq!(rows, rows_b, "{engine:?}: rows differ");
+        assert_eq!(
+            trace.total_cpu(),
+            trace_b.total_cpu(),
+            "{engine:?}: cpu work differs"
+        );
+        assert_eq!(
+            trace.total_mem_stream_bytes(),
+            trace_b.total_mem_stream_bytes(),
+            "{engine:?}: stream bytes differ"
+        );
+    }
+
+    // The QED path honors the knob too.
+    let queries = ecodb::tpch::qed_workload(5);
+    let (split_b, qtrace_b) = batch_db.trace_merged_selection(&queries, true);
+    let col_db = mk().with_engine(ExecEngine::Columnar);
+    let (split_c, qtrace_c) = col_db.trace_merged_selection(&queries, true);
+    assert_eq!(split_c, split_b);
+    assert_eq!(qtrace_c.total_cpu(), qtrace_b.total_cpu());
+}

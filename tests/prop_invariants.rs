@@ -88,6 +88,61 @@ proptest! {
         prop_assert_eq!(pctx.pred_evals, sctx.pred_evals);
     }
 
+    /// The columnar engine is a pure throughput knob: for any plan,
+    /// storage engine, cold/warm pass, worker count and chunk size, the
+    /// result rows and the full energy ledger are bit-identical to
+    /// scalar execution.
+    #[test]
+    fn columnar_matches_scalar(
+        plan_idx in 0usize..5,
+        engine_idx in 0usize..2,
+        workers in prop_oneof![Just(1usize), Just(2), Just(4)],
+        chunk_size in prop_oneof![Just(3usize), Just(257), Just(1024)],
+    ) {
+        use ecodb::storage::EngineKind;
+        let mk = |cat: &ecodb::storage::Catalog| -> BoxedOp {
+            match plan_idx {
+                0 => plans::q1_plan(cat, 90),
+                1 => plans::q3_plan(cat, "BUILDING", Date::from_ymd(1995, 3, 15)),
+                2 => plans::q5_plan(cat, &ecodb::tpch::Q5Params::new("ASIA", 1994)),
+                3 => plans::q6_plan(cat, 1994, 6, 24),
+                _ => plans::selection_plan(cat, &QedQuery { quantity: 17 }),
+            }
+        };
+        let engine = [EngineKind::Memory, EngineKind::Disk][engine_idx];
+        static SRC: OnceLock<ecodb::tpch::TpchDb> = OnceLock::new();
+        let src = SRC.get_or_init(|| ecodb::tpch::TpchGenerator::new(0.002).generate());
+
+        // Scalar baseline, cold then warm, on a fresh catalog.
+        let cat = ecodb::storage::load_tpch(src, engine, 1 << 20);
+        let scalar: Vec<(Vec<ecodb::storage::Tuple>, ExecCtx)> = (0..2)
+            .map(|_| {
+                let mut ctx = ExecCtx::new().with_batch_size(1);
+                let rows =
+                    ecodb::query::exec::execute_scalar(mk(&cat).as_mut(), &mut ctx);
+                (rows, ctx)
+            })
+            .collect();
+
+        // Columnar (possibly parallel), cold then warm, on its own pool.
+        let cat = ecodb::storage::load_tpch(src, engine, 1 << 20);
+        for (pass, (scalar_rows, scalar_ctx)) in scalar.iter().enumerate() {
+            let mut ctx = ExecCtx::new()
+                .with_batch_size(chunk_size)
+                .with_columnar(true);
+            let rows = execute_parallel(mk(&cat).as_mut(), &mut ctx, workers);
+            let what = format!(
+                "plan {plan_idx} {engine:?} pass {pass} workers {workers} chunk {chunk_size}"
+            );
+            prop_assert_eq!(&rows, scalar_rows, "rows: {}", what);
+            prop_assert_eq!(&ctx.cpu, &scalar_ctx.cpu, "op counts: {}", what);
+            prop_assert_eq!(ctx.mem_stream_bytes, scalar_ctx.mem_stream_bytes);
+            prop_assert_eq!(ctx.mem_random_accesses, scalar_ctx.mem_random_accesses);
+            prop_assert_eq!(ctx.disk, scalar_ctx.disk, "disk: {}", what);
+            prop_assert_eq!(ctx.pred_evals, scalar_ctx.pred_evals);
+        }
+    }
+
     /// Tuple serialization round-trips arbitrary values.
     #[test]
     fn page_serialization_roundtrips(tuple in proptest::collection::vec(arb_value(), 0..12)) {
