@@ -9,26 +9,36 @@
 //!   at every worker count;
 //! * `BENCH_columnar.json` — batch vs columnar medians and speedups on
 //!   TPC-H Q1/Q6 (the scan/aggregate-bound queries the columnar path
-//!   targets), with rows and ledgers verified identical across engines.
+//!   targets), with rows and ledgers verified identical across engines;
+//! * `BENCH_throughput.json` — the eco-server under saturating session
+//!   load: queries/sec × joules/query at 1/64/1k/10k sessions, online
+//!   QED batching vs no-batching admission, with per-session
+//!   ledger-identity and serial-replay flags verified at every point
+//!   (and the ≥2x joules/query gain at 1k sessions enforced).
 //!
 //! ```text
 //! cargo run -p eco-bench --bin bench_smoke --release \
-//!     [-- <parallel.json> [<columnar.json>]]
+//!     [-- <parallel.json> [<columnar.json> [<throughput.json>]]]
 //! ```
 //!
 //! Paths default to `BENCH_parallel_scaling.json` /
-//! `BENCH_columnar.json` in the current directory (CI runs it from the
-//! repo root). Exits non-zero if any ledger or row-identity check
-//! fails, so the smoke job guards correctness, not just timing.
+//! `BENCH_columnar.json` / `BENCH_throughput.json` in the current
+//! directory (CI runs it from the repo root). Exits non-zero if any
+//! ledger or row-identity check fails, so the smoke job guards
+//! correctness, not just timing.
 
 use std::time::{Duration, Instant};
 
 use eco_bench::bench_db_memory;
 use eco_core::server::EcoDb;
 use eco_query::context::ExecCtx;
-use eco_query::exec::{execute, execute_columnar, execute_parallel, execute_scalar};
+use eco_query::exec::{execute, execute_columnar, execute_parallel, execute_scalar, ExecEngine};
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
+use eco_server::{
+    plan_admission, replay_serial, session_workload, AdmissionConfig, EcoServer, ServeReport,
+    ServerConfig,
+};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SAMPLES: usize = 7;
@@ -128,6 +138,92 @@ fn columnar_report(db: &EcoDb) -> (String, usize) {
     (json, failures)
 }
 
+/// Eco-server throughput grid for `BENCH_throughput.json`: queries/sec
+/// × joules/query under saturating offered load, online QED batching vs
+/// the no-batching admission baseline, every point flagged with the
+/// per-session ledger identity and the serve-vs-serial-replay identity.
+/// Returns the JSON blob and the number of failed checks.
+fn throughput_report() -> (String, usize) {
+    const WORKERS: usize = 2;
+    const RATE_QPS: f64 = 50_000.0;
+    const SEED: u64 = 0xEC0;
+    // 10k unbatched = 10k full scans; the baseline stops at 1k, which
+    // is where the acceptance ratio is read.
+    const SESSIONS: [usize; 4] = [1, 64, 1_000, 10_000];
+    const UNBATCHED_CAP: usize = 1_000;
+
+    // Columnar engine: same ledgers as batch execution, traces are just
+    // cheaper to produce at 10k sessions.
+    let db = bench_db_memory().with_engine(ExecEngine::Columnar);
+    let plan = plan_admission(&db, &AdmissionConfig::default());
+    let mut failures = 0usize;
+    let mut blobs = Vec::new();
+    let mut gain_at_1k = 0.0;
+
+    // One JSON entry per (session count, admission mode); `identity`
+    // is the per-session fork/merge equality AND the serve-vs-serial-
+    // replay equality, both bit-exact.
+    let mode_blob = |name: &str, sessions: usize, report: &ServeReport| -> (String, bool) {
+        let identity = report.ledger_identity()
+            && replay_serial(&db, &report.dispatches, WORKERS, true) == report.ledger;
+        if !identity {
+            eprintln!("FAIL: {name} at {sessions} sessions broke ledger identity");
+        }
+        println!(
+            "server {sessions} sessions {name}: {:.0} qps, {:.4} mJ/query, ledger_identical={identity}",
+            report.queries_per_second(),
+            report.joules_per_query() * 1e3,
+        );
+        let blob = format!(
+            "\"{name}\":{{\"served\":{},\"dispatches\":{},\"qps\":{:.4},\
+             \"cpu_joules_per_query\":{:.6},\"wall_joules_per_query\":{:.6},\
+             \"avg_response_s\":{:.6},\"avg_queue_delay_s\":{:.6},\"ledger_identical\":{identity}}}",
+            report.served,
+            report.dispatches.len(),
+            report.queries_per_second(),
+            report.joules_per_query(),
+            report.wall_joules_per_query(),
+            report.avg_response_s(),
+            report.avg_queue_delay_s(),
+        );
+        (blob, identity)
+    };
+
+    for sessions in SESSIONS {
+        let requests = session_workload(sessions, RATE_QPS, SEED);
+        let batched =
+            EcoServer::new(&db, ServerConfig::batched(WORKERS, plan.threshold)).serve(&requests);
+        let (blob, identity) = mode_blob("batched", sessions, &batched);
+        failures += usize::from(!identity);
+        let mut entries = vec![blob];
+        if sessions <= UNBATCHED_CAP {
+            let unbatched = EcoServer::new(&db, ServerConfig::unbatched(WORKERS)).serve(&requests);
+            let (blob, identity) = mode_blob("unbatched", sessions, &unbatched);
+            failures += usize::from(!identity);
+            entries.push(blob);
+            if sessions == 1_000 {
+                gain_at_1k = unbatched.joules_per_query() / batched.joules_per_query();
+            }
+        }
+        blobs.push(format!("\"{sessions}\":{{{}}}", entries.join(",")));
+    }
+
+    println!("server joules/query gain at 1k sessions: {gain_at_1k:.2}x");
+    if gain_at_1k < 2.0 {
+        eprintln!("FAIL: joules/query gain at 1k sessions {gain_at_1k:.2} < 2.0");
+        failures += 1;
+    }
+    let json = format!(
+        "{{\"bench\":\"server_throughput\",\"scale\":{},\"workers\":{WORKERS},\
+         \"threshold\":{},\"rate_qps\":{RATE_QPS},\"gain_at_1k\":{gain_at_1k:.4},\
+         \"sessions\":{{{}}}}}\n",
+        eco_bench::BENCH_SCALE,
+        plan.threshold,
+        blobs.join(",")
+    );
+    (json, failures)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -135,6 +231,9 @@ fn main() {
     let columnar_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_columnar.json".to_string());
+    let throughput_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
     let host_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -216,6 +315,14 @@ fn main() {
         std::process::exit(2);
     });
     println!("wrote {columnar_path}");
+
+    let (throughput_json, throughput_failures) = throughput_report();
+    failures += throughput_failures;
+    std::fs::write(&throughput_path, &throughput_json).unwrap_or_else(|e| {
+        eprintln!("cannot write {throughput_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {throughput_path}");
 
     if failures > 0 {
         eprintln!("{failures} ledger-identity check(s) failed");

@@ -37,4 +37,4 @@ pub mod server;
 pub use metrics::{Edp, OperatingPoint};
 pub use pvc::{PvcSweep, PvcSweepPoint};
 pub use qed::{QedOutcome, QedScheme};
-pub use server::{EcoDb, EngineProfile, QueryRun};
+pub use server::{EcoDb, EngineProfile, QueryRun, ServerError};

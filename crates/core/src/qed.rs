@@ -235,14 +235,19 @@ pub fn run_qed_cores(
 /// The admission-control queue: delay queries until a batch forms.
 /// (The paper assumes the queue "builds up in a master system that is
 /// always on" — accumulation time is free from the DBMS's view.)
+///
+/// Generic over the queued item so the *same* threshold/drain policy
+/// runs both the offline replay here (queueing [`QedQuery`]s directly)
+/// and the online session batcher in `eco-server` (queueing pending
+/// session requests) — one batching policy, two front ends.
 #[derive(Debug, Clone)]
-pub struct WorkloadManager {
+pub struct WorkloadManager<T = QedQuery> {
     threshold: usize,
-    queue: Vec<QedQuery>,
+    queue: Vec<T>,
     batches_released: usize,
 }
 
-impl WorkloadManager {
+impl<T> WorkloadManager<T> {
     /// Manager releasing batches of `threshold` queries.
     pub fn new(threshold: usize) -> Self {
         assert!(threshold >= 1, "threshold must be at least 1");
@@ -254,7 +259,7 @@ impl WorkloadManager {
     }
 
     /// Submit a query; returns a full batch when the threshold is hit.
-    pub fn submit(&mut self, q: QedQuery) -> Option<Vec<QedQuery>> {
+    pub fn submit(&mut self, q: T) -> Option<Vec<T>> {
         self.queue.push(q);
         if self.queue.len() >= self.threshold {
             self.batches_released += 1;
@@ -269,12 +274,23 @@ impl WorkloadManager {
         self.queue.len()
     }
 
+    /// The queued items, oldest first (admission control peeks at the
+    /// backlog without releasing it).
+    pub fn queued(&self) -> &[T] {
+        &self.queue
+    }
+
     /// Force-release whatever is queued (timeout path).
-    pub fn drain(&mut self) -> Vec<QedQuery> {
+    pub fn drain(&mut self) -> Vec<T> {
         if !self.queue.is_empty() {
             self.batches_released += 1;
         }
         std::mem::take(&mut self.queue)
+    }
+
+    /// Batch-release threshold.
+    pub fn threshold(&self) -> usize {
+        self.threshold
     }
 
     /// Batches released so far.
@@ -402,6 +418,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold must be at least 1")]
     fn zero_threshold_rejected() {
-        let _ = WorkloadManager::new(0);
+        let _ = WorkloadManager::<QedQuery>::new(0);
     }
 }

@@ -19,7 +19,7 @@
 
 use eco_query::context::ExecCtx;
 use eco_query::exec::{execute_parallel, ExecEngine};
-use eco_query::mqo::{split_results, MergedSelection};
+use eco_query::mqo::{split_results, MergeError, MergedSelection};
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
 use eco_simhw::machine::{Machine, MachineConfig, Measurement};
@@ -74,6 +74,62 @@ impl EngineProfile {
             EngineProfile::MemoryEngine => "mysql-memory",
             EngineProfile::CommercialDisk => "commercial-disk",
         }
+    }
+}
+
+/// A typed server-side statement failure.
+///
+/// A malformed statement is a *session* error: the session layer
+/// (`eco-server`) returns it to the submitting session; the scheduler
+/// and every other in-flight session keep running. Before this type,
+/// the execute path panicked on malformed batches, so one bad
+/// statement could take down the whole server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The statement batch could not be merged (empty batch, missing
+    /// table).
+    Merge(MergeError),
+    /// The statement's SQL failed to lex, parse or bind.
+    Sql(eco_query::sql::SqlError),
+    /// The statement was rejected by admission control (server over
+    /// its energy/backlog knee).
+    Shed {
+        /// Statements already queued when this one was rejected.
+        queued: usize,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Merge(e) => write!(f, "merge error: {e}"),
+            ServerError::Sql(e) => write!(f, "SQL error: {e}"),
+            ServerError::Shed { queued } => {
+                write!(f, "admission control shed the statement ({queued} queued)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Merge(e) => Some(e),
+            ServerError::Sql(e) => Some(e),
+            ServerError::Shed { .. } => None,
+        }
+    }
+}
+
+impl From<MergeError> for ServerError {
+    fn from(e: MergeError) -> Self {
+        ServerError::Merge(e)
+    }
+}
+
+impl From<eco_query::sql::SqlError> for ServerError {
+    fn from(e: eco_query::sql::SqlError) -> Self {
+        ServerError::Sql(e)
     }
 }
 
@@ -402,6 +458,38 @@ impl EcoDb {
         short_circuit: bool,
         workers: usize,
     ) -> (Vec<Vec<Tuple>>, Vec<WorkTrace>) {
+        self.try_trace_merged_selection_cores(queries, short_circuit, workers)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::trace_merged_selection_cores`]: malformed
+    /// batches come back as a typed [`ServerError`] instead of a panic,
+    /// so a session layer can reject them without dying.
+    pub fn try_trace_merged_selection_cores(
+        &self,
+        queries: &[QedQuery],
+        short_circuit: bool,
+        workers: usize,
+    ) -> Result<(Vec<Vec<Tuple>>, Vec<WorkTrace>), ServerError> {
+        self.merged_selection_traces(queries, short_circuit, Some(workers))
+    }
+
+    /// The one shared merged-batch path (offline QED replay *and* the
+    /// online batcher in `eco-server` price through here): validate and
+    /// build the [`MergedSelection`], charge the merged parse, run the
+    /// disjunctive scan (serially when `workers` is `None`,
+    /// morsel-parallel otherwise), split results per query on the
+    /// client, and assemble gap/execute/split phases into traces.
+    ///
+    /// The serial branch reproduces the historical single-trace layout
+    /// (gap, `qed×k` execute, split) byte-for-byte, so every offline
+    /// QED figure is unchanged by routing through this function.
+    fn merged_selection_traces(
+        &self,
+        queries: &[QedQuery],
+        short_circuit: bool,
+        workers: Option<usize>,
+    ) -> Result<(Vec<Vec<Tuple>>, Vec<WorkTrace>), ServerError> {
         let mut ctx = if short_circuit {
             ExecCtx::new()
         } else {
@@ -412,17 +500,37 @@ impl EcoDb {
             OpClass::Parse,
             parse_tokens(StatementKind::MergedSelection(queries.len())),
         );
-        let mut merged = MergedSelection::new(&self.catalog, queries);
-        let tagged = merged.run_parallel(&mut ctx, workers);
+        let mut merged = MergedSelection::try_new(&self.catalog, queries)?;
         let label = format!("qed×{}", queries.len());
-        let phases = ctx.take_core_phases(workers, &label);
 
-        // Application-side split, on the client (core 0).
-        let mut client = ExecCtx::new();
-        let split = split_results(tagged, queries.len(), &mut client);
-        let split_phase = client.take_phase(PhaseKind::ClientCompute, "qed split");
+        match workers {
+            None => {
+                let tagged = merged.run(&mut ctx);
+                let exec_phase = ctx.take_phase(PhaseKind::Execute, label);
 
-        (split, self.assemble_core_traces(phases, Some(split_phase)))
+                // Application-side split.
+                let mut client = ExecCtx::new();
+                let split = split_results(tagged, queries.len(), &mut client);
+                let split_phase = client.take_phase(PhaseKind::ClientCompute, "qed split");
+
+                let mut trace = WorkTrace::new();
+                trace.push(self.gap_before(&exec_phase));
+                trace.push(exec_phase);
+                trace.push(split_phase);
+                Ok((split, vec![trace]))
+            }
+            Some(workers) => {
+                let tagged = merged.run_parallel(&mut ctx, workers);
+                let phases = ctx.take_core_phases(workers, &label);
+
+                // Application-side split, on the client (core 0).
+                let mut client = ExecCtx::new();
+                let split = split_results(tagged, queries.len(), &mut client);
+                let split_phase = client.take_phase(PhaseKind::ClientCompute, "qed split");
+
+                Ok((split, self.assemble_core_traces(phases, Some(split_phase))))
+            }
+        }
     }
 
     /// Run one Q6 morsel-parallel under a per-core configuration.
@@ -497,30 +605,19 @@ impl EcoDb {
         queries: &[QedQuery],
         short_circuit: bool,
     ) -> (Vec<Vec<Tuple>>, WorkTrace) {
-        let mut ctx = if short_circuit {
-            ExecCtx::new()
-        } else {
-            ExecCtx::exhaustive()
-        }
-        .with_columnar(self.engine == ExecEngine::Columnar);
-        ctx.charge(
-            OpClass::Parse,
-            parse_tokens(StatementKind::MergedSelection(queries.len())),
-        );
-        let mut merged = MergedSelection::new(&self.catalog, queries);
-        let tagged = merged.run(&mut ctx);
-        let exec_phase = ctx.take_phase(PhaseKind::Execute, format!("qed×{}", queries.len()));
+        self.try_trace_merged_selection(queries, short_circuit)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
 
-        // Application-side split.
-        let mut client = ExecCtx::new();
-        let split = split_results(tagged, queries.len(), &mut client);
-        let split_phase = client.take_phase(PhaseKind::ClientCompute, "qed split");
-
-        let mut trace = WorkTrace::new();
-        trace.push(self.gap_before(&exec_phase));
-        trace.push(exec_phase);
-        trace.push(split_phase);
-        (split, trace)
+    /// Fallible [`Self::trace_merged_selection`]: malformed batches come
+    /// back as a typed [`ServerError`] instead of a panic.
+    pub fn try_trace_merged_selection(
+        &self,
+        queries: &[QedQuery],
+        short_circuit: bool,
+    ) -> Result<(Vec<Vec<Tuple>>, WorkTrace), ServerError> {
+        let (split, mut traces) = self.merged_selection_traces(queries, short_circuit, None)?;
+        Ok((split, traces.pop().expect("serial path yields one trace")))
     }
 
     /// Trace TPC-H Q1.
@@ -566,6 +663,12 @@ impl EcoDb {
         trace.push(self.gap_before(&exec_phase));
         trace.push(exec_phase);
         Ok((rows, trace))
+    }
+
+    /// [`Self::trace_sql`] with the error lifted into [`ServerError`] —
+    /// the session layer's single error type for bad statements.
+    pub fn try_trace_sql(&self, sql: &str) -> Result<(Vec<Tuple>, WorkTrace), ServerError> {
+        self.trace_sql(sql).map_err(ServerError::from)
     }
 
     /// Run an ad-hoc SQL `SELECT` under a machine configuration.
@@ -703,6 +806,44 @@ mod tests {
         let m1 = db.price(&trace, MachineConfig::stock());
         let m2 = db.price(&trace, MachineConfig::stock());
         assert_eq!(m1.cpu_joules, m2.cpu_joules, "pricing is deterministic");
+    }
+
+    #[test]
+    fn malformed_statements_return_typed_errors_not_panics() {
+        let db = db(EngineProfile::MemoryEngine);
+        // Empty merged batch.
+        let err = db.try_trace_merged_selection(&[], true).unwrap_err();
+        assert_eq!(
+            err,
+            ServerError::Merge(eco_query::mqo::MergeError::EmptyBatch)
+        );
+        assert!(err.to_string().contains("empty QED batch"));
+        // Same on the cores path.
+        let err = db
+            .try_trace_merged_selection_cores(&[], true, 2)
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Merge(_)));
+        // Malformed SQL.
+        let err = db.try_trace_sql("SELEC oops FROM nowhere").unwrap_err();
+        assert!(matches!(err, ServerError::Sql(_)));
+        // Unknown table binds to a typed SQL error too.
+        let err = db.try_trace_sql("SELECT x FROM not_a_table").unwrap_err();
+        assert!(matches!(err, ServerError::Sql(_)));
+        // The database is still fully operational afterwards.
+        let (rows, _) = db.trace_q6(1994, 6, 24);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn fallible_and_panicking_merged_paths_agree() {
+        let db = db(EngineProfile::MemoryEngine);
+        let queries = eco_tpch::qed_workload(4);
+        let (a_rows, a_trace) = db.trace_merged_selection(&queries, true);
+        let (b_rows, b_trace) = db
+            .try_trace_merged_selection(&queries, true)
+            .expect("valid");
+        assert_eq!(a_rows, b_rows);
+        assert_eq!(a_trace, b_trace, "one shared path, identical traces");
     }
 
     #[test]

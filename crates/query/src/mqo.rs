@@ -227,6 +227,30 @@ impl Operator for MultiFilter {
     }
 }
 
+/// Why a batch of statements could not be merged into one scan.
+///
+/// Malformed batches are *client* errors: a session layer routes them
+/// back to the submitting session instead of panicking inside the
+/// scheduler (see `eco-server`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// The batch contained no queries.
+    EmptyBatch,
+    /// The table the merged scan runs over is not in the catalog.
+    MissingTable(String),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::EmptyBatch => write!(f, "empty QED batch"),
+            MergeError::MissingTable(t) => write!(f, "table `{t}` not in catalog"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// A merged QED batch over the `lineitem` table.
 pub struct MergedSelection {
     plan: MultiFilter,
@@ -235,8 +259,22 @@ pub struct MergedSelection {
 
 impl MergedSelection {
     /// Merge a batch of QED selection queries into one disjunctive scan.
+    ///
+    /// Panicking wrapper around [`Self::try_new`] for callers that
+    /// construct batches from trusted workloads.
     pub fn new(catalog: &Catalog, queries: &[QedQuery]) -> Self {
-        assert!(!queries.is_empty(), "empty QED batch");
+        Self::try_new(catalog, queries).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Merge a batch of QED selection queries into one disjunctive
+    /// scan, or report why the batch is malformed.
+    pub fn try_new(catalog: &Catalog, queries: &[QedQuery]) -> Result<Self, MergeError> {
+        if queries.is_empty() {
+            return Err(MergeError::EmptyBatch);
+        }
+        if catalog.get("lineitem").is_none() {
+            return Err(MergeError::MissingTable("lineitem".to_string()));
+        }
         let distinct = {
             let mut v: Vec<i64> = queries.iter().map(|q| q.quantity).collect();
             v.sort_unstable();
@@ -248,10 +286,10 @@ impl MergedSelection {
             .map(|q| selection_predicate(catalog, q))
             .collect();
         let scan = Box::new(SeqScan::new(catalog.expect("lineitem"))) as BoxedOp;
-        Self {
+        Ok(Self {
             plan: MultiFilter::new(scan, predicates, distinct),
             batch_size: queries.len(),
-        }
+        })
     }
 
     /// Execute the merged scan, returning tagged rows.
@@ -391,5 +429,21 @@ mod tests {
     fn empty_batch_rejected() {
         let cat = setup();
         let _ = MergedSelection::new(&cat, &[]);
+    }
+
+    #[test]
+    fn try_new_reports_malformed_batches() {
+        let cat = setup();
+        assert_eq!(
+            MergedSelection::try_new(&cat, &[]).err(),
+            Some(MergeError::EmptyBatch)
+        );
+        let empty_catalog = Catalog::new(0);
+        let queries = qed_workload(3);
+        assert_eq!(
+            MergedSelection::try_new(&empty_catalog, &queries).err(),
+            Some(MergeError::MissingTable("lineitem".to_string()))
+        );
+        assert!(MergedSelection::try_new(&cat, &queries).is_ok());
     }
 }

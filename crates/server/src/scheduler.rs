@@ -1,0 +1,607 @@
+//! The deterministic session scheduler: a discrete-event serve loop
+//! that admits arrivals, accumulates QED batches, dispatches merged
+//! statements onto the morsel-parallel executor, prices the whole run
+//! on the open-system machine model, and splits results and energy
+//! back per session.
+//!
+//! ## Determinism and the replay transcript
+//!
+//! The loop is single-threaded and event-ordered: arrivals are
+//! processed in (time, input-index) order, deadline drains fire at
+//! exact virtual instants, and every dispatch is appended to a
+//! transcript. [`replay_serial`] re-executes that transcript serially
+//! through the *same* shared `MergedSelection` path and must reproduce
+//! the server's summed ledger **bit for bit** — the concurrent-session
+//! extension of the scalar = batch = columnar = parallel invariant.
+//! (Callers comparing a serve run against its replay must restore the
+//! buffer pool to the same starting state first — `flush_cache`, plus
+//! `warm_up` for warm comparisons — because the disk profile's
+//! warm-reread counter is stateful.)
+
+use std::collections::BTreeMap;
+
+use eco_core::{EcoDb, ServerError};
+use eco_simhw::machine::MachineConfig;
+use eco_simhw::opensys::{OpenSystemMeasurement, OpenSystemRun};
+use eco_simhw::trace::WorkTrace;
+
+use crate::admission::should_shed;
+use crate::batcher::{dedup_batch, Dispatch, DispatchKind, OnlineBatcher, Pending};
+use crate::session::{LedgerTotals, Request, SessionId, SessionOutcome, Statement};
+
+/// Scheduler tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Cores the merged statements run across (morsel-parallel).
+    pub workers: usize,
+    /// QED batch threshold; 1 disables batching (every selection
+    /// dispatches alone — the admission baseline).
+    pub threshold: usize,
+    /// Delay budget: the oldest queued selection is never held longer
+    /// than this before a forced drain.
+    pub max_delay_s: f64,
+    /// Backlog cap: arrivals finding this many selections already
+    /// queued are shed with [`ServerError::Shed`].
+    pub max_backlog: usize,
+    /// Machine configuration bursts and idle gaps are priced under.
+    pub machine: MachineConfig,
+    /// Short-circuit the merged scan's disjoint predicates (the QED
+    /// default) or evaluate exhaustively.
+    pub short_circuit: bool,
+}
+
+impl ServerConfig {
+    /// Online QED batching at `threshold` across `workers` cores;
+    /// 1 s delay budget, no backlog cap.
+    pub fn batched(workers: usize, threshold: usize) -> Self {
+        Self {
+            workers,
+            threshold,
+            max_delay_s: 1.0,
+            max_backlog: usize::MAX,
+            machine: MachineConfig::stock(),
+            short_circuit: true,
+        }
+    }
+
+    /// The no-batching baseline: every selection dispatches alone.
+    pub fn unbatched(workers: usize) -> Self {
+        Self::batched(workers, 1)
+    }
+
+    /// Adopt an advisor-planned admission operating point.
+    pub fn with_admission(mut self, plan: &crate::admission::AdmissionPlan) -> Self {
+        self.threshold = plan.threshold;
+        self.max_backlog = plan.max_backlog;
+        self
+    }
+}
+
+/// Everything a serve run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// One outcome per input request, in input order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// The replayable dispatch transcript, in dispatch order.
+    pub dispatches: Vec<Dispatch>,
+    /// End-to-end open-system pricing (bursts + idle gaps).
+    pub measurement: OpenSystemMeasurement,
+    /// The server's summed ledger over every dispatched statement.
+    pub ledger: LedgerTotals,
+    /// Per-session forked ledgers (exact shares of each dispatch).
+    pub session_ledgers: BTreeMap<SessionId, LedgerTotals>,
+    /// Requests that completed.
+    pub served: usize,
+    /// Requests shed by admission control.
+    pub shed: usize,
+    /// Requests rejected as malformed.
+    pub failed: usize,
+}
+
+impl ServeReport {
+    /// CPU joules per completed query.
+    pub fn joules_per_query(&self) -> f64 {
+        if self.served > 0 {
+            self.measurement.cpu_joules / self.served as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall joules per completed query.
+    pub fn wall_joules_per_query(&self) -> f64 {
+        if self.served > 0 {
+            self.measurement.wall_joules / self.served as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Completed queries per second of served makespan.
+    pub fn queries_per_second(&self) -> f64 {
+        if self.measurement.makespan_s > 0.0 {
+            self.served as f64 / self.measurement.makespan_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean open-system response time over completed queries.
+    pub fn avg_response_s(&self) -> f64 {
+        let (sum, n) = self.fold_completed(|r, _| r);
+        if n > 0 {
+            sum / n as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean queueing (accumulation) delay over completed queries.
+    pub fn avg_queue_delay_s(&self) -> f64 {
+        let (sum, n) = self.fold_completed(|_, q| q);
+        if n > 0 {
+            sum / n as f64
+        } else {
+            0.0
+        }
+    }
+
+    fn fold_completed(&self, pick: impl Fn(f64, f64) -> f64) -> (f64, usize) {
+        let mut sum = 0.0;
+        let mut n = 0;
+        for o in &self.outcomes {
+            if let SessionOutcome::Completed {
+                response_s,
+                queue_delay_s,
+                ..
+            } = o
+            {
+                sum += pick(*response_s, *queue_delay_s);
+                n += 1;
+            }
+        }
+        (sum, n)
+    }
+
+    /// Merge all per-session ledgers back together. Equal to
+    /// [`ServeReport::ledger`] by construction — exposed so tests and
+    /// the bench identity flags can enforce it.
+    pub fn merged_session_ledger(&self) -> LedgerTotals {
+        let mut total = LedgerTotals::new();
+        for l in self.session_ledgers.values() {
+            total.merge(l);
+        }
+        total
+    }
+
+    /// True when the per-session fork/merge round trip is exact.
+    pub fn ledger_identity(&self) -> bool {
+        self.merged_session_ledger() == self.ledger
+    }
+}
+
+/// The eco-server: a database plus scheduler tunables.
+#[derive(Debug)]
+pub struct EcoServer<'a> {
+    db: &'a EcoDb,
+    cfg: ServerConfig,
+}
+
+impl<'a> EcoServer<'a> {
+    /// A server over `db`.
+    pub fn new(db: &'a EcoDb, cfg: ServerConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker core");
+        assert!(cfg.threshold >= 1, "threshold must be at least 1");
+        Self { db, cfg }
+    }
+
+    /// Serve a set of session requests to completion. Requests are
+    /// processed in (arrival time, input index) order; the returned
+    /// outcomes are in input order.
+    pub fn serve(&self, requests: &[Request]) -> ServeReport {
+        let cfg = &self.cfg;
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by(|&a, &b| {
+            requests[a]
+                .arrival_s
+                .partial_cmp(&requests[b].arrival_s)
+                .expect("arrival times must not be NaN")
+                .then(a.cmp(&b))
+        });
+
+        let mc = self.db.multicore(cfg.workers);
+        let mut run = OpenSystemRun::new(&mc, cfg.machine);
+        let mut state = ServeState {
+            now: 0.0,
+            outcomes: vec![None; requests.len()],
+            dispatches: Vec::new(),
+            ledger: LedgerTotals::new(),
+            session_ledgers: BTreeMap::new(),
+            shed: 0,
+            failed: 0,
+        };
+        let mut batcher = OnlineBatcher::new(cfg.threshold, cfg.max_delay_s);
+
+        for idx in order {
+            let r = &requests[idx];
+            // Deadline drains that fire before this arrival.
+            while let Some(deadline) = batcher.oldest_deadline() {
+                if deadline > r.arrival_s {
+                    break;
+                }
+                let t = deadline.max(state.now);
+                let d = dedup_batch(batcher.drain(), t);
+                self.dispatch_merged(d, &mut run, &mut state);
+            }
+            match &r.statement {
+                Statement::Selection(q) => {
+                    if should_shed(batcher.pending(), cfg.max_backlog) {
+                        state.outcomes[idx] = Some(SessionOutcome::Rejected {
+                            session: r.session,
+                            arrival_s: r.arrival_s,
+                            error: ServerError::Shed {
+                                queued: batcher.pending(),
+                            },
+                        });
+                        state.shed += 1;
+                        continue;
+                    }
+                    let p = Pending {
+                        request: idx,
+                        session: r.session,
+                        arrival_s: r.arrival_s,
+                        query: *q,
+                    };
+                    if let Some(batch) = batcher.submit(p) {
+                        let t = r.arrival_s.max(state.now);
+                        let d = dedup_batch(batch, t);
+                        self.dispatch_merged(d, &mut run, &mut state);
+                    }
+                }
+                Statement::Sql(sql) => {
+                    let t = r.arrival_s.max(state.now);
+                    self.dispatch_sql(idx, r, sql, t, &mut run, &mut state);
+                }
+            }
+        }
+        // End of input: the last partial batch drains at its deadline.
+        if batcher.pending() > 0 {
+            let deadline = batcher.oldest_deadline().expect("non-empty queue");
+            let t = deadline.max(state.now);
+            let d = dedup_batch(batcher.drain(), t);
+            self.dispatch_merged(d, &mut run, &mut state);
+        }
+
+        let served = state
+            .outcomes
+            .iter()
+            .filter(|o| matches!(o, Some(SessionOutcome::Completed { .. })))
+            .count();
+        ServeReport {
+            outcomes: state
+                .outcomes
+                .into_iter()
+                .map(|o| o.expect("every request resolves to an outcome"))
+                .collect(),
+            dispatches: state.dispatches,
+            measurement: run.finish(),
+            ledger: state.ledger,
+            session_ledgers: state.session_ledgers,
+            served,
+            shed: state.shed,
+            failed: state.failed,
+        }
+    }
+
+    /// Execute a merged dispatch: advance the clock (pricing the idle
+    /// gap), run the distinct-predicate scan morsel-parallel through
+    /// the shared `MergedSelection` path, price the burst, and split
+    /// rows, response times and exact ledger shares back per member.
+    fn dispatch_merged(&self, d: Dispatch, run: &mut OpenSystemRun, state: &mut ServeState) {
+        let cfg = &self.cfg;
+        let queries = match &d.kind {
+            DispatchKind::Merged(qs) => qs,
+            DispatchKind::Sql(_) => unreachable!("merged dispatch carries queries"),
+        };
+        match self
+            .db
+            .try_trace_merged_selection_cores(queries, cfg.short_circuit, cfg.workers)
+        {
+            Ok((split, core_traces)) => {
+                if d.dispatch_s > state.now {
+                    run.idle(d.dispatch_s - state.now);
+                }
+                state.now = d.dispatch_s;
+                let m = run.burst(&core_traces);
+                state.now += m.elapsed_s;
+
+                let totals = LedgerTotals::from_traces(&core_traces);
+                state.ledger.merge(&totals);
+                let k = d.members.len();
+                for (i, member) in d.members.iter().enumerate() {
+                    state
+                        .session_ledgers
+                        .entry(member.session)
+                        .or_default()
+                        .merge(&totals.exact_share(i, k));
+                    state.outcomes[member.request] = Some(SessionOutcome::Completed {
+                        session: member.session,
+                        rows: split[member.query_index].clone(),
+                        arrival_s: member.arrival_s,
+                        dispatch_s: d.dispatch_s,
+                        response_s: state.now - member.arrival_s,
+                        queue_delay_s: d.dispatch_s - member.arrival_s,
+                    });
+                }
+                state.dispatches.push(d);
+            }
+            Err(e) => {
+                // A malformed batch rejects its members; nothing ran,
+                // nothing is priced, the scheduler keeps going.
+                for member in &d.members {
+                    state.outcomes[member.request] = Some(SessionOutcome::Rejected {
+                        session: member.session,
+                        arrival_s: member.arrival_s,
+                        error: e.clone(),
+                    });
+                    state.failed += 1;
+                }
+            }
+        }
+    }
+
+    /// Execute a solo SQL dispatch. A compile failure rejects only the
+    /// submitting session and charges nothing.
+    fn dispatch_sql(
+        &self,
+        idx: usize,
+        r: &Request,
+        sql: &str,
+        t: f64,
+        run: &mut OpenSystemRun,
+        state: &mut ServeState,
+    ) {
+        match self.db.try_trace_sql(sql) {
+            Ok((rows, trace)) => {
+                if t > state.now {
+                    run.idle(t - state.now);
+                }
+                state.now = t;
+                // The solo statement occupies core 0; the other cores
+                // halt through the burst (empty traces).
+                let mut core_traces = vec![WorkTrace::new(); self.cfg.workers];
+                core_traces[0] = trace;
+                let m = run.burst(&core_traces);
+                state.now += m.elapsed_s;
+
+                let totals = LedgerTotals::from_traces(&core_traces);
+                state.ledger.merge(&totals);
+                state
+                    .session_ledgers
+                    .entry(r.session)
+                    .or_default()
+                    .merge(&totals);
+                state.outcomes[idx] = Some(SessionOutcome::Completed {
+                    session: r.session,
+                    rows,
+                    arrival_s: r.arrival_s,
+                    dispatch_s: t,
+                    response_s: state.now - r.arrival_s,
+                    queue_delay_s: t - r.arrival_s,
+                });
+                state.dispatches.push(Dispatch {
+                    dispatch_s: t,
+                    kind: DispatchKind::Sql(sql.to_string()),
+                    members: Vec::new(),
+                });
+            }
+            Err(e) => {
+                state.outcomes[idx] = Some(SessionOutcome::Rejected {
+                    session: r.session,
+                    arrival_s: r.arrival_s,
+                    error: e,
+                });
+                state.failed += 1;
+            }
+        }
+    }
+}
+
+/// Mutable serve-loop state threaded through dispatch helpers.
+struct ServeState {
+    now: f64,
+    outcomes: Vec<Option<SessionOutcome>>,
+    dispatches: Vec<Dispatch>,
+    ledger: LedgerTotals,
+    session_ledgers: BTreeMap<SessionId, LedgerTotals>,
+    shed: usize,
+    failed: usize,
+}
+
+/// Re-execute a serve run's dispatch transcript serially — the same
+/// statements, in the same order, through the same shared
+/// `MergedSelection` path — and return the summed ledger. Must equal
+/// the serve run's [`ServeReport::ledger`] bit for bit when the buffer
+/// pool starts in the same state (see the module docs).
+pub fn replay_serial(
+    db: &EcoDb,
+    dispatches: &[Dispatch],
+    workers: usize,
+    short_circuit: bool,
+) -> LedgerTotals {
+    let mut total = LedgerTotals::new();
+    for d in dispatches {
+        match &d.kind {
+            DispatchKind::Merged(queries) => {
+                let (_, core_traces) = db
+                    .try_trace_merged_selection_cores(queries, short_circuit, workers)
+                    .expect("a dispatched batch replays cleanly");
+                total.absorb_traces(&core_traces);
+            }
+            DispatchKind::Sql(sql) => {
+                let (_, trace) = db
+                    .try_trace_sql(sql)
+                    .expect("a dispatched statement replays cleanly");
+                total.absorb_traces(std::slice::from_ref(&trace));
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_core::EngineProfile;
+    use eco_tpch::QedQuery;
+
+    fn db() -> EcoDb {
+        EcoDb::tpch(EngineProfile::MemoryEngine, 0.002)
+    }
+
+    fn selection(idx: u64, arrival_s: f64, quantity: i64) -> Request {
+        Request {
+            session: SessionId(idx),
+            arrival_s,
+            statement: Statement::Selection(QedQuery { quantity }),
+        }
+    }
+
+    #[test]
+    fn batched_serve_completes_every_session_with_correct_rows() {
+        let db = db();
+        let requests: Vec<Request> = (0..12)
+            .map(|i| selection(i, i as f64 * 1e-4, (i as i64 % 5) + 1))
+            .collect();
+        let server = EcoServer::new(&db, ServerConfig::batched(2, 4));
+        let report = server.serve(&requests);
+        assert_eq!(report.served, 12);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.dispatches.len(), 3, "12 sessions / threshold 4");
+        for (r, o) in requests.iter().zip(&report.outcomes) {
+            match o {
+                SessionOutcome::Completed { session, rows, .. } => {
+                    assert_eq!(*session, r.session);
+                    let Statement::Selection(q) = &r.statement else {
+                        unreachable!()
+                    };
+                    let (want, _) = db.trace_selection(q);
+                    assert_eq!(*rows, want, "session {session:?} rows");
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serve_ledger_is_bit_identical_to_serial_replay() {
+        let db = db();
+        let requests: Vec<Request> = (0..20)
+            .map(|i| selection(i, i as f64 * 1e-4, (i as i64 % 7) + 1))
+            .collect();
+        let server = EcoServer::new(&db, ServerConfig::batched(3, 8));
+        let report = server.serve(&requests);
+        assert!(report.ledger_identity(), "session fork/merge must be exact");
+        let replay = replay_serial(&db, &report.dispatches, 3, true);
+        assert_eq!(report.ledger, replay, "serve vs serial replay");
+    }
+
+    #[test]
+    fn a_malformed_statement_rejects_one_session_not_the_server() {
+        let db = db();
+        let requests = vec![
+            selection(0, 0.0, 5),
+            Request {
+                session: SessionId(1),
+                arrival_s: 1e-4,
+                statement: Statement::Sql("SELEC oops".to_string()),
+            },
+            selection(2, 2e-4, 9),
+        ];
+        let server = EcoServer::new(&db, ServerConfig::batched(2, 2));
+        let report = server.serve(&requests);
+        assert_eq!(report.served, 2);
+        assert_eq!(report.failed, 1);
+        assert!(matches!(
+            &report.outcomes[1],
+            SessionOutcome::Rejected {
+                error: ServerError::Sql(_),
+                ..
+            }
+        ));
+        assert!(report.outcomes[0].is_completed());
+        assert!(report.outcomes[2].is_completed());
+    }
+
+    #[test]
+    fn backlog_cap_sheds_with_a_typed_error() {
+        let db = db();
+        // Threshold high, cap low: the 3rd..nth simultaneous arrivals
+        // find a full backlog and are shed.
+        let requests: Vec<Request> = (0..6).map(|i| selection(i, 0.0, i as i64 + 1)).collect();
+        let mut cfg = ServerConfig::batched(1, 10);
+        cfg.max_backlog = 2;
+        let report = EcoServer::new(&db, cfg).serve(&requests);
+        assert_eq!(report.shed, 4);
+        assert_eq!(report.served, 2);
+        assert!(matches!(
+            &report.outcomes[2],
+            SessionOutcome::Rejected {
+                error: ServerError::Shed { queued: 2 },
+                ..
+            }
+        ));
+        // The queued pair still drains and completes.
+        assert!(report.outcomes[0].is_completed());
+        assert!(report.outcomes[1].is_completed());
+    }
+
+    #[test]
+    fn response_time_includes_accumulation_delay() {
+        let db = db();
+        // Two arrivals 10 ms apart, threshold 2: the first waits for
+        // the second before the batch dispatches.
+        let requests = vec![selection(0, 0.0, 3), selection(1, 0.01, 4)];
+        let report = EcoServer::new(&db, ServerConfig::batched(1, 2)).serve(&requests);
+        match &report.outcomes[0] {
+            SessionOutcome::Completed {
+                queue_delay_s,
+                response_s,
+                ..
+            } => {
+                assert!(
+                    (*queue_delay_s - 0.01).abs() < 1e-12,
+                    "first query queues until the second arrives, got {queue_delay_s}"
+                );
+                assert!(response_s > queue_delay_s);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        // The idle gap before the batch was priced, not skipped.
+        assert!(report.measurement.idle_s > 0.0);
+        assert!(report.measurement.makespan_s > 0.01);
+    }
+
+    #[test]
+    fn deadline_drain_releases_a_stale_partial_batch() {
+        let db = db();
+        let mut cfg = ServerConfig::batched(1, 50);
+        cfg.max_delay_s = 0.005;
+        // One early arrival, one far later: the first must not wait for
+        // a full batch that never forms.
+        let requests = vec![selection(0, 0.0, 3), selection(1, 1.0, 4)];
+        let report = EcoServer::new(&db, cfg).serve(&requests);
+        assert_eq!(report.served, 2);
+        assert_eq!(report.dispatches.len(), 2, "deadline split the batch");
+        match &report.outcomes[0] {
+            SessionOutcome::Completed { dispatch_s, .. } => {
+                assert!(
+                    (*dispatch_s - 0.005).abs() < 1e-12,
+                    "drained at the delay budget, got {dispatch_s}"
+                );
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+    }
+}

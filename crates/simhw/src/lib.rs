@@ -35,6 +35,7 @@ pub mod machine;
 pub mod mem;
 pub mod meter;
 pub mod multicore;
+pub mod opensys;
 pub mod power;
 pub mod psu;
 pub mod trace;
@@ -43,4 +44,5 @@ pub use cpu::{CpuConfig, CpuSpec, PState, VoltageSetting};
 pub use disk::{AccessPattern, DiskSpec};
 pub use machine::{Machine, MachineConfig, Measurement};
 pub use multicore::{MultiCoreMachine, MultiCoreMeasurement};
+pub use opensys::{ArrivalSchedule, IdleMeasurement, OpenSystemMeasurement, OpenSystemRun};
 pub use trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind, WorkTrace};

@@ -223,12 +223,16 @@ impl BufferPool {
     }
 
     /// Drop every cached page and reset scan-position tracking — a
-    /// reboot, for the paper's cold runs.
+    /// reboot, for the paper's cold runs. The warm-reread hit counter
+    /// resets too, so two runs that both start from a flush charge
+    /// their periodic re-reads at the same points (bit-identical
+    /// ledgers for serve-vs-replay comparisons).
     pub fn flush(&self) {
         let mut g = self.inner.lock();
         g.frames.clear();
         g.by_stamp.clear();
         g.last_page.clear();
+        g.hit_counter = 0;
         g.stats.resident = 0;
     }
 

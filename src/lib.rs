@@ -15,7 +15,10 @@
 //! * [`storage`] — tuples, pages, heap tables, buffer pool;
 //! * [`query`] — expressions, operators, plans, multi-query optimization;
 //! * [`core`] — PVC, QED, EDP metrics, the energy advisor and the
-//!   experiment harness reproducing every table and figure of the paper.
+//!   experiment harness reproducing every table and figure of the paper;
+//! * [`server`] — the concurrent multi-session front door: online QED
+//!   batching, energy-aware admission control, open-system pricing and
+//!   per-session energy ledgers.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +45,7 @@
 
 pub use eco_core as core;
 pub use eco_query as query;
+pub use eco_server as server;
 pub use eco_simhw as simhw;
 pub use eco_storage as storage;
 pub use eco_tpch as tpch;

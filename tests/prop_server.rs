@@ -1,0 +1,101 @@
+//! Property test `concurrent_ledger_identity`: for random session
+//! counts, arrival orders and batch thresholds, the merged
+//! multi-session ledger equals the serial ledger of the same merged
+//! statements — on both engine profiles, cold and warm.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use ecodb::core::server::{EcoDb, EngineProfile};
+use ecodb::server::{replay_serial, EcoServer, Request, ServerConfig, SessionId, Statement};
+use ecodb::tpch::QedQuery;
+
+fn memory_db() -> &'static EcoDb {
+    static DB: OnceLock<EcoDb> = OnceLock::new();
+    DB.get_or_init(|| EcoDb::tpch(EngineProfile::MemoryEngine, 0.002))
+}
+
+fn disk_db() -> &'static EcoDb {
+    static DB: OnceLock<EcoDb> = OnceLock::new();
+    DB.get_or_init(|| EcoDb::tpch(EngineProfile::CommercialDisk, 0.002))
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a random-but-deterministic session workload from one seed:
+/// arbitrary arrival order (gaps from microseconds to tens of
+/// milliseconds, with ties) and arbitrary predicates.
+fn workload_from_seed(seed: u64, sessions: usize) -> Vec<Request> {
+    let mut state = seed;
+    let mut t = 0.0;
+    (0..sessions)
+        .map(|i| {
+            // ~1/8 of arrivals tie with the previous one.
+            if !splitmix64(&mut state).is_multiple_of(8) {
+                t += (splitmix64(&mut state) % 20_000) as f64 * 1e-6;
+            }
+            Request {
+                session: SessionId(i as u64),
+                arrival_s: t,
+                statement: Statement::Selection(QedQuery {
+                    quantity: (splitmix64(&mut state) % 50 + 1) as i64,
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Restore the buffer pool to a reproducible starting state.
+fn reset(db: &EcoDb, warm: bool) {
+    db.flush_cache();
+    if warm {
+        db.warm_up();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole invariant: concurrent multi-session serving forks a
+    /// ledger per session; merging the per-session ledgers reproduces
+    /// the server's summed ledger, and the server's summed ledger is
+    /// bit-identical to executing the same merged statements serially.
+    #[test]
+    fn concurrent_ledger_identity(
+        seed in any::<u64>(),
+        sessions in 1usize..=24,
+        threshold in 1usize..=8,
+        workers in 1usize..=3,
+        on_disk_profile in any::<bool>(),
+        warm in any::<bool>(),
+    ) {
+        let db = if on_disk_profile { disk_db() } else { memory_db() };
+        let requests = workload_from_seed(seed, sessions);
+        let cfg = ServerConfig::batched(workers, threshold);
+
+        reset(db, warm);
+        let report = EcoServer::new(db, cfg).serve(&requests);
+        prop_assert_eq!(report.served, sessions, "every session completes");
+
+        // Fork/merge exactness: per-session shares sum to the whole.
+        prop_assert_eq!(
+            report.merged_session_ledger(),
+            report.ledger.clone(),
+            "merged per-session ledgers != server ledger"
+        );
+        prop_assert_eq!(report.session_ledgers.len(), sessions);
+
+        // Serve vs serial replay of the same merged statements, from
+        // the same pool state: bit-identical.
+        reset(db, warm);
+        let replay = replay_serial(db, &report.dispatches, workers, true);
+        prop_assert_eq!(report.ledger, replay, "serve != serial replay");
+    }
+}
