@@ -14,22 +14,29 @@
 //!   load: queries/sec × joules/query at 1/64/1k/10k sessions, online
 //!   QED batching vs no-batching admission, with per-session
 //!   ledger-identity and serial-replay flags verified at every point
-//!   (and the ≥2x joules/query gain at 1k sessions enforced).
+//!   (and the ≥2x joules/query gain at 1k sessions enforced);
+//! * `BENCH_faults.json` — the commercial-disk server under seeded
+//!   recoverable fault plans of rising rate: joules/query and
+//!   retry/backoff charges vs injected fault rate, with the zero-rate
+//!   point required to carry zero schema-v2 retry classes (the
+//!   fault-free bit-identity invariant), the base ledger classes
+//!   bit-identical to the fault-free run at every rate, and
+//!   per-session ledger identity verified at every point.
 //!
 //! ```text
 //! cargo run -p eco-bench --bin bench_smoke --release \
-//!     [-- <parallel.json> [<columnar.json> [<throughput.json>]]]
+//!     [-- <parallel.json> [<columnar.json> [<throughput.json> [<faults.json>]]]]
 //! ```
 //!
 //! Paths default to `BENCH_parallel_scaling.json` /
-//! `BENCH_columnar.json` / `BENCH_throughput.json` in the current
-//! directory (CI runs it from the repo root). Exits non-zero if any
-//! ledger or row-identity check fails, so the smoke job guards
-//! correctness, not just timing.
+//! `BENCH_columnar.json` / `BENCH_throughput.json` / `BENCH_faults.json`
+//! in the current directory (CI runs it from the repo root). Exits
+//! non-zero if any ledger or row-identity check fails, so the smoke
+//! job guards correctness, not just timing.
 
 use std::time::{Duration, Instant};
 
-use eco_bench::bench_db_memory;
+use eco_bench::{bench_db_commercial, bench_db_memory};
 use eco_core::server::EcoDb;
 use eco_query::context::ExecCtx;
 use eco_query::exec::{execute, execute_columnar, execute_parallel, execute_scalar, ExecEngine};
@@ -39,6 +46,7 @@ use eco_server::{
     plan_admission, replay_serial, session_workload, AdmissionConfig, EcoServer, ServeReport,
     ServerConfig,
 };
+use eco_simhw::fault::FaultPlan;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SAMPLES: usize = 7;
@@ -224,6 +232,95 @@ fn throughput_report() -> (String, usize) {
     (json, failures)
 }
 
+/// Joules/query vs injected fault rate for `BENCH_faults.json`: the
+/// commercial-disk server serving the same session mix under seeded
+/// *recoverable* fault plans of rising rate (permanent faults demoted
+/// to worst-case transients, so every point completes in full and the
+/// curve isolates the priced cost of fault pressure). Checks at every
+/// point: full service, per-session fork/merge ledger identity, and
+/// the base ledger classes (retry/backoff zeroed) bit-identical to
+/// the zero-rate run; the zero-rate point itself must carry zero
+/// schema-v2 retry classes (`retry_ios`, `retry_bytes`, `backoff_ns`)
+/// — the fault-free bit-identity invariant on the perf path. Returns
+/// the JSON blob and the number of failed checks.
+fn faults_report() -> (String, usize) {
+    const WORKERS: usize = 2;
+    const SESSIONS: usize = 64;
+    const RATE_QPS: f64 = 5_000.0;
+    const SEED: u64 = 0xFA17;
+    const THRESHOLD: usize = 4;
+    const FAULT_RATES_PPM: [u32; 5] = [0, 5_000, 20_000, 80_000, 200_000];
+
+    let db = bench_db_commercial();
+    let requests = session_workload(SESSIONS, RATE_QPS, SEED);
+    let mut failures = 0usize;
+    let mut blobs = Vec::new();
+    let mut clean_ledger = None;
+
+    for rate_ppm in FAULT_RATES_PPM {
+        db.set_fault_plan(FaultPlan::new(SEED, rate_ppm).recoverable());
+        db.flush_cache(); // faults fire on buffer-pool misses only
+        let report =
+            EcoServer::new(&db, ServerConfig::batched(WORKERS, THRESHOLD)).serve(&requests);
+
+        let mut identity = report.ledger_identity() && report.served == SESSIONS;
+        let mut base = report.ledger.clone();
+        base.disk.retry_ios = 0;
+        base.disk.retry_bytes = 0;
+        base.backoff_ns = 0;
+        match &clean_ledger {
+            None => {
+                // The zero-rate point: schema-v2 classes must be zero.
+                identity &= base == report.ledger;
+                clean_ledger = Some(base);
+            }
+            // Faulted points differ from fault-free only in the
+            // explicitly priced v2 retry/backoff classes.
+            Some(clean) => identity &= &base == clean,
+        }
+        if !identity {
+            eprintln!("FAIL: fault rate {rate_ppm} ppm broke ledger identity or service");
+            failures += 1;
+        }
+        println!(
+            "faults {rate_ppm} ppm: served {}/{SESSIONS}, {:.4} mJ/query, \
+             retry_ios {}, backoff {} ns, degraded={}, ledger_identical={identity}",
+            report.served,
+            report.joules_per_query() * 1e3,
+            report.ledger.disk.retry_ios,
+            report.ledger.backoff_ns,
+            report.degraded,
+        );
+        blobs.push(format!(
+            "{{\"rate_ppm\":{rate_ppm},\"served\":{},\"failed\":{},\"shed\":{},\
+             \"io_failed\":{},\"degraded\":{},\"retry_ios\":{},\"retry_bytes\":{},\
+             \"backoff_ns\":{},\"cpu_joules_per_query\":{:.6},\
+             \"wall_joules_per_query\":{:.6},\"ledger_identical\":{identity}}}",
+            report.served,
+            report.failed,
+            report.shed,
+            report.io_failed,
+            report.degraded,
+            report.ledger.disk.retry_ios,
+            report.ledger.disk.retry_bytes,
+            report.ledger.backoff_ns,
+            report.joules_per_query(),
+            report.wall_joules_per_query(),
+        ));
+    }
+    db.set_fault_plan(FaultPlan::none());
+    db.flush_cache();
+
+    let json = format!(
+        "{{\"bench\":\"server_fault_injection\",\"scale\":{},\"workers\":{WORKERS},\
+         \"threshold\":{THRESHOLD},\"sessions\":{SESSIONS},\"rate_qps\":{RATE_QPS},\
+         \"seed\":{SEED},\"points\":[{}]}}\n",
+        eco_bench::BENCH_SCALE,
+        blobs.join(",")
+    );
+    (json, failures)
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -234,6 +331,9 @@ fn main() {
     let throughput_path = std::env::args()
         .nth(3)
         .unwrap_or_else(|| "BENCH_throughput.json".to_string());
+    let faults_path = std::env::args()
+        .nth(4)
+        .unwrap_or_else(|| "BENCH_faults.json".to_string());
     let host_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -323,6 +423,14 @@ fn main() {
         std::process::exit(2);
     });
     println!("wrote {throughput_path}");
+
+    let (faults_json, faults_failures) = faults_report();
+    failures += faults_failures;
+    std::fs::write(&faults_path, &faults_json).unwrap_or_else(|e| {
+        eprintln!("cannot write {faults_path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {faults_path}");
 
     if failures > 0 {
         eprintln!("{failures} ledger-identity check(s) failed");

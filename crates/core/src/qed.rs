@@ -293,6 +293,16 @@ impl<T> WorkloadManager<T> {
         self.threshold
     }
 
+    /// Retune the release threshold in place. Queued items stay queued;
+    /// the new threshold applies from the next submit. The online
+    /// scheduler uses this to *raise* the batch size under sustained
+    /// fault pressure (amortizing retry-priced I/O over more members)
+    /// and to restore the planned operating point once reads recover.
+    pub fn set_threshold(&mut self, threshold: usize) {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        self.threshold = threshold;
+    }
+
     /// Batches released so far.
     pub fn batches_released(&self) -> usize {
         self.batches_released

@@ -18,10 +18,12 @@
 //! remain meaningful across scale factors.
 
 use eco_query::context::ExecCtx;
+use eco_query::error::ExecError;
 use eco_query::exec::{execute_parallel, ExecEngine};
 use eco_query::mqo::{split_results, MergeError, MergedSelection};
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
+use eco_simhw::fault::FaultPlan;
 use eco_simhw::machine::{Machine, MachineConfig, Measurement};
 use eco_simhw::multicore::{MultiCoreMachine, MultiCoreMeasurement};
 use eco_simhw::trace::{OpClass, Phase, PhaseKind, WorkTrace};
@@ -97,6 +99,10 @@ pub enum ServerError {
         /// Statements already queued when this one was rejected.
         queued: usize,
     },
+    /// Execution hit an unrecoverable disk fault (a page whose retry
+    /// budget was exhausted — see [`ExecError`]). Fails only the
+    /// statement (and its owning session); the server keeps serving.
+    Io(ExecError),
 }
 
 impl std::fmt::Display for ServerError {
@@ -107,6 +113,7 @@ impl std::fmt::Display for ServerError {
             ServerError::Shed { queued } => {
                 write!(f, "admission control shed the statement ({queued} queued)")
             }
+            ServerError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
 }
@@ -117,6 +124,7 @@ impl std::error::Error for ServerError {
             ServerError::Merge(e) => Some(e),
             ServerError::Sql(e) => Some(e),
             ServerError::Shed { .. } => None,
+            ServerError::Io(e) => Some(e),
         }
     }
 }
@@ -130,6 +138,12 @@ impl From<MergeError> for ServerError {
 impl From<eco_query::sql::SqlError> for ServerError {
     fn from(e: eco_query::sql::SqlError) -> Self {
         ServerError::Sql(e)
+    }
+}
+
+impl From<ExecError> for ServerError {
+    fn from(e: ExecError) -> Self {
+        ServerError::Io(e)
     }
 }
 
@@ -281,11 +295,34 @@ impl EcoDb {
         self.catalog.pool().flush();
     }
 
+    /// Install a deterministic disk-fault schedule (see [`FaultPlan`]).
+    /// Faults fire on buffer-pool misses: transient faults cost retry
+    /// I/O and backoff (new v2 ledger classes, zero when fault-free);
+    /// permanent faults surface as [`ServerError::Io`] on the fallible
+    /// statement paths. [`FaultPlan::none`] (the default) disables
+    /// injection entirely.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.catalog.pool().set_fault_plan(plan);
+    }
+
+    /// Same database with a fault schedule installed (builder style).
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// The installed fault schedule.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.catalog.pool().fault_plan()
+    }
+
     /// Pre-warm the buffer pool by running the 10-query Q5 workload
-    /// once, discarding the trace.
+    /// once, discarding the trace. Tolerates injected faults (a
+    /// permanently unreadable page leaves that page cold; everything
+    /// else still warms).
     pub fn warm_up(&self) {
         for params in q5_workload() {
-            let _ = self.trace_statement(
+            let _ = self.try_trace_statement(
                 StatementKind::Q5,
                 plans::q5_plan(&self.catalog, &params),
                 &params.label(),
@@ -297,20 +334,39 @@ impl EcoDb {
 
     /// Execute a plan as one client statement: a round-trip gap phase
     /// followed by an execute phase (parse + plan work included).
+    /// Panics on a disk fault — the infallible tracers are for
+    /// fault-free use; fault-injected servers go through the `try_*`
+    /// paths.
     fn trace_statement(
+        &self,
+        kind: StatementKind,
+        plan: BoxedOp,
+        label: &str,
+    ) -> (Vec<Tuple>, WorkTrace) {
+        self.try_trace_statement(kind, plan, label)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Self::trace_statement`]: a page read whose retry
+    /// budget is exhausted comes back as [`ServerError::Io`] instead of
+    /// a panic, failing only this statement.
+    fn try_trace_statement(
         &self,
         kind: StatementKind,
         mut plan: BoxedOp,
         label: &str,
-    ) -> (Vec<Tuple>, WorkTrace) {
+    ) -> Result<(Vec<Tuple>, WorkTrace), ServerError> {
         let mut ctx = self.exec_ctx();
         ctx.charge(OpClass::Parse, parse_tokens(kind));
         let rows = self.engine.execute(plan.as_mut(), &mut ctx);
+        if let Some(e) = ctx.take_error() {
+            return Err(ServerError::Io(e));
+        }
         let exec_phase = ctx.take_phase(PhaseKind::Execute, label);
         let mut trace = WorkTrace::new();
         trace.push(self.gap_before(&exec_phase));
         trace.push(exec_phase);
-        (rows, trace)
+        Ok((rows, trace))
     }
 
     /// The client round-trip gap preceding an execution phase.
@@ -348,6 +404,9 @@ impl EcoDb {
         let mut ctx = self.exec_ctx().with_workers(workers);
         ctx.charge(OpClass::Parse, parse_tokens(kind));
         let rows = execute_parallel(plan.as_mut(), &mut ctx, workers);
+        if let Some(e) = ctx.take_error() {
+            panic!("{}", ServerError::Io(e));
+        }
         let phases = ctx.take_core_phases(workers, label);
         (rows, self.assemble_core_traces(phases, None))
     }
@@ -506,6 +565,9 @@ impl EcoDb {
         match workers {
             None => {
                 let tagged = merged.run(&mut ctx);
+                if let Some(e) = ctx.take_error() {
+                    return Err(ServerError::Io(e));
+                }
                 let exec_phase = ctx.take_phase(PhaseKind::Execute, label);
 
                 // Application-side split.
@@ -521,6 +583,9 @@ impl EcoDb {
             }
             Some(workers) => {
                 let tagged = merged.run_parallel(&mut ctx, workers);
+                if let Some(e) = ctx.take_error() {
+                    return Err(ServerError::Io(e));
+                }
                 let phases = ctx.take_core_phases(workers, &label);
 
                 // Application-side split, on the client (core 0).
@@ -597,6 +662,19 @@ impl EcoDb {
         )
     }
 
+    /// Fallible [`Self::trace_selection`]: an unrecoverable disk fault
+    /// comes back as [`ServerError::Io`], failing only this statement.
+    pub fn try_trace_selection(
+        &self,
+        q: &QedQuery,
+    ) -> Result<(Vec<Tuple>, WorkTrace), ServerError> {
+        self.try_trace_statement(
+            StatementKind::Selection,
+            plans::selection_plan(&self.catalog, q),
+            &q.label(),
+        )
+    }
+
     /// Trace a merged QED batch: gap, merged execution, and the
     /// application-side result split (client compute phase). Returns
     /// per-query result sets.
@@ -648,27 +726,38 @@ impl EcoDb {
     }
 
     /// Trace an ad-hoc SQL `SELECT` (parsed, bound and planned by the
-    /// generic planner in `eco-query::sql`).
+    /// generic planner in `eco-query::sql`). Panics on a disk fault —
+    /// fault-injected servers use [`Self::try_trace_sql`], which types
+    /// it.
     pub fn trace_sql(
         &self,
         sql: &str,
     ) -> Result<(Vec<Tuple>, WorkTrace), eco_query::sql::SqlError> {
+        match self.try_trace_sql(sql) {
+            Ok(r) => Ok(r),
+            Err(ServerError::Sql(e)) => Err(e),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible SQL tracing with every failure mode typed into
+    /// [`ServerError`] — the session layer's single error type: lex /
+    /// parse / bind errors as [`ServerError::Sql`], unrecoverable disk
+    /// faults as [`ServerError::Io`].
+    pub fn try_trace_sql(&self, sql: &str) -> Result<(Vec<Tuple>, WorkTrace), ServerError> {
         let mut plan = eco_query::sql::compile(&self.catalog, sql)?;
         let mut ctx = self.exec_ctx();
         let tokens = (sql.split_whitespace().count() as u64).max(4);
         ctx.charge(OpClass::Parse, tokens);
         let rows = self.engine.execute(plan.as_mut(), &mut ctx);
+        if let Some(e) = ctx.take_error() {
+            return Err(ServerError::Io(e));
+        }
         let exec_phase = ctx.take_phase(PhaseKind::Execute, "sql");
         let mut trace = WorkTrace::new();
         trace.push(self.gap_before(&exec_phase));
         trace.push(exec_phase);
         Ok((rows, trace))
-    }
-
-    /// [`Self::trace_sql`] with the error lifted into [`ServerError`] —
-    /// the session layer's single error type for bad statements.
-    pub fn try_trace_sql(&self, sql: &str) -> Result<(Vec<Tuple>, WorkTrace), ServerError> {
-        self.trace_sql(sql).map_err(ServerError::from)
     }
 
     /// Run an ad-hoc SQL `SELECT` under a machine configuration.
@@ -844,6 +933,56 @@ mod tests {
             .expect("valid");
         assert_eq!(a_rows, b_rows);
         assert_eq!(a_trace, b_trace, "one shared path, identical traces");
+    }
+
+    #[test]
+    fn faults_fail_single_statements_with_typed_io_errors() {
+        let db = db(EngineProfile::CommercialDisk);
+        // Saturated plan: every cold page read faults (70% transient,
+        // 15% permanent, 15% stall) — statements either recover via
+        // retries or fail with a typed Io error; nothing panics.
+        db.set_fault_plan(FaultPlan::new(1234, 1_000_000));
+        db.flush_cache();
+        let queries = eco_tpch::qed_workload(4);
+        let mut io_errors = 0;
+        for q in &queries {
+            match db.try_trace_selection(q) {
+                Ok((rows, trace)) => {
+                    assert!(!trace.phases().is_empty());
+                    let _ = rows;
+                }
+                Err(ServerError::Io(_)) => io_errors += 1,
+                Err(other) => panic!("unexpected error class: {other}"),
+            }
+        }
+        // lineitem spans many pages: a saturated plan must hit at least
+        // one permanent fault.
+        assert!(io_errors > 0, "saturated plan should fail something");
+        // Clearing the plan (and the pool) restores full service.
+        db.set_fault_plan(FaultPlan::none());
+        db.flush_cache();
+        for q in &queries {
+            db.try_trace_selection(q).expect("fault-free run succeeds");
+        }
+    }
+
+    #[test]
+    fn fault_free_plan_leaves_ledgers_bit_identical() {
+        let db = db(EngineProfile::CommercialDisk);
+        db.flush_cache();
+        let (rows_a, trace_a) = db.trace_q6(1994, 6, 24);
+        // Install a plan that never fires, reboot, rerun: the trace must
+        // be byte-for-byte identical (v2 classes all zero).
+        db.set_fault_plan(FaultPlan::none());
+        db.flush_cache();
+        let (rows_b, trace_b) = db.trace_q6(1994, 6, 24);
+        assert_eq!(rows_a, rows_b);
+        assert_eq!(trace_a, trace_b, "fault-free ledgers are bit-identical");
+        for p in trace_b.phases() {
+            assert_eq!(p.disk.retry_ios, 0);
+            assert_eq!(p.disk.retry_bytes, 0);
+            assert_eq!(p.backoff_ns, 0);
+        }
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use eco_simhw::trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind};
 
+use crate::error::ExecError;
+
 /// Default number of tuples a batch-mode operator call produces (or, for
 /// filters, consumes). 1024 keeps a batch of lineitem-width tuples well
 /// inside L2 while amortizing per-call dispatch to noise.
@@ -22,6 +24,7 @@ struct CoreCharges {
     mem_stream_bytes: u64,
     mem_random_accesses: u64,
     disk: DiskWork,
+    backoff_ns: u64,
 }
 
 /// Per-execution accounting state, threaded through every operator call.
@@ -36,6 +39,10 @@ pub struct ExecCtx {
     pub mem_random_accesses: u64,
     /// Disk I/O drained from the buffer pool.
     pub disk: DiskWork,
+    /// Retry backoff / stall idle time accumulated by verified page
+    /// reads, nanoseconds (ledger schema v2: halt-priced like a client
+    /// gap; exactly zero on fault-free runs).
+    pub backoff_ns: u64,
     /// Whether OR-lists short-circuit on the first true arm. MySQL-style
     /// evaluation short-circuits; the `ablation_qed_shortcircuit` bench
     /// flips this to study its effect on QED.
@@ -74,6 +81,9 @@ pub struct ExecCtx {
     /// coordinator's serial work) are attributed to core 0 at
     /// [`Self::take_core_phases`] time.
     core_charges: Vec<CoreCharges>,
+    /// The first error recorded by a failing operator (set-first-wins).
+    /// Fallible drivers take it after the pipeline drains.
+    error: Option<ExecError>,
 }
 
 impl Default for ExecCtx {
@@ -83,6 +93,7 @@ impl Default for ExecCtx {
             mem_stream_bytes: 0,
             mem_random_accesses: 0,
             disk: DiskWork::default(),
+            backoff_ns: 0,
             short_circuit_or: false,
             pred_evals: 0,
             batch_size: DEFAULT_BATCH_SIZE,
@@ -91,6 +102,7 @@ impl Default for ExecCtx {
             columnar: false,
             streaming_exact: 0,
             core_charges: Vec::new(),
+            error: None,
         }
     }
 }
@@ -162,7 +174,14 @@ impl ExecCtx {
         self.mem_stream_bytes += other.mem_stream_bytes;
         self.mem_random_accesses += other.mem_random_accesses;
         self.disk.merge(&other.disk);
+        self.backoff_ns += other.backoff_ns;
         self.pred_evals += other.pred_evals;
+        // Workers are merged in worker-index order, so under a fixed
+        // fault plan the surviving error is deterministic regardless of
+        // how morsels were actually scheduled.
+        if self.error.is_none() {
+            self.error = other.error;
+        }
         if self.core_charges.len() <= worker {
             self.core_charges
                 .resize_with(worker + 1, CoreCharges::default);
@@ -172,6 +191,7 @@ impl ExecCtx {
         c.mem_stream_bytes += other.mem_stream_bytes;
         c.mem_random_accesses += other.mem_random_accesses;
         c.disk.merge(&other.disk);
+        c.backoff_ns += other.backoff_ns;
     }
 
     /// Charge `n` operations of `class`.
@@ -197,6 +217,29 @@ impl ExecCtx {
         self.disk.merge(&io);
     }
 
+    /// Charge retry-backoff / stall idle time (nanoseconds).
+    #[inline]
+    pub fn charge_backoff(&mut self, ns: u64) {
+        self.backoff_ns += ns;
+    }
+
+    /// Record a typed execution error. The first error wins; operators
+    /// call this and end their stream, and the fallible drivers
+    /// surface it after the pipeline drains.
+    pub fn fail(&mut self, e: ExecError) {
+        self.error.get_or_insert(e);
+    }
+
+    /// The recorded error, if any.
+    pub fn error(&self) -> Option<&ExecError> {
+        self.error.as_ref()
+    }
+
+    /// Take (and clear) the recorded error.
+    pub fn take_error(&mut self) -> Option<ExecError> {
+        self.error.take()
+    }
+
     /// Convert the accumulated ledger into a trace phase, leaving the
     /// context empty for reuse.
     pub fn take_phase(&mut self, kind: PhaseKind, label: impl Into<String>) -> Phase {
@@ -209,6 +252,7 @@ impl ExecCtx {
         phase.mem_stream_bytes = std::mem::take(&mut self.mem_stream_bytes);
         phase.mem_random_accesses = std::mem::take(&mut self.mem_random_accesses);
         phase.disk = std::mem::take(&mut self.disk);
+        phase.backoff_ns = std::mem::take(&mut self.backoff_ns);
         self.pred_evals = 0;
         self.core_charges.clear();
         phase
@@ -226,6 +270,7 @@ impl ExecCtx {
         let mut remainder_stream = std::mem::take(&mut self.mem_stream_bytes);
         let mut remainder_random = std::mem::take(&mut self.mem_random_accesses);
         let mut remainder_disk = std::mem::take(&mut self.disk);
+        let mut remainder_backoff = std::mem::take(&mut self.backoff_ns);
         let core_charges = std::mem::take(&mut self.core_charges);
         self.pred_evals = 0;
         assert!(
@@ -248,6 +293,9 @@ impl ExecCtx {
                 .checked_sub(c.mem_random_accesses)
                 .expect("subtracting more random accesses than were recorded");
             remainder_disk.subtract(&c.disk);
+            remainder_backoff = remainder_backoff
+                .checked_sub(c.backoff_ns)
+                .expect("subtracting more backoff time than was recorded");
         }
 
         (0..cores)
@@ -258,12 +306,14 @@ impl ExecCtx {
                     p.mem_stream_bytes = c.mem_stream_bytes;
                     p.mem_random_accesses = c.mem_random_accesses;
                     p.disk = c.disk;
+                    p.backoff_ns = c.backoff_ns;
                 }
                 if w == 0 {
                     p.cpu.merge(&remainder_cpu);
                     p.mem_stream_bytes += remainder_stream;
                     p.mem_random_accesses += remainder_random;
                     p.disk.merge(&remainder_disk);
+                    p.backoff_ns += remainder_backoff;
                 }
                 p
             })
@@ -276,6 +326,7 @@ impl ExecCtx {
             && self.mem_stream_bytes == 0
             && self.mem_random_accesses == 0
             && self.disk.is_empty()
+            && self.backoff_ns == 0
     }
 }
 
@@ -294,6 +345,7 @@ mod tests {
             sequential_bytes: 8192,
             random_ios: 1,
             random_bytes: 8192,
+            ..DiskWork::none()
         });
         assert!(!ctx.is_empty());
 
@@ -346,6 +398,48 @@ mod tests {
         assert_eq!(ctx.mem_stream_bytes, 100);
         assert_eq!(ctx.mem_random_accesses, 4);
         assert_eq!(ctx.pred_evals, 3);
+    }
+
+    #[test]
+    fn first_error_wins_and_merges_in_worker_order() {
+        use crate::error::ExecError;
+        use eco_storage::IoError;
+        let mut ctx = ExecCtx::new();
+        assert!(ctx.error().is_none());
+        let mut w0 = ctx.fork();
+        let mut w1 = ctx.fork();
+        w1.fail(ExecError::Io(IoError::Permanent { table: 1, page: 5 }));
+        w1.fail(ExecError::Io(IoError::Permanent { table: 9, page: 9 }));
+        ctx.merge_worker(0, &w0);
+        ctx.merge_worker(1, &w1);
+        w0.fail(ExecError::Io(IoError::Corrupt { table: 2, page: 0 }));
+        ctx.merge_worker(0, &w0);
+        // w1's first error was already recorded; later merges lose.
+        assert_eq!(
+            ctx.take_error(),
+            Some(ExecError::Io(IoError::Permanent { table: 1, page: 5 }))
+        );
+        assert!(ctx.error().is_none(), "take_error clears the slot");
+    }
+
+    #[test]
+    fn backoff_drains_into_phases_and_partitions_per_core() {
+        let mut ctx = ExecCtx::new();
+        ctx.charge_backoff(100);
+        let mut w1 = ctx.fork();
+        w1.charge_backoff(250);
+        ctx.merge_worker(1, &w1);
+        assert_eq!(ctx.backoff_ns, 350);
+        let phases = ctx.take_core_phases(2, "t");
+        assert_eq!(phases[0].backoff_ns, 100, "serial backoff → core 0");
+        assert_eq!(phases[1].backoff_ns, 250);
+        assert!(ctx.is_empty(), "backoff drains with the rest");
+
+        let mut ctx = ExecCtx::new();
+        ctx.charge_backoff(77);
+        let p = ctx.take_phase(PhaseKind::Execute, "t");
+        assert_eq!(p.backoff_ns, 77);
+        assert!(ctx.is_empty());
     }
 
     #[test]

@@ -15,10 +15,24 @@
 //! worker count are purely throughput knobs; the energy accounting the
 //! paper's figures are computed from never changes.
 
+//!
+//! ## Failure semantics
+//!
+//! Operators are infallible at the interface level: a failing operator
+//! (a page read whose retry budget is exhausted — see
+//! [`crate::error::ExecError`]) records the first error in the context
+//! and ends its stream, so every driver below terminates normally with
+//! a *truncated* result and the error still recorded. The `try_*`
+//! drivers check the slot after the pipeline drains and surface it as
+//! an `Err`; callers of the infallible drivers can (and the server
+//! layer does) inspect [`ExecCtx::take_error`] themselves. Nothing on
+//! the execution path panics on a disk fault.
+
 use eco_simhw::trace::OpClass;
 use eco_storage::{tuple_width, Tuple};
 
 use crate::context::ExecCtx;
+use crate::error::ExecError;
 use crate::ops::Operator;
 use crate::parallel::gather_parallel;
 
@@ -66,6 +80,38 @@ impl ExecEngine {
         let mut out = Vec::new();
         self.execute_into(plan, ctx, &mut out);
         out
+    }
+
+    /// Fallible twin of [`Self::execute_into`]: drives the plan, then
+    /// surfaces the first typed error any operator recorded. On `Err`
+    /// the buffer holds whatever rows were produced before the fault.
+    pub fn try_execute_into(
+        self,
+        plan: &mut dyn Operator,
+        ctx: &mut ExecCtx,
+        out: &mut Vec<Tuple>,
+    ) -> Result<(), ExecError> {
+        self.execute_into(plan, ctx, out);
+        take_exec_error(ctx)
+    }
+
+    /// Fallible twin of [`Self::execute`].
+    pub fn try_execute(
+        self,
+        plan: &mut dyn Operator,
+        ctx: &mut ExecCtx,
+    ) -> Result<Vec<Tuple>, ExecError> {
+        let mut out = Vec::new();
+        self.try_execute_into(plan, ctx, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// Surface (and clear) the error an operator recorded in `ctx`, if any.
+fn take_exec_error(ctx: &mut ExecCtx) -> Result<(), ExecError> {
+    match ctx.take_error() {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -153,6 +199,20 @@ pub fn execute_parallel(plan: &mut dyn Operator, ctx: &mut ExecCtx, workers: usi
     let mut out = Vec::new();
     execute_parallel_into(plan, ctx, workers, &mut out);
     out
+}
+
+/// Fallible twin of [`execute_parallel_into`]: drives the plan with
+/// `workers` threads, then surfaces the first typed error any worker
+/// recorded (workers merge in index order, so the surviving error is
+/// deterministic for a given fault plan).
+pub fn try_execute_parallel_into(
+    plan: &mut dyn Operator,
+    ctx: &mut ExecCtx,
+    workers: usize,
+    out: &mut Vec<Tuple>,
+) -> Result<(), ExecError> {
+    execute_parallel_into(plan, ctx, workers, out);
+    take_exec_error(ctx)
 }
 
 /// Like [`execute_parallel`], appending into an existing buffer.

@@ -82,6 +82,7 @@
 
 pub mod chunk;
 pub mod context;
+pub mod error;
 pub mod estimate;
 pub mod exec;
 pub mod expr;
@@ -93,9 +94,10 @@ pub mod sql;
 
 pub use chunk::{Chunk, Rows};
 pub use context::ExecCtx;
+pub use error::ExecError;
 pub use exec::{
     execute, execute_columnar, execute_columnar_into, execute_into, execute_parallel,
-    execute_parallel_into, ExecEngine,
+    execute_parallel_into, try_execute_parallel_into, ExecEngine,
 };
 pub use expr::{AggFunc, ArithOp, CmpOp, Expr};
 pub use ops::Operator;

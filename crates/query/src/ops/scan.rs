@@ -144,16 +144,33 @@ impl SeqScan {
             ScanBounds::DiskPages { stream, .. } => {
                 // Private stream: this access's I/O is returned directly
                 // and attributed to this worker's ledger.
-                let (page, io) = disk.read_page_stream(self.page_no, stream);
-                ctx.charge_disk(io);
-                page
+                match disk.read_page_stream_checked(self.page_no, stream) {
+                    Ok((page, io, backoff_ns)) => {
+                        ctx.charge_disk(io);
+                        ctx.charge_backoff(backoff_ns);
+                        page
+                    }
+                    Err(e) => {
+                        ctx.fail(e.into());
+                        disk.end_stream(stream);
+                        self.current = None;
+                        return false;
+                    }
+                }
             }
-            _ => {
-                let page = disk.read_page(self.page_no);
-                // Attribute whatever I/O the pool performed to this query.
-                ctx.charge_disk(disk.pool().take_io());
-                page
-            }
+            _ => match disk.read_page_checked(self.page_no) {
+                Ok((page, backoff_ns)) => {
+                    // Attribute whatever I/O the pool performed to this query.
+                    ctx.charge_disk(disk.pool().take_io());
+                    ctx.charge_backoff(backoff_ns);
+                    page
+                }
+                Err(e) => {
+                    ctx.fail(e.into());
+                    self.current = None;
+                    return false;
+                }
+            },
         };
         self.page_no += 1;
         self.idx = 0;
@@ -246,13 +263,28 @@ impl Operator for SeqScan {
                 for p in self.page_no..page_end {
                     match self.bounds {
                         ScanBounds::DiskPages { stream, .. } => {
-                            let (_, io) = disk.read_page_stream(p, stream);
-                            ctx.charge_disk(io);
+                            match disk.read_page_stream_checked(p, stream) {
+                                Ok((_, io, backoff_ns)) => {
+                                    ctx.charge_disk(io);
+                                    ctx.charge_backoff(backoff_ns);
+                                }
+                                Err(e) => {
+                                    ctx.fail(e.into());
+                                    disk.end_stream(stream);
+                                    return None;
+                                }
+                            }
                         }
-                        _ => {
-                            disk.read_page(p);
-                            ctx.charge_disk(disk.pool().take_io());
-                        }
+                        _ => match disk.read_page_checked(p) {
+                            Ok((_, backoff_ns)) => {
+                                ctx.charge_disk(disk.pool().take_io());
+                                ctx.charge_backoff(backoff_ns);
+                            }
+                            Err(e) => {
+                                ctx.fail(e.into());
+                                return None;
+                            }
+                        },
                     }
                 }
                 let cols = disk.columnar();

@@ -131,12 +131,14 @@ pub enum SelectItem {
 
 impl SelectItem {
     /// The expression and alias of a non-`*` item, or a
-    /// [`super::SqlError::Parse`] for `*` — the fallible accessor
+    /// [`super::SqlError::Bind`] for `*` — the fallible accessor
     /// consumers (and tests) use instead of panicking on the variant.
+    /// (`*` parsed fine; using it where an expression is required is a
+    /// binding-shape error, not a syntax one, so no byte offset.)
     pub fn expr_item(&self) -> Result<(&SqlExpr, Option<&str>), super::SqlError> {
         match self {
             SelectItem::Expr { expr, alias } => Ok((expr, alias.as_deref())),
-            SelectItem::Star => Err(super::SqlError::Parse(
+            SelectItem::Star => Err(super::SqlError::Bind(
                 "expected expression item, found `*`".to_string(),
             )),
         }

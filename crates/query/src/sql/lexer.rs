@@ -1,6 +1,11 @@
-//! SQL lexer: hand-written, position-reporting.
+//! SQL lexer: hand-written, byte-offset-reporting.
+//!
+//! [`tokenize_spanned`] is the real lexer: every token carries the
+//! byte offset where it starts in the original SQL text, and every
+//! error is a typed [`ParseError`] pointing at the offending byte.
+//! [`tokenize`] is the span-dropping convenience wrapper.
 
-use super::SqlError;
+use super::{ParseError, ParseErrorKind, SqlError};
 
 /// SQL tokens.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,90 +52,113 @@ pub enum Token {
     Semi,
 }
 
-/// Tokenize a SQL string.
+/// One lexed token plus the byte offset where it starts in the SQL
+/// text (what the parser reports in its [`ParseError`]s).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Tokenize a SQL string, dropping spans (compatibility wrapper).
 pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
-    let b: Vec<char> = sql.chars().collect();
+    Ok(tokenize_spanned(sql)
+        .map_err(SqlError::Lex)?
+        .into_iter()
+        .map(|s| s.tok)
+        .collect())
+}
+
+/// Tokenize a SQL string into byte-offset-spanned tokens.
+pub fn tokenize_spanned(sql: &str) -> Result<Vec<Spanned>, ParseError> {
+    let b: Vec<(usize, char)> = sql.char_indices().collect();
+    let peek = |i: usize| b.get(i).map(|&(_, c)| c);
     let mut i = 0;
-    let mut out = Vec::new();
+    let mut out: Vec<Spanned> = Vec::new();
     while i < b.len() {
-        let c = b[i];
+        let (off, c) = b[i];
+        let mut push1 = |tok: Token| {
+            out.push(Spanned { tok, offset: off });
+        };
         match c {
             c if c.is_whitespace() => i += 1,
             ',' => {
-                out.push(Token::Comma);
+                push1(Token::Comma);
                 i += 1;
             }
             '(' => {
-                out.push(Token::LParen);
+                push1(Token::LParen);
                 i += 1;
             }
             ')' => {
-                out.push(Token::RParen);
+                push1(Token::RParen);
                 i += 1;
             }
             '*' => {
-                out.push(Token::Star);
+                push1(Token::Star);
                 i += 1;
             }
             '+' => {
-                out.push(Token::Plus);
+                push1(Token::Plus);
                 i += 1;
             }
             '-' => {
                 // Line comment `--`.
-                if b.get(i + 1) == Some(&'-') {
-                    while i < b.len() && b[i] != '\n' {
+                if peek(i + 1) == Some('-') {
+                    while i < b.len() && b[i].1 != '\n' {
                         i += 1;
                     }
                 } else {
-                    out.push(Token::Minus);
+                    push1(Token::Minus);
                     i += 1;
                 }
             }
             '/' => {
-                out.push(Token::Slash);
+                push1(Token::Slash);
                 i += 1;
             }
             '.' => {
-                out.push(Token::Dot);
+                push1(Token::Dot);
                 i += 1;
             }
             ';' => {
-                out.push(Token::Semi);
+                push1(Token::Semi);
                 i += 1;
             }
             '=' => {
-                out.push(Token::Eq);
+                push1(Token::Eq);
                 i += 1;
             }
             '!' => {
-                if b.get(i + 1) == Some(&'=') {
-                    out.push(Token::Ne);
+                if peek(i + 1) == Some('=') {
+                    push1(Token::Ne);
                     i += 2;
                 } else {
-                    return Err(SqlError::Lex(format!("unexpected '!' at {i}")));
+                    return Err(ParseError::new(off, ParseErrorKind::UnexpectedChar('!')));
                 }
             }
-            '<' => match b.get(i + 1) {
+            '<' => match peek(i + 1) {
                 Some('=') => {
-                    out.push(Token::Le);
+                    push1(Token::Le);
                     i += 2;
                 }
                 Some('>') => {
-                    out.push(Token::Ne);
+                    push1(Token::Ne);
                     i += 2;
                 }
                 _ => {
-                    out.push(Token::Lt);
+                    push1(Token::Lt);
                     i += 1;
                 }
             },
             '>' => {
-                if b.get(i + 1) == Some(&'=') {
-                    out.push(Token::Ge);
+                if peek(i + 1) == Some('=') {
+                    push1(Token::Ge);
                     i += 2;
                 } else {
-                    out.push(Token::Gt);
+                    push1(Token::Gt);
                     i += 1;
                 }
             }
@@ -138,11 +166,15 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
                 let mut s = String::new();
                 i += 1;
                 loop {
-                    match b.get(i) {
-                        None => return Err(SqlError::Lex("unterminated string".into())),
+                    match peek(i) {
+                        None => {
+                            // Point at the opening quote, where the
+                            // unclosed literal starts.
+                            return Err(ParseError::new(off, ParseErrorKind::UnterminatedString));
+                        }
                         Some('\'') => {
                             // Doubled quote = escaped quote.
-                            if b.get(i + 1) == Some(&'\'') {
+                            if peek(i + 1) == Some('\'') {
                                 s.push('\'');
                                 i += 2;
                             } else {
@@ -150,66 +182,68 @@ pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
                                 break;
                             }
                         }
-                        Some(&c) => {
+                        Some(c) => {
                             s.push(c);
                             i += 1;
                         }
                     }
                 }
-                out.push(Token::Str(s));
+                out.push(Spanned {
+                    tok: Token::Str(s),
+                    offset: off,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
-                while i < b.len() && b[i].is_ascii_digit() {
+                while i < b.len() && b[i].1.is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len() && b[i] == '.' && b.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                if i < b.len() && b[i].1 == '.' && peek(i + 1).is_some_and(|c| c.is_ascii_digit()) {
                     // Decimal: scale by 100 (two fraction digits max).
                     let whole: i64 = b[start..i]
                         .iter()
+                        .map(|&(_, c)| c)
                         .collect::<String>()
                         .parse()
-                        .map_err(|e| SqlError::Lex(format!("bad number: {e}")))?;
+                        .map_err(|_| ParseError::new(off, ParseErrorKind::NumberOutOfRange))?;
                     i += 1; // '.'
                     let fstart = i;
-                    while i < b.len() && b[i].is_ascii_digit() {
+                    while i < b.len() && b[i].1.is_ascii_digit() {
                         i += 1;
                     }
-                    let frac_str: String = b[fstart..i].iter().collect();
+                    let frac_str: String = b[fstart..i].iter().map(|&(_, c)| c).collect();
                     if frac_str.len() > 2 {
-                        return Err(SqlError::Lex(format!(
-                            "decimal '{whole}.{frac_str}' has more than 2 fraction digits \
-                             (storage keeps hundredths)"
-                        )));
+                        return Err(ParseError::new(off, ParseErrorKind::DecimalPrecision));
                     }
                     let mut frac: i64 = frac_str.parse().unwrap_or(0);
                     if frac_str.len() == 1 {
                         frac *= 10;
                     }
-                    out.push(Token::Decimal(whole * 100 + frac));
+                    push1(Token::Decimal(whole * 100 + frac));
                 } else {
                     let n: i64 = b[start..i]
                         .iter()
+                        .map(|&(_, c)| c)
                         .collect::<String>()
                         .parse()
-                        .map_err(|e| SqlError::Lex(format!("bad number: {e}")))?;
-                    out.push(Token::Int(n));
+                        .map_err(|_| ParseError::new(off, ParseErrorKind::NumberOutOfRange))?;
+                    push1(Token::Int(n));
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                while i < b.len() && (b[i].1.is_alphanumeric() || b[i].1 == '_') {
                     i += 1;
                 }
-                out.push(Token::Ident(
-                    b[start..i].iter().collect::<String>().to_lowercase(),
+                push1(Token::Ident(
+                    b[start..i]
+                        .iter()
+                        .map(|&(_, c)| c)
+                        .collect::<String>()
+                        .to_lowercase(),
                 ));
             }
-            other => {
-                return Err(SqlError::Lex(format!(
-                    "unexpected character {other:?} at {i}"
-                )))
-            }
+            other => return Err(ParseError::new(off, ParseErrorKind::UnexpectedChar(other))),
         }
     }
     Ok(out)
@@ -240,6 +274,9 @@ mod tests {
 
     #[test]
     fn too_many_fraction_digits_rejected() {
+        let e = tokenize_spanned("x = 0.071").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::DecimalPrecision);
+        assert_eq!(e.offset, 4, "points at the start of the literal");
         assert!(matches!(tokenize("0.071"), Err(SqlError::Lex(_))));
     }
 
@@ -251,7 +288,36 @@ mod tests {
 
     #[test]
     fn unterminated_string_rejected() {
+        let e = tokenize_spanned("x = 'abc").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnterminatedString);
+        assert_eq!(e.offset, 4, "points at the opening quote");
         assert!(matches!(tokenize("'abc"), Err(SqlError::Lex(_))));
+    }
+
+    #[test]
+    fn unexpected_character_reports_its_byte_offset() {
+        let e = tokenize_spanned("select @").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnexpectedChar('@'));
+        assert_eq!(e.offset, 7);
+        // Offsets are *byte* offsets: a multi-byte char before the
+        // error shifts it by its UTF-8 width.
+        let e = tokenize_spanned("'é' @").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::UnexpectedChar('@'));
+        assert_eq!(e.offset, 5, "é is two bytes plus two quotes and a space");
+    }
+
+    #[test]
+    fn integer_overflow_is_a_typed_error() {
+        let e = tokenize_spanned("99999999999999999999").unwrap_err();
+        assert_eq!(e.kind, ParseErrorKind::NumberOutOfRange);
+        assert_eq!(e.offset, 0);
+    }
+
+    #[test]
+    fn spans_track_token_starts() {
+        let t = tokenize_spanned("SELECT a FROM t").unwrap();
+        let offsets: Vec<usize> = t.iter().map(|s| s.offset).collect();
+        assert_eq!(offsets, vec![0, 7, 9, 14]);
     }
 
     #[test]

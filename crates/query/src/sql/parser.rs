@@ -1,5 +1,9 @@
 //! Recursive-descent SQL parser.
 //!
+//! Every error is a typed [`ParseError`]: what the grammar required,
+//! what was found, and the byte offset of the offending token in the
+//! original SQL text (the end of the string when input ran out).
+//!
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
@@ -21,29 +25,30 @@
 //! ```
 
 use super::ast::{BinOp, OrderKey, SelectItem, SelectStmt, SqlExpr};
-use super::lexer::{tokenize, Token};
-use super::SqlError;
+use super::lexer::{tokenize_spanned, Spanned, Token};
+use super::{ParseError, ParseErrorKind, SqlError};
 use crate::expr::AggFunc;
 use eco_tpch::Date;
 
 struct Parser {
-    toks: Vec<Token>,
+    toks: Vec<Spanned>,
     pos: usize,
+    /// Byte length of the SQL text — the offset reported when the
+    /// input ends before the grammar is satisfied.
+    end: usize,
 }
 
 /// Parse one `SELECT` statement.
 pub fn parse_select(sql: &str) -> Result<SelectStmt, SqlError> {
     let mut p = Parser {
-        toks: tokenize(sql)?,
+        toks: tokenize_spanned(sql).map_err(SqlError::Lex)?,
         pos: 0,
+        end: sql.len(),
     };
     let stmt = p.select()?;
     p.eat_if(&Token::Semi);
     if !p.at_end() {
-        return Err(SqlError::Parse(format!(
-            "trailing input at token {:?}",
-            p.peek()
-        )));
+        return Err(p.err("end of input"));
     }
     Ok(stmt)
 }
@@ -54,15 +59,34 @@ impl Parser {
     }
 
     fn peek(&self) -> Option<&Token> {
-        self.toks.get(self.pos)
+        self.toks.get(self.pos).map(|s| &s.tok)
     }
 
     fn next(&mut self) -> Option<Token> {
-        let t = self.toks.get(self.pos).cloned();
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
         if t.is_some() {
             self.pos += 1;
         }
         t
+    }
+
+    /// Byte offset of the current token (end of text when exhausted).
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.end, |s| s.offset)
+    }
+
+    /// A typed "expected X, found Y" error anchored at the current
+    /// token's byte offset.
+    fn err(&self, expected: impl Into<String>) -> SqlError {
+        SqlError::Parse(ParseError::new(
+            self.offset(),
+            ParseErrorKind::Unexpected {
+                expected: expected.into(),
+                found: self
+                    .peek()
+                    .map_or("end of input".to_string(), |t| format!("{t:?}")),
+            },
+        ))
     }
 
     fn eat_if(&mut self, t: &Token) -> bool {
@@ -88,11 +112,7 @@ impl Parser {
         if self.keyword(kw) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!(
-                "expected {}, found {:?}",
-                kw.to_uppercase(),
-                self.peek()
-            )))
+            Err(self.err(kw.to_uppercase()))
         }
     }
 
@@ -100,19 +120,17 @@ impl Parser {
         if self.eat_if(&t) {
             Ok(())
         } else {
-            Err(SqlError::Parse(format!(
-                "expected {t:?}, found {:?}",
-                self.peek()
-            )))
+            Err(self.err(format!("{t:?}")))
         }
     }
 
     fn ident(&mut self) -> Result<String, SqlError> {
-        match self.next() {
-            Some(Token::Ident(s)) => Ok(s),
-            other => Err(SqlError::Parse(format!(
-                "expected identifier, found {other:?}"
-            ))),
+        if let Some(Token::Ident(s)) = self.peek() {
+            let s = s.clone();
+            self.pos += 1;
+            Ok(s)
+        } else {
+            Err(self.err("identifier"))
         }
     }
 
@@ -188,13 +206,12 @@ impl Parser {
         }
 
         let limit = if self.keyword("limit") {
-            match self.next() {
-                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
-                other => {
-                    return Err(SqlError::Parse(format!(
-                        "expected LIMIT count, found {other:?}"
-                    )))
+            match self.peek() {
+                Some(&Token::Int(n)) if n >= 0 => {
+                    self.pos += 1;
+                    Some(n as usize)
                 }
+                _ => return Err(self.err("LIMIT count")),
             }
         } else {
             None
@@ -302,6 +319,9 @@ impl Parser {
     }
 
     fn atom(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.at_end() {
+            return Err(self.err("expression"));
+        }
         match self.next() {
             Some(Token::Int(n)) => Ok(SqlExpr::Int(n)),
             Some(Token::Decimal(n)) => Ok(SqlExpr::Decimal(n)),
@@ -312,12 +332,16 @@ impl Parser {
                 Ok(e)
             }
             Some(Token::Ident(id)) => match id.as_str() {
-                "date" => match self.next() {
-                    Some(Token::Str(s)) => parse_date(&s).map(SqlExpr::DateLit),
-                    other => Err(SqlError::Parse(format!(
-                        "expected date string after DATE, found {other:?}"
-                    ))),
-                },
+                "date" => {
+                    let off = self.offset();
+                    match self.next() {
+                        Some(Token::Str(s)) => parse_date(&s, off).map(SqlExpr::DateLit),
+                        _ => {
+                            self.pos = self.pos.saturating_sub(1);
+                            Err(self.err("date string after DATE"))
+                        }
+                    }
+                }
                 "sum" | "count" | "min" | "max" | "avg" => {
                     let func = match id.as_str() {
                         "sum" => AggFunc::Sum,
@@ -350,28 +374,34 @@ impl Parser {
                     }
                 }
             },
-            other => Err(SqlError::Parse(format!("unexpected token {other:?}"))),
+            _ => {
+                // Un-consume the unusable token so the error points at
+                // it rather than past it.
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.err("expression"))
+            }
         }
     }
 }
 
-/// Parse `YYYY-MM-DD`.
-fn parse_date(s: &str) -> Result<Date, SqlError> {
+/// Parse `YYYY-MM-DD`. `offset` is the byte position of the date
+/// string literal, carried into the error.
+fn parse_date(s: &str, offset: usize) -> Result<Date, SqlError> {
+    let bad = || {
+        SqlError::Parse(ParseError::new(
+            offset,
+            ParseErrorKind::BadDate(s.to_string()),
+        ))
+    };
     let parts: Vec<&str> = s.split('-').collect();
     if parts.len() != 3 {
-        return Err(SqlError::Parse(format!("bad date literal {s:?}")));
+        return Err(bad());
     }
-    let y: i32 = parts[0]
-        .parse()
-        .map_err(|_| SqlError::Parse(format!("bad year in {s:?}")))?;
-    let m: u32 = parts[1]
-        .parse()
-        .map_err(|_| SqlError::Parse(format!("bad month in {s:?}")))?;
-    let d: u32 = parts[2]
-        .parse()
-        .map_err(|_| SqlError::Parse(format!("bad day in {s:?}")))?;
+    let y: i32 = parts[0].parse().map_err(|_| bad())?;
+    let m: u32 = parts[1].parse().map_err(|_| bad())?;
+    let d: u32 = parts[2].parse().map_err(|_| bad())?;
     if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
-        return Err(SqlError::Parse(format!("date out of range {s:?}")));
+        return Err(bad());
     }
     Ok(Date::from_ymd(y, m, d))
 }
@@ -466,10 +496,40 @@ mod tests {
     }
 
     #[test]
-    fn star_item_is_a_parse_error_not_a_panic() {
+    fn star_item_is_a_typed_error_not_a_panic() {
         let s = parse_select("SELECT * FROM t").unwrap();
         let err = s.items[0].expr_item().unwrap_err();
-        assert!(matches!(err, SqlError::Parse(m) if m.contains("expected expression item")));
+        assert!(matches!(err, SqlError::Bind(m) if m.contains("expected expression item")));
+    }
+
+    #[test]
+    fn errors_carry_byte_offsets() {
+        // Wrong keyword: offset of the offending token.
+        let Err(SqlError::Parse(e)) = parse_select("SELECT a FRM t") else {
+            panic!("expected a parse error")
+        };
+        assert_eq!(e.offset, 13, "FRM parses as a bare alias; 't' offends");
+        // Input ends too early: offset == byte length of the text.
+        let sql = "SELECT a FROM";
+        let Err(SqlError::Parse(e)) = parse_select(sql) else {
+            panic!("expected a parse error")
+        };
+        assert_eq!(e.offset, sql.len());
+        assert!(matches!(
+            e.kind,
+            ParseErrorKind::Unexpected { ref found, .. } if found == "end of input"
+        ));
+        // Trailing input: offset of the first surplus token.
+        let Err(SqlError::Parse(e)) = parse_select("SELECT a FROM t WHERE x = 1 2") else {
+            panic!("expected a parse error")
+        };
+        assert_eq!(e.offset, 28);
+        // Bad date: offset of the string literal, kind carries it.
+        let Err(SqlError::Parse(e)) = parse_select("SELECT DATE '1994-13-01' FROM t") else {
+            panic!("expected a parse error")
+        };
+        assert_eq!(e.offset, 12);
+        assert_eq!(e.kind, ParseErrorKind::BadDate("1994-13-01".into()));
     }
 
     #[test]

@@ -125,6 +125,13 @@ impl OnlineBatcher {
         self.manager.threshold()
     }
 
+    /// Retune the release threshold in place (fault-pressure
+    /// degradation raises it; recovery restores it). Queued requests
+    /// stay queued; the new threshold applies from the next submit.
+    pub fn set_threshold(&mut self, threshold: usize) {
+        self.manager.set_threshold(threshold);
+    }
+
     /// Batches released so far (threshold hits and drains).
     pub fn batches_released(&self) -> usize {
         self.manager.batches_released()

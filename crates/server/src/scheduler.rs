@@ -48,6 +48,12 @@ pub struct ServerConfig {
     /// Short-circuit the merged scan's disjoint predicates (the QED
     /// default) or evaluate exhaustively.
     pub short_circuit: bool,
+    /// Fault-pressure degradation: after this many *consecutive*
+    /// I/O-failed merged dispatches, the effective batch threshold is
+    /// doubled — fewer, larger dispatches amortize retry-priced I/O and
+    /// push more arrivals into the backlog cap's shedding path — until
+    /// a dispatch succeeds again. `usize::MAX` disables degradation.
+    pub fault_pressure_limit: usize,
 }
 
 impl ServerConfig {
@@ -61,6 +67,7 @@ impl ServerConfig {
             max_backlog: usize::MAX,
             machine: MachineConfig::stock(),
             short_circuit: true,
+            fault_pressure_limit: 3,
         }
     }
 
@@ -96,6 +103,12 @@ pub struct ServeReport {
     pub shed: usize,
     /// Requests rejected as malformed.
     pub failed: usize,
+    /// Dispatches that failed with a typed I/O error (injected or real
+    /// storage faults). Their member sessions are counted in `failed`.
+    pub io_failed: usize,
+    /// True when sustained fault pressure tripped degraded mode at any
+    /// point during the run (see [`ServerConfig::fault_pressure_limit`]).
+    pub degraded: bool,
 }
 
 impl ServeReport {
@@ -204,8 +217,7 @@ impl<'a> EcoServer<'a> {
         order.sort_by(|&a, &b| {
             requests[a]
                 .arrival_s
-                .partial_cmp(&requests[b].arrival_s)
-                .expect("arrival times must not be NaN")
+                .total_cmp(&requests[b].arrival_s)
                 .then(a.cmp(&b))
         });
 
@@ -219,6 +231,9 @@ impl<'a> EcoServer<'a> {
             session_ledgers: BTreeMap::new(),
             shed: 0,
             failed: 0,
+            io_failed: 0,
+            consecutive_io: 0,
+            degraded: false,
         };
         let mut batcher = OnlineBatcher::new(cfg.threshold, cfg.max_delay_s);
 
@@ -232,6 +247,7 @@ impl<'a> EcoServer<'a> {
                 let t = deadline.max(state.now);
                 let d = dedup_batch(batcher.drain(), t);
                 self.dispatch_merged(d, &mut run, &mut state);
+                self.retune_for_fault_pressure(&mut batcher, &state);
             }
             match &r.statement {
                 Statement::Selection(q) => {
@@ -256,6 +272,7 @@ impl<'a> EcoServer<'a> {
                         let t = r.arrival_s.max(state.now);
                         let d = dedup_batch(batch, t);
                         self.dispatch_merged(d, &mut run, &mut state);
+                        self.retune_for_fault_pressure(&mut batcher, &state);
                     }
                 }
                 Statement::Sql(sql) => {
@@ -266,7 +283,7 @@ impl<'a> EcoServer<'a> {
         }
         // End of input: the last partial batch drains at its deadline.
         if batcher.pending() > 0 {
-            let deadline = batcher.oldest_deadline().expect("non-empty queue");
+            let deadline = batcher.oldest_deadline().unwrap_or(state.now);
             let t = deadline.max(state.now);
             let d = dedup_batch(batcher.drain(), t);
             self.dispatch_merged(d, &mut run, &mut state);
@@ -281,7 +298,10 @@ impl<'a> EcoServer<'a> {
             outcomes: state
                 .outcomes
                 .into_iter()
-                .map(|o| o.expect("every request resolves to an outcome"))
+                .map(|o| match o {
+                    Some(o) => o,
+                    None => unreachable!("every request resolves to an outcome"),
+                })
                 .collect(),
             dispatches: state.dispatches,
             measurement: run.finish(),
@@ -290,6 +310,27 @@ impl<'a> EcoServer<'a> {
             served,
             shed: state.shed,
             failed: state.failed,
+            io_failed: state.io_failed,
+            degraded: state.degraded,
+        }
+    }
+
+    /// Apply the fault-pressure policy after a merged dispatch: once
+    /// [`ServerConfig::fault_pressure_limit`] consecutive dispatches
+    /// have failed with I/O errors, double the batch threshold (fewer,
+    /// larger dispatches under a fault storm); restore the configured
+    /// operating point as soon as a dispatch succeeds again.
+    fn retune_for_fault_pressure(&self, batcher: &mut OnlineBatcher, state: &ServeState) {
+        if self.cfg.fault_pressure_limit == usize::MAX {
+            return;
+        }
+        let want = if state.consecutive_io >= self.cfg.fault_pressure_limit {
+            self.cfg.threshold.saturating_mul(2)
+        } else {
+            self.cfg.threshold
+        };
+        if batcher.threshold() != want {
+            batcher.set_threshold(want);
         }
     }
 
@@ -308,6 +349,7 @@ impl<'a> EcoServer<'a> {
             .try_trace_merged_selection_cores(queries, cfg.short_circuit, cfg.workers)
         {
             Ok((split, core_traces)) => {
+                state.consecutive_io = 0;
                 if d.dispatch_s > state.now {
                     run.idle(d.dispatch_s - state.now);
                 }
@@ -336,8 +378,19 @@ impl<'a> EcoServer<'a> {
                 state.dispatches.push(d);
             }
             Err(e) => {
-                // A malformed batch rejects its members; nothing ran,
-                // nothing is priced, the scheduler keeps going.
+                // A malformed batch — or one whose scan hit a permanent
+                // storage fault — rejects its members with the typed
+                // error; nothing ran, nothing is priced (a failed
+                // session's trace is never merged into the ledger), and
+                // the scheduler keeps going. Sustained I/O failures feed
+                // the fault-pressure counter driving degraded mode.
+                if matches!(e, ServerError::Io(_)) {
+                    state.io_failed += 1;
+                    state.consecutive_io += 1;
+                    if state.consecutive_io >= self.cfg.fault_pressure_limit {
+                        state.degraded = true;
+                    }
+                }
                 for member in &d.members {
                     state.outcomes[member.request] = Some(SessionOutcome::Rejected {
                         session: member.session,
@@ -416,6 +469,9 @@ struct ServeState {
     session_ledgers: BTreeMap<SessionId, LedgerTotals>,
     shed: usize,
     failed: usize,
+    io_failed: usize,
+    consecutive_io: usize,
+    degraded: bool,
 }
 
 /// Re-execute a serve run's dispatch transcript serially — the same
@@ -435,13 +491,13 @@ pub fn replay_serial(
             DispatchKind::Merged(queries) => {
                 let (_, core_traces) = db
                     .try_trace_merged_selection_cores(queries, short_circuit, workers)
-                    .expect("a dispatched batch replays cleanly");
+                    .unwrap_or_else(|e| panic!("a dispatched batch replays cleanly: {e}"));
                 total.absorb_traces(&core_traces);
             }
             DispatchKind::Sql(sql) => {
                 let (_, trace) = db
                     .try_trace_sql(sql)
-                    .expect("a dispatched statement replays cleanly");
+                    .unwrap_or_else(|e| panic!("a dispatched statement replays cleanly: {e}"));
                 total.absorb_traces(std::slice::from_ref(&trace));
             }
         }
@@ -581,6 +637,72 @@ mod tests {
         // The idle gap before the batch was priced, not skipped.
         assert!(report.measurement.idle_s > 0.0);
         assert!(report.measurement.makespan_s > 0.01);
+    }
+
+    #[test]
+    fn sustained_fault_pressure_degrades_instead_of_crashing() {
+        use eco_simhw::fault::FaultPlan;
+        let db = EcoDb::tpch(EngineProfile::CommercialDisk, 0.002);
+        // Saturate the fault plan: every cold lineitem page faults, and
+        // the ~15% permanent share guarantees at least one unreadable
+        // page, so every merged scan fails with a typed Io error.
+        db.set_fault_plan(FaultPlan::new(77, 1_000_000));
+        db.flush_cache();
+        let requests: Vec<Request> = (0..8)
+            .map(|i| selection(i, i as f64 * 1e-4, (i as i64 % 4) + 1))
+            .collect();
+        let mut cfg = ServerConfig::batched(2, 1);
+        cfg.fault_pressure_limit = 2;
+        let report = EcoServer::new(&db, cfg).serve(&requests);
+        assert_eq!(report.served, 0, "permanent fault fails every scan");
+        assert_eq!(report.failed, 8);
+        assert!(report.io_failed >= 2);
+        assert!(report.degraded, "consecutive Io failures trip degradation");
+        // Degraded mode doubled the threshold: later rejections arrive
+        // in merged pairs, so there are fewer failed dispatches than
+        // sessions (2 solo + 3 pairs instead of 8 solos).
+        assert!(report.io_failed < 8, "degradation batched the failures");
+        for o in &report.outcomes {
+            assert!(matches!(
+                o,
+                SessionOutcome::Rejected {
+                    error: ServerError::Io(_),
+                    ..
+                }
+            ));
+        }
+        // Recovery: clear the plan, reboot the pool, and the same
+        // server serves the same sessions in full.
+        db.set_fault_plan(FaultPlan::none());
+        db.flush_cache();
+        let healthy = EcoServer::new(&db, cfg).serve(&requests);
+        assert_eq!(healthy.served, 8);
+        assert_eq!(healthy.io_failed, 0);
+        assert!(!healthy.degraded);
+        assert!(healthy.ledger_identity());
+    }
+
+    #[test]
+    fn transient_faults_retry_to_completion_with_priced_backoff() {
+        use eco_simhw::fault::FaultPlan;
+        let db = EcoDb::tpch(EngineProfile::CommercialDisk, 0.002);
+        // A low-rate plan: seed 3 at 2% page-fault rate happens to
+        // inject only recoverable faults on lineitem at this scale, so
+        // every session completes — but the v2 retry classes are
+        // charged and split across sessions exactly.
+        db.set_fault_plan(FaultPlan::new(3, 20_000));
+        db.flush_cache();
+        let requests: Vec<Request> = (0..6)
+            .map(|i| selection(i, i as f64 * 1e-4, (i as i64 % 3) + 1))
+            .collect();
+        let report = EcoServer::new(&db, ServerConfig::batched(2, 3)).serve(&requests);
+        assert_eq!(report.served, 6, "transient faults recover via retries");
+        assert!(!report.degraded);
+        assert!(report.ledger_identity(), "v2 classes split exactly too");
+        assert!(
+            report.ledger.disk.retry_ios > 0 || report.ledger.backoff_ns > 0,
+            "injected faults must leave a ledger trail"
+        );
     }
 
     #[test]

@@ -103,6 +103,9 @@ pub struct LedgerTotals {
     pub disk: DiskWork,
     /// Client round-trip gap nanoseconds.
     pub gap_ns: u64,
+    /// Fault-retry backoff halt residency, nanoseconds (ledger schema
+    /// v2). Zero on every fault-free run.
+    pub backoff_ns: u64,
 }
 
 impl LedgerTotals {
@@ -120,6 +123,7 @@ impl LedgerTotals {
                 self.mem_random_accesses += phase.mem_random_accesses;
                 self.disk.merge(&phase.disk);
                 self.gap_ns += phase.gap_ns;
+                self.backoff_ns += phase.backoff_ns;
             }
         }
     }
@@ -138,6 +142,7 @@ impl LedgerTotals {
         self.mem_random_accesses += other.mem_random_accesses;
         self.disk.merge(&other.disk);
         self.gap_ns += other.gap_ns;
+        self.backoff_ns += other.backoff_ns;
     }
 
     /// Member `i`'s exact share of this ledger split over `k` members:
@@ -158,12 +163,15 @@ impl LedgerTotals {
         disk.sequential_bytes = split(self.disk.sequential_bytes);
         disk.random_ios = split(self.disk.random_ios);
         disk.random_bytes = split(self.disk.random_bytes);
+        disk.retry_ios = split(self.disk.retry_ios);
+        disk.retry_bytes = split(self.disk.retry_bytes);
         LedgerTotals {
             cpu,
             mem_stream_bytes: split(self.mem_stream_bytes),
             mem_random_accesses: split(self.mem_random_accesses),
             disk,
             gap_ns: split(self.gap_ns),
+            backoff_ns: split(self.backoff_ns),
         }
     }
 }
@@ -187,6 +195,9 @@ mod tests {
         p.mem_random_accesses = 11;
         p.disk.sequential_bytes = 4_099;
         p.disk.random_ios = 5;
+        p.disk.retry_ios = 3;
+        p.disk.retry_bytes = 3 * 8192;
+        p.backoff_ns = 123_457;
         let mut t = WorkTrace::new();
         t.push(Phase::client_gap(999_999_999));
         t.push(p);

@@ -94,11 +94,14 @@ impl DiskSpec {
         5.0 * self.idle_5v_a + 12.0 * self.idle_12v_a
     }
 
-    /// Cost of the disk work recorded in a trace phase.
+    /// Cost of the disk work recorded in a trace phase. Retry I/O
+    /// (ledger schema v2) prices exactly like random I/O — a re-read
+    /// repositions the head and bursts the block again — it is only
+    /// *ledgered* separately so fault-free runs stay bit-identical.
     pub fn cost(&self, work: &DiskWork) -> DiskCost {
         let seq_xfer = work.sequential_bytes as f64 / self.seq_rate;
-        let rand_seek = work.random_ios as f64 * self.rand_overhead_s;
-        let rand_xfer = work.random_bytes as f64 / self.rand_burst_rate;
+        let rand_seek = (work.random_ios + work.retry_ios) as f64 * self.rand_overhead_s;
+        let rand_xfer = (work.random_bytes + work.retry_bytes) as f64 / self.rand_burst_rate;
         self.cost_parts(rand_seek, seq_xfer + rand_xfer)
     }
 
@@ -110,13 +113,12 @@ impl DiskSpec {
         let work = match pattern {
             AccessPattern::Sequential => DiskWork {
                 sequential_bytes: total_bytes,
-                random_ios: 0,
-                random_bytes: 0,
+                ..DiskWork::none()
             },
             AccessPattern::Random => DiskWork {
-                sequential_bytes: 0,
                 random_ios: blocks,
                 random_bytes: total_bytes,
+                ..DiskWork::none()
             },
         };
         self.cost(&work)
@@ -235,11 +237,13 @@ mod tests {
             sequential_bytes: 10 << 20,
             random_ios: 100,
             random_bytes: 100 * 8192,
+            ..DiskWork::none()
         };
         let b = DiskWork {
             sequential_bytes: 5 << 20,
             random_ios: 50,
             random_bytes: 50 * 8192,
+            ..DiskWork::none()
         };
         let mut ab = a;
         ab.merge(&b);
@@ -248,6 +252,25 @@ mod tests {
         let cab = d.cost(&ab);
         assert!((cab.busy_s - (ca.busy_s + cb.busy_s)).abs() < 1e-9);
         assert!((cab.busy_joules() - (ca.busy_joules() + cb.busy_joules())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_io_prices_exactly_like_random_io() {
+        let d = DiskSpec::default();
+        let random = DiskWork {
+            random_ios: 40,
+            random_bytes: 40 * 8192,
+            ..DiskWork::none()
+        };
+        let retry = DiskWork {
+            retry_ios: 40,
+            retry_bytes: 40 * 8192,
+            ..DiskWork::none()
+        };
+        let cr = d.cost(&random);
+        let ct = d.cost(&retry);
+        assert_eq!(cr.busy_s, ct.busy_s);
+        assert_eq!(cr.busy_joules(), ct.busy_joules());
     }
 
     #[test]

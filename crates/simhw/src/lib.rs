@@ -31,6 +31,7 @@ pub mod calib;
 pub mod cpu;
 pub mod disk;
 pub mod dvfs;
+pub mod fault;
 pub mod machine;
 pub mod mem;
 pub mod meter;
@@ -42,7 +43,8 @@ pub mod trace;
 
 pub use cpu::{CpuConfig, CpuSpec, PState, VoltageSetting};
 pub use disk::{AccessPattern, DiskSpec};
+pub use fault::{FaultPlan, PageFault, BACKOFF_BASE_NS, MAX_READ_RETRIES};
 pub use machine::{Machine, MachineConfig, Measurement};
 pub use multicore::{MultiCoreMachine, MultiCoreMeasurement};
 pub use opensys::{ArrivalSchedule, IdleMeasurement, OpenSystemMeasurement, OpenSystemRun};
-pub use trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind, WorkTrace};
+pub use trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind, WorkTrace, LEDGER_SCHEMA_VERSION};

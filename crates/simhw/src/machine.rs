@@ -112,6 +112,7 @@ struct PhaseTiming {
     disk_s: f64,
     disk_joules_active: f64,
     gap_s: f64,
+    backoff_s: f64,
 }
 
 impl PhaseTiming {
@@ -119,7 +120,7 @@ impl PhaseTiming {
         self.cpu_s + self.stall_s
     }
     fn elapsed_s(&self) -> f64 {
-        self.busy_s() + self.disk_s + self.gap_s
+        self.busy_s() + self.disk_s + self.gap_s + self.backoff_s
     }
 }
 
@@ -201,9 +202,11 @@ impl Machine {
                 dram_joules += self.mem.power_w(bw_util, u) * t.busy_s();
             }
 
-            // Idle intervals: disk waits and client gaps, split across
+            // Idle intervals: disk waits, client gaps, and retry
+            // backoff (the v2 "backoff halt residency" charge class —
+            // the CPU halts through it like a gap), split across
             // p-states by the governor.
-            let idle_s = t.disk_s + t.gap_s;
+            let idle_s = t.disk_s + t.gap_s + t.backoff_s;
             if idle_s > 0.0 {
                 let res = config.governor.idle_residency(idle_s);
                 let w_top = cpu_model.package_halt_w(&config.cpu, top_p, utilization);
@@ -301,6 +304,7 @@ impl Machine {
             disk_s: dcost.busy_s,
             disk_joules_active: dcost.busy_joules(),
             gap_s: phase.gap_ns as f64 * 1e-9,
+            backoff_s: phase.backoff_ns as f64 * 1e-9,
         }
     }
 }
@@ -330,6 +334,7 @@ mod tests {
             sequential_bytes: 256 << 20,
             random_ios: 500,
             random_bytes: 500 * 8192,
+            ..DiskWork::none()
         };
         t.push(p);
         t.push(Phase::client_gap(50_000_000)); // 50 ms
@@ -444,6 +449,24 @@ mod tests {
         let cap = CpuConfig::capped(7.0, VoltageSetting::Stock);
         let uc = CpuConfig::underclocked(0.05, VoltageSetting::Stock);
         assert!(cap.top_freq_hz(spec) < uc.top_freq_hz(spec));
+    }
+
+    #[test]
+    fn backoff_prices_exactly_like_a_client_gap() {
+        // Backoff halt residency (ledger schema v2) is gap-like idle:
+        // same governor residency split, same halt watts.
+        let m = Machine::paper_sut();
+        let cfg = MachineConfig::stock();
+        let mut gap_trace = WorkTrace::new();
+        gap_trace.push(Phase::client_gap(30_000_000));
+        let mut backoff_trace = WorkTrace::new();
+        let mut p = Phase::execute("retrying");
+        p.backoff_ns = 30_000_000;
+        backoff_trace.push(p);
+        let g = m.measure(&gap_trace, &cfg);
+        let b = m.measure(&backoff_trace, &cfg);
+        assert_eq!(g.elapsed_s, b.elapsed_s);
+        assert_eq!(g.cpu_joules, b.cpu_joules);
     }
 
     #[test]

@@ -8,6 +8,23 @@
 
 use crate::calib;
 
+/// Version of the ledger schema.
+///
+/// * **v1** — op-class counts, memory stream bytes, random memory
+///   accesses, and three disk classes (sequential bytes, random I/Os,
+///   random bytes).
+/// * **v2** — adds the fault-tolerance charge classes: **retry random
+///   I/O** ([`DiskWork::retry_ios`] / [`DiskWork::retry_bytes`], the
+///   re-reads a checksum-verified page read pays after an injected or
+///   real fault) and **backoff halt residency** ([`Phase::backoff_ns`],
+///   the exponential-backoff idle time between retry attempts, priced
+///   like a client gap through the governor's halt residency).
+///
+/// The v2 classes are zero on any fault-free run, so every v1 figure
+/// is byte-for-byte unchanged; a run with faults prices its robustness
+/// overhead through these classes and nowhere else.
+pub const LEDGER_SCHEMA_VERSION: u32 = 2;
+
 /// Classes of CPU work with distinct cycle costs and switching-activity
 /// levels. The split matters for power: a tight predicate-evaluation
 /// loop keeps the out-of-order core saturated (high switching activity,
@@ -182,6 +199,14 @@ pub struct DiskWork {
     pub random_ios: u64,
     /// Bytes transferred by those random accesses.
     pub random_bytes: u64,
+    /// Retry random I/Os: re-reads issued after a failed or
+    /// checksum-mismatched page read. Priced exactly like
+    /// [`DiskWork::random_ios`] but ledgered separately so fault-free
+    /// runs stay bit-identical (ledger schema v2; see
+    /// [`LEDGER_SCHEMA_VERSION`]).
+    pub retry_ios: u64,
+    /// Bytes transferred by those retry I/Os (schema v2).
+    pub retry_bytes: u64,
 }
 
 impl DiskWork {
@@ -192,12 +217,16 @@ impl DiskWork {
 
     /// True when no I/O was recorded.
     pub fn is_empty(&self) -> bool {
-        self.sequential_bytes == 0 && self.random_ios == 0 && self.random_bytes == 0
+        self.sequential_bytes == 0
+            && self.random_ios == 0
+            && self.random_bytes == 0
+            && self.retry_ios == 0
+            && self.retry_bytes == 0
     }
 
     /// Total bytes moved.
     pub fn total_bytes(&self) -> u64 {
-        self.sequential_bytes + self.random_bytes
+        self.sequential_bytes + self.random_bytes + self.retry_bytes
     }
 
     /// Merge another disk ledger into this one.
@@ -205,6 +234,8 @@ impl DiskWork {
         self.sequential_bytes += other.sequential_bytes;
         self.random_ios += other.random_ios;
         self.random_bytes += other.random_bytes;
+        self.retry_ios += other.retry_ios;
+        self.retry_bytes += other.retry_bytes;
     }
 
     /// Subtract `other` from this ledger. Panics if `other` records
@@ -222,6 +253,14 @@ impl DiskWork {
             .random_bytes
             .checked_sub(other.random_bytes)
             .expect("subtracting more random bytes than were recorded");
+        self.retry_ios = self
+            .retry_ios
+            .checked_sub(other.retry_ios)
+            .expect("subtracting more retry I/Os than were recorded");
+        self.retry_bytes = self
+            .retry_bytes
+            .checked_sub(other.retry_bytes)
+            .expect("subtracting more retry bytes than were recorded");
     }
 }
 
@@ -256,6 +295,11 @@ pub struct Phase {
     /// Wall-clock nanoseconds of enforced gap (client round trips,
     /// think time). Independent of CPU frequency.
     pub gap_ns: u64,
+    /// Wall-clock nanoseconds spent in retry backoff after page read
+    /// faults. The CPU halts through it, like a gap, but it is ledgered
+    /// separately so fault-free runs stay bit-identical (ledger schema
+    /// v2; see [`LEDGER_SCHEMA_VERSION`]).
+    pub backoff_ns: u64,
     /// Free-form label for reports ("Q5 #3", "qed batch", ...).
     pub label: String,
 }
@@ -270,6 +314,7 @@ impl Phase {
             mem_random_accesses: 0,
             disk: DiskWork::none(),
             gap_ns: 0,
+            backoff_ns: 0,
             label: label.into(),
         }
     }
@@ -283,6 +328,7 @@ impl Phase {
             mem_random_accesses: 0,
             disk: DiskWork::none(),
             gap_ns: ns,
+            backoff_ns: 0,
             label: "client gap".to_string(),
         }
     }
@@ -425,5 +471,30 @@ mod tests {
         assert_eq!(t.total_disk().random_ios, 2);
         assert_eq!(t.total_mem_stream_bytes(), 100);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn retry_classes_are_separate_and_zero_by_default() {
+        // Fault-free construction charges nothing to the v2 classes.
+        let p = Phase::execute("clean");
+        assert_eq!(p.disk.retry_ios, 0);
+        assert_eq!(p.disk.retry_bytes, 0);
+        assert_eq!(p.backoff_ns, 0);
+
+        let mut a = DiskWork::none();
+        a.retry_ios = 3;
+        a.retry_bytes = 3 * 8192;
+        assert!(!a.is_empty());
+        assert_eq!(a.total_bytes(), 3 * 8192);
+        let mut b = DiskWork::none();
+        b.retry_ios = 1;
+        b.retry_bytes = 8192;
+        a.merge(&b);
+        assert_eq!(a.retry_ios, 4);
+        a.subtract(&b);
+        assert_eq!(a.retry_ios, 3);
+        // Retry I/O never leaks into the v1 random-I/O class.
+        assert_eq!(a.random_ios, 0);
+        assert_eq!(a.random_bytes, 0);
     }
 }

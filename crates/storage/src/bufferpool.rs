@@ -13,6 +13,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+use eco_simhw::fault::FaultPlan;
 use eco_simhw::trace::DiskWork;
 use parking_lot::Mutex;
 
@@ -68,6 +69,11 @@ struct Inner {
     last_page: HashMap<(u32, u64), u32>,
     warm_reread_every: Option<u64>,
     hit_counter: u64,
+    /// Deterministic fault schedule consulted by checked miss-path
+    /// loads ([`BufferPool::get_checked`]). Defaults to the never-fault
+    /// plan, under which every checked read behaves exactly like its
+    /// unchecked twin.
+    fault_plan: FaultPlan,
 }
 
 /// The buffer pool. Interior mutability keeps the read API `&self`.
@@ -90,8 +96,20 @@ impl BufferPool {
                 last_page: HashMap::new(),
                 warm_reread_every: None,
                 hit_counter: 0,
+                fault_plan: FaultPlan::none(),
             }),
         }
+    }
+
+    /// Install a deterministic fault schedule. Checked reads consult it
+    /// on every miss; the default is [`FaultPlan::none`] (never faults).
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.inner.lock().fault_plan = plan;
+    }
+
+    /// The currently installed fault schedule.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.inner.lock().fault_plan
     }
 
     /// Model residual warm-run disk traffic: every `every`-th hit also
@@ -134,11 +152,63 @@ impl BufferPool {
         self.get_inner(id, stream, load)
     }
 
+    /// Checked twin of [`Self::get`]: the miss-path `load` may fail and
+    /// may charge extra retry I/O / backoff idle time (it receives the
+    /// access's [`DiskWork`] ledger and a backoff-nanosecond
+    /// accumulator, plus the pool's installed [`FaultPlan`]). Base I/O
+    /// classification is identical to the unchecked path; on success
+    /// the charges land in the pool ledger and the access's backoff is
+    /// returned. On failure nothing is cached and the charges are
+    /// discarded with the failed attempt.
+    pub fn get_checked<F, E>(&self, id: PageId, load: F) -> Result<(Arc<Vec<Tuple>>, u64), E>
+    where
+        F: FnOnce(FaultPlan, &mut DiskWork, &mut u64) -> Result<Arc<Vec<Tuple>>, E>,
+    {
+        let (tuples, io, backoff_ns) = self.get_inner_checked(id, DEFAULT_STREAM, load)?;
+        if !io.is_empty() {
+            self.inner.lock().io.merge(&io);
+        }
+        Ok((tuples, backoff_ns))
+    }
+
+    /// Checked twin of [`Self::get_stream`]: like [`Self::get_checked`]
+    /// but on a private scan stream, returning this access's I/O
+    /// directly instead of accumulating it in the pool ledger.
+    pub fn get_stream_checked<F, E>(
+        &self,
+        id: PageId,
+        stream: u64,
+        load: F,
+    ) -> Result<(Arc<Vec<Tuple>>, DiskWork, u64), E>
+    where
+        F: FnOnce(FaultPlan, &mut DiskWork, &mut u64) -> Result<Arc<Vec<Tuple>>, E>,
+    {
+        self.get_inner_checked(id, stream, load)
+    }
+
     fn get_inner<F>(&self, id: PageId, stream: u64, load: F) -> (Arc<Vec<Tuple>>, DiskWork)
     where
         F: FnOnce() -> Arc<Vec<Tuple>>,
     {
+        let r: Result<_, std::convert::Infallible> =
+            self.get_inner_checked(id, stream, |_, _, _| Ok(load()));
+        match r {
+            Ok((tuples, io, _)) => (tuples, io),
+            Err(e) => match e {},
+        }
+    }
+
+    fn get_inner_checked<F, E>(
+        &self,
+        id: PageId,
+        stream: u64,
+        load: F,
+    ) -> Result<(Arc<Vec<Tuple>>, DiskWork, u64), E>
+    where
+        F: FnOnce(FaultPlan, &mut DiskWork, &mut u64) -> Result<Arc<Vec<Tuple>>, E>,
+    {
         let mut io = DiskWork::none();
+        let mut backoff_ns = 0u64;
         let mut g = self.inner.lock();
         g.clock += 1;
         let stamp = g.clock;
@@ -157,7 +227,7 @@ impl BufferPool {
                     io.random_bytes += PAGE_SIZE as u64;
                 }
             }
-            return (tuples, io);
+            return Ok((tuples, io, 0));
         }
 
         // Miss: charge I/O. Consecutive page numbers within a table
@@ -181,14 +251,14 @@ impl BufferPool {
         g.last_page.insert((id.table, stream), id.page);
         g.stats.misses += 1;
 
-        let tuples = load();
+        let plan = g.fault_plan;
+        let tuples = load(plan, &mut io, &mut backoff_ns)?;
         if g.capacity > 0 {
             while g.frames.len() >= g.capacity {
-                let (&old_stamp, &victim) = g
-                    .by_stamp
-                    .iter()
-                    .next()
-                    .expect("frames non-empty implies stamps");
+                // frames non-empty implies a stamp entry exists.
+                let Some((&old_stamp, &victim)) = g.by_stamp.iter().next() else {
+                    break;
+                };
                 g.by_stamp.remove(&old_stamp);
                 g.frames.remove(&victim);
                 g.stats.evictions += 1;
@@ -203,7 +273,7 @@ impl BufferPool {
             g.by_stamp.insert(stamp, id);
         }
         g.stats.resident = g.frames.len();
-        (tuples, io)
+        Ok((tuples, io, backoff_ns))
     }
 
     /// Drain the accumulated I/O ledger (the executor moves it into the
@@ -372,6 +442,74 @@ mod tests {
         assert_eq!(io.sequential_bytes, 6 * PAGE_SIZE as u64);
         // Stream charges are returned, not accumulated in the pool.
         assert!(pool.take_io().is_empty());
+    }
+
+    #[test]
+    fn checked_read_matches_unchecked_when_fault_free() {
+        let a = BufferPool::new(8);
+        let b = BufferPool::new(8);
+        for p in [0u32, 1, 2, 7, 16] {
+            a.get(id(1, p), || page_data(p as i64));
+            let r: Result<_, ()> = b.get_checked(id(1, p), |plan, _io, _backoff| {
+                assert!(plan.is_none(), "no plan installed");
+                Ok(page_data(p as i64))
+            });
+            let (_, backoff) = r.expect("fault-free checked read succeeds");
+            assert_eq!(backoff, 0);
+        }
+        assert_eq!(a.take_io(), b.take_io(), "identical miss classification");
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn checked_read_error_leaves_nothing_cached() {
+        let pool = BufferPool::new(8);
+        let r: Result<(Arc<Vec<Tuple>>, u64), &str> =
+            pool.get_checked(id(1, 0), |_, io, backoff| {
+                io.retry_ios += 3;
+                io.retry_bytes += 3 * PAGE_SIZE as u64;
+                *backoff += 123;
+                Err("permanent")
+            });
+        assert_eq!(r.unwrap_err(), "permanent");
+        assert_eq!(pool.stats().resident, 0);
+        // Charges of the failed attempt are discarded with it.
+        assert!(pool.take_io().is_empty());
+        // The page is still loadable afterwards.
+        let r: Result<_, ()> = pool.get_checked(id(1, 0), |_, _, _| Ok(page_data(0)));
+        assert!(r.is_ok());
+    }
+
+    #[test]
+    fn checked_read_retry_charges_reach_the_ledger() {
+        let pool = BufferPool::new(8);
+        let r: Result<_, ()> = pool.get_checked(id(1, 0), |_, io, backoff| {
+            io.retry_ios += 2;
+            io.retry_bytes += 2 * PAGE_SIZE as u64;
+            *backoff += 150_000;
+            Ok(page_data(0))
+        });
+        let (_, backoff) = r.expect("transient read recovers");
+        assert_eq!(backoff, 150_000);
+        let io = pool.take_io();
+        assert_eq!(io.retry_ios, 2);
+        assert_eq!(io.retry_bytes, 2 * PAGE_SIZE as u64);
+        // Base classification is unchanged: first read is still random.
+        assert_eq!(io.random_ios, 1);
+    }
+
+    #[test]
+    fn fault_plan_is_installed_and_visible_to_loads() {
+        use eco_simhw::fault::FaultPlan;
+        let pool = BufferPool::new(8);
+        assert!(pool.fault_plan().is_none());
+        pool.set_fault_plan(FaultPlan::new(7, 250_000));
+        assert_eq!(pool.fault_plan().rate_ppm(), 250_000);
+        let r: Result<_, ()> = pool.get_checked(id(1, 0), |plan, _, _| {
+            assert_eq!(plan.seed(), 7);
+            Ok(page_data(0))
+        });
+        assert!(r.is_ok());
     }
 
     #[test]

@@ -10,10 +10,58 @@
 
 use std::sync::{Arc, OnceLock};
 
+use eco_simhw::fault::{FaultPlan, PageFault, BACKOFF_BASE_NS, MAX_READ_RETRIES};
+use eco_simhw::trace::DiskWork;
+
 use crate::bufferpool::{BufferPool, PageId, EXTENT_PAGES};
 use crate::column::DataChunk;
 use crate::page::{Page, PAGE_SIZE};
 use crate::value::{Schema, Tuple};
+
+/// A page read that could not be satisfied: every attempt within the
+/// bounded retry budget ([`MAX_READ_RETRIES`] re-reads) failed.
+///
+/// Checked reads ([`DiskTable::read_page_checked`]) surface this as a
+/// typed error instead of panicking, so a fault fails only the query
+/// (and, one level up, only the owning session) that hit it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoError {
+    /// The installed [`FaultPlan`] marks this page permanently
+    /// unreadable (an unrecoverable sector).
+    Permanent {
+        /// Owning table.
+        table: u32,
+        /// Failing page number.
+        page: u32,
+    },
+    /// The page image failed checksum verification on every attempt —
+    /// genuine on-disk corruption rather than a transient read fault.
+    Corrupt {
+        /// Owning table.
+        table: u32,
+        /// Failing page number.
+        page: u32,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Permanent { table, page } => write!(
+                f,
+                "permanent read fault on table {table} page {page} \
+                 (retry budget of {MAX_READ_RETRIES} exhausted)"
+            ),
+            IoError::Corrupt { table, page } => write!(
+                f,
+                "checksum mismatch on table {table} page {page} \
+                 (page image is corrupt; {MAX_READ_RETRIES} re-reads did not help)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
 
 /// The columnar mirror of a [`DiskTable`]: one [`DataChunk`] per disk
 /// *extent* (the I/O scheduling granule, [`EXTENT_PAGES`] pages), plus
@@ -62,6 +110,10 @@ pub struct DiskTable {
     table_id: u32,
     schema: Schema,
     pages: Vec<Page>,
+    /// Per-page FNV-1a checksums computed at load time and verified on
+    /// every checked buffer-pool miss (see
+    /// [`DiskTable::read_page_checked`]).
+    checksums: Vec<u64>,
     num_tuples: usize,
     pool: Arc<BufferPool>,
     columnar: OnceLock<ColumnarExtents>,
@@ -91,10 +143,12 @@ impl DiskTable {
         if !current.is_empty() {
             pages.push(current);
         }
+        let checksums = pages.iter().map(Page::checksum).collect();
         Self {
             table_id,
             schema,
             pages,
+            checksums,
             num_tuples: tuples.len(),
             pool,
             columnar: OnceLock::new(),
@@ -186,6 +240,110 @@ impl DiskTable {
         };
         self.pool
             .get_stream(id, stream, || Arc::new(self.pages[page_no].all_tuples()))
+    }
+
+    /// Checked twin of [`Self::read_page`]: verifies the page's
+    /// load-time checksum on every buffer-pool miss, consults the
+    /// pool's installed [`FaultPlan`], and retries failed attempts with
+    /// bounded exponential backoff. Charges land in the pool ledger
+    /// exactly like the unchecked path; the returned value is this
+    /// access's backoff idle time in nanoseconds (zero unless a fault
+    /// fired). Fault-free checked reads are charge-identical to
+    /// unchecked reads.
+    pub fn read_page_checked(&self, page_no: usize) -> Result<(Arc<Vec<Tuple>>, u64), IoError> {
+        assert!(page_no < self.pages.len(), "page {page_no} out of range");
+        let id = PageId {
+            table: self.table_id,
+            page: page_no as u32,
+        };
+        self.pool.get_checked(id, |plan, io, backoff_ns| {
+            self.load_page_verified(page_no, plan, io, backoff_ns)
+        })
+    }
+
+    /// Checked twin of [`Self::read_page_stream`]: like
+    /// [`Self::read_page_checked`] but on a private scan stream,
+    /// returning this access's I/O directly.
+    pub fn read_page_stream_checked(
+        &self,
+        page_no: usize,
+        stream: u64,
+    ) -> Result<(Arc<Vec<Tuple>>, DiskWork, u64), IoError> {
+        assert!(page_no < self.pages.len(), "page {page_no} out of range");
+        let id = PageId {
+            table: self.table_id,
+            page: page_no as u32,
+        };
+        self.pool
+            .get_stream_checked(id, stream, |plan, io, backoff_ns| {
+                self.load_page_verified(page_no, plan, io, backoff_ns)
+            })
+    }
+
+    /// The miss-path attempt loop: read the page image, verify its
+    /// checksum, and retry on failure (injected or genuine) up to
+    /// [`MAX_READ_RETRIES`] times with exponential backoff.
+    ///
+    /// Accounting: the *initial* read is already charged by the buffer
+    /// pool's miss classification (sequential or random). Each failed
+    /// attempt charges one re-read to the v2 **retry random I/O** class
+    /// (`retry_ios`/`retry_bytes`) and `BACKOFF_BASE_NS << attempt` of
+    /// **backoff halt residency** — so a transient fault with `f`
+    /// failures charges exactly `f` retry I/Os and
+    /// [`eco_simhw::fault::backoff_ns_for`]`(f)` nanoseconds, and a
+    /// fault-free read charges exactly nothing extra.
+    fn load_page_verified(
+        &self,
+        page_no: usize,
+        plan: FaultPlan,
+        io: &mut DiskWork,
+        backoff_ns: &mut u64,
+    ) -> Result<Arc<Vec<Tuple>>, IoError> {
+        let fault = plan.fault_for(self.table_id, page_no as u64);
+        let mut injected_failures = match fault {
+            Some(PageFault::Transient { failures }) => failures,
+            Some(PageFault::Permanent) => u32::MAX,
+            Some(PageFault::Stall { ns }) => {
+                *backoff_ns += ns;
+                0
+            }
+            None => 0,
+        };
+        for attempt in 0..=MAX_READ_RETRIES {
+            let injected = injected_failures > 0;
+            if injected {
+                injected_failures -= 1;
+            }
+            let page = &self.pages[page_no];
+            if !injected && page.checksum() == self.checksums[page_no] {
+                return Ok(Arc::new(page.all_tuples()));
+            }
+            if attempt < MAX_READ_RETRIES {
+                // Re-read: reposition + burst the block again, after an
+                // exponential backoff sleep (halt-priced idle time).
+                io.retry_ios += 1;
+                io.retry_bytes += PAGE_SIZE as u64;
+                *backoff_ns += BACKOFF_BASE_NS << attempt;
+            }
+        }
+        Err(match fault {
+            Some(PageFault::Permanent) => IoError::Permanent {
+                table: self.table_id,
+                page: page_no as u32,
+            },
+            _ => IoError::Corrupt {
+                table: self.table_id,
+                page: page_no as u32,
+            },
+        })
+    }
+
+    /// Corrupt one byte of a page's raw image *without* refreshing its
+    /// stored checksum — a test hook: the next checked read of the page
+    /// must detect the mismatch, exhaust its retries and report
+    /// [`IoError::Corrupt`].
+    pub fn corrupt_page(&mut self, page_no: usize, offset: usize) {
+        self.pages[page_no].flip_byte(offset);
     }
 
     /// The buffer pool this table reads through.
@@ -328,5 +486,150 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.num_pages(), 0);
         assert_eq!(t.avg_tuple_bytes(), 0);
+    }
+
+    #[test]
+    fn checked_scan_is_charge_identical_to_unchecked_when_fault_free() {
+        let data = tuples(2000);
+        let pa = Arc::new(BufferPool::new(256));
+        let pb = Arc::new(BufferPool::new(256));
+        let a = DiskTable::load(1, schema(), &data, Arc::clone(&pa));
+        let b = DiskTable::load(1, schema(), &data, Arc::clone(&pb));
+        pa.take_io();
+        pb.take_io();
+        for p in 0..a.num_pages() {
+            let ta = a.read_page(p);
+            let (tb, backoff) = b.read_page_checked(p).expect("fault-free read");
+            assert_eq!(*ta, *tb);
+            assert_eq!(backoff, 0, "no fault ⇒ no backoff");
+        }
+        let (ia, ib) = (pa.take_io(), pb.take_io());
+        assert_eq!(ia, ib, "bit-identical I/O ledgers");
+        assert_eq!(ib.retry_ios, 0);
+        assert_eq!(ib.retry_bytes, 0);
+    }
+
+    /// With a saturated plan every page faults; pick one of each kind.
+    fn fault_of_kind(
+        plan: &eco_simhw::fault::FaultPlan,
+        table: u32,
+        pages: u64,
+        want_transient: Option<bool>,
+    ) -> Option<(u64, PageFault)> {
+        plan.faults_in_table(table, pages)
+            .into_iter()
+            .find(|(_, f)| {
+                matches!(
+                    (want_transient, f),
+                    (Some(true), PageFault::Transient { .. })
+                        | (Some(false), PageFault::Permanent)
+                        | (None, PageFault::Stall { .. })
+                )
+            })
+    }
+
+    #[test]
+    fn transient_fault_retries_with_exact_ledger_charges() {
+        let pool = Arc::new(BufferPool::new(256));
+        let t = DiskTable::load(1, schema(), &tuples(2000), Arc::clone(&pool));
+        pool.take_io();
+        let plan = FaultPlan::new(42, 1_000_000);
+        pool.set_fault_plan(plan);
+        let (page, fault) = fault_of_kind(&plan, 1, t.num_pages() as u64, Some(true))
+            .expect("saturated plan has a transient fault");
+        let PageFault::Transient { failures } = fault else {
+            unreachable!()
+        };
+        let (data, backoff) = t
+            .read_page_checked(page as usize)
+            .expect("transient fault recovers within the retry budget");
+        assert!(!data.is_empty(), "recovered read returns real tuples");
+        assert_eq!(backoff, eco_simhw::fault::backoff_ns_for(failures));
+        let io = pool.take_io();
+        assert_eq!(io.retry_ios, failures as u64, "one re-read per failure");
+        assert_eq!(io.retry_bytes, failures as u64 * PAGE_SIZE as u64);
+        // Re-reading the now-cached page is a hit: no further charges.
+        let (_, backoff2) = t.read_page_checked(page as usize).expect("hit");
+        assert_eq!(backoff2, 0);
+        assert!(pool.take_io().is_empty());
+    }
+
+    #[test]
+    fn permanent_fault_reports_a_typed_error() {
+        let pool = Arc::new(BufferPool::new(256));
+        let t = DiskTable::load(1, schema(), &tuples(20_000), Arc::clone(&pool));
+        pool.take_io();
+        let plan = FaultPlan::new(42, 1_000_000);
+        pool.set_fault_plan(plan);
+        let (page, _) = fault_of_kind(&plan, 1, t.num_pages() as u64, Some(false))
+            .expect("saturated plan has a permanent fault");
+        let err = t.read_page_checked(page as usize).unwrap_err();
+        assert_eq!(
+            err,
+            IoError::Permanent {
+                table: 1,
+                page: page as u32
+            }
+        );
+        assert!(err.to_string().contains("permanent read fault"));
+        // The failed attempt's charges are discarded with it.
+        assert!(pool.take_io().is_empty());
+    }
+
+    #[test]
+    fn stall_fault_charges_backoff_only() {
+        let pool = Arc::new(BufferPool::new(256));
+        let t = DiskTable::load(1, schema(), &tuples(20_000), Arc::clone(&pool));
+        pool.take_io();
+        let plan = FaultPlan::new(42, 1_000_000);
+        pool.set_fault_plan(plan);
+        let (page, fault) = fault_of_kind(&plan, 1, t.num_pages() as u64, None)
+            .expect("saturated plan has a stall fault");
+        let PageFault::Stall { ns } = fault else {
+            unreachable!()
+        };
+        let (_, backoff) = t.read_page_checked(page as usize).expect("stall succeeds");
+        assert_eq!(backoff, ns);
+        let io = pool.take_io();
+        assert_eq!(io.retry_ios, 0, "a stall is not a retry");
+    }
+
+    #[test]
+    fn corrupted_page_is_detected_and_reported() {
+        let pool = Arc::new(BufferPool::new(256));
+        let mut t = DiskTable::load(1, schema(), &tuples(2000), Arc::clone(&pool));
+        t.corrupt_page(3, 100);
+        pool.take_io();
+        let err = t.read_page_checked(3).unwrap_err();
+        assert_eq!(err, IoError::Corrupt { table: 1, page: 3 });
+        assert!(err.to_string().contains("checksum mismatch"));
+        // Neighbouring pages are unaffected.
+        assert!(t.read_page_checked(2).is_ok());
+        assert!(t.read_page_checked(4).is_ok());
+        // The unchecked path does not verify — it still decodes
+        // whatever the (possibly garbled) page image yields, so
+        // corruption detection is the checked path's job.
+    }
+
+    #[test]
+    fn stream_checked_reads_return_io_directly() {
+        let pool = Arc::new(BufferPool::new(256));
+        let t = DiskTable::load(1, schema(), &tuples(2000), Arc::clone(&pool));
+        pool.take_io();
+        let plan = FaultPlan::new(42, 1_000_000);
+        pool.set_fault_plan(plan);
+        let (page, fault) = fault_of_kind(&plan, 1, t.num_pages() as u64, Some(true))
+            .expect("saturated plan has a transient fault");
+        let PageFault::Transient { failures } = fault else {
+            unreachable!()
+        };
+        let (_, io, backoff) = t
+            .read_page_stream_checked(page as usize, 77)
+            .expect("recovers");
+        assert_eq!(io.retry_ios, failures as u64);
+        assert_eq!(backoff, eco_simhw::fault::backoff_ns_for(failures));
+        // Stream charges are returned, not pooled.
+        assert!(pool.take_io().is_empty());
+        t.end_stream(77);
     }
 }

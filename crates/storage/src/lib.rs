@@ -25,7 +25,7 @@ pub mod value;
 pub use bufferpool::{BufferPool, PageId};
 pub use catalog::{Catalog, StoredTable, TableData};
 pub use column::{ColumnChunk, ColumnData, DataChunk};
-pub use disk_table::ColumnarExtents;
+pub use disk_table::{ColumnarExtents, IoError};
 pub use heap::HeapTable;
-pub use loader::{load_tpch, EngineKind};
+pub use loader::{load_tbl, load_tpch, parse_tbl, EngineKind, LoadError};
 pub use value::{tuple_width, Column, ColumnType, Schema, Tuple, Value};

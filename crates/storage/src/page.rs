@@ -103,6 +103,24 @@ impl Page {
     pub fn used_bytes(&self) -> usize {
         HEADER + self.len() * SLOT + (PAGE_SIZE - self.free_end() as usize)
     }
+
+    /// FNV-1a 64-bit checksum over the raw page image. Computed once
+    /// at load time and verified on every buffer-pool read so a
+    /// corrupted page is detected before its tuples are decoded.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.buf.iter() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Corrupt one byte of the raw page image (a fault-injection /
+    /// test hook: the next checksum verification must detect it).
+    pub fn flip_byte(&mut self, offset: usize) {
+        self.buf[offset % PAGE_SIZE] ^= 0xFF;
+    }
 }
 
 // --- value serialization --------------------------------------------------
@@ -172,7 +190,10 @@ pub fn deserialize_tuple(buf: &[u8]) -> Tuple {
             TAG_STR => {
                 let len = u16::from_le_bytes([buf[pos], buf[pos + 1]]) as usize;
                 pos += 2;
-                let s = std::str::from_utf8(&buf[pos..pos + len]).expect("utf8 on page");
+                let s = match std::str::from_utf8(&buf[pos..pos + len]) {
+                    Ok(s) => s,
+                    Err(e) => panic!("corrupt page: bad utf8 ({e})"),
+                };
                 pos += len;
                 Value::str(s)
             }
@@ -185,9 +206,16 @@ pub fn deserialize_tuple(buf: &[u8]) -> Tuple {
             TAG_CHAR => {
                 let len = buf[pos] as usize;
                 pos += 1;
-                let s = std::str::from_utf8(&buf[pos..pos + len]).expect("utf8 on page");
+                let s = match std::str::from_utf8(&buf[pos..pos + len]) {
+                    Ok(s) => s,
+                    Err(e) => panic!("corrupt page: bad utf8 ({e})"),
+                };
                 pos += len;
-                Value::Char(s.chars().next().expect("non-empty char"))
+                let c = match s.chars().next() {
+                    Some(c) => c,
+                    None => panic!("corrupt page: empty char payload"),
+                };
+                Value::Char(c)
             }
             TAG_BOOL => {
                 let b = buf[pos] != 0;
@@ -276,5 +304,22 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_slot_panics() {
         Page::new().get(0);
+    }
+
+    #[test]
+    fn checksum_detects_any_flipped_byte() {
+        let mut p = Page::new();
+        for i in 0..10 {
+            let mut t = sample();
+            t[0] = Value::Int(i);
+            assert!(p.insert(&t));
+        }
+        let clean = p.checksum();
+        for offset in [0usize, 3, 17, PAGE_SIZE / 2, PAGE_SIZE - 1] {
+            p.flip_byte(offset);
+            assert_ne!(p.checksum(), clean, "flip at {offset} went undetected");
+            p.flip_byte(offset); // restore
+            assert_eq!(p.checksum(), clean);
+        }
     }
 }

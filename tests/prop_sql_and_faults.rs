@@ -1,17 +1,27 @@
 //! Property tests for the SQL front-end (no panics on arbitrary input,
-//! structured round-trips) and failure-injection tests for the storage
-//! path (thrashing buffer pools, pathological batch shapes).
+//! structured round-trips), failure-injection tests for the storage
+//! path (thrashing buffer pools, pathological batch shapes), and the
+//! chaos suite: random fault plans × session mixes × both storage
+//! profiles, with exact retry-ledger accounting.
+//!
+//! The vendored proptest runner derives its RNG seed from the test
+//! name, so every chaos case is pinned: CI replays the exact same fault
+//! plans on every run.
 
 use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
 use ecodb::core::server::{EcoDb, EngineProfile};
+use ecodb::core::ServerError;
 use ecodb::query::context::ExecCtx;
 use ecodb::query::exec::execute;
 use ecodb::query::sql::{compile, parse_select, tokenize};
+use ecodb::server::{session_workload, EcoServer, ServerConfig, SessionOutcome};
+use ecodb::simhw::fault::{FaultPlan, PageFault};
 use ecodb::simhw::machine::MachineConfig;
-use ecodb::storage::{load_tpch, Catalog, EngineKind};
+use ecodb::storage::page::PAGE_SIZE;
+use ecodb::storage::{load_tpch, Catalog, EngineKind, TableData};
 use ecodb::tpch::TpchGenerator;
 
 fn shared_catalog() -> &'static Catalog {
@@ -157,6 +167,113 @@ fn qed_batch_of_one_is_a_noop() {
     let (direct, _) = db.trace_selection(&q[0]);
     assert_eq!(split.len(), 1);
     assert_eq!(split[0], direct);
+}
+
+// --- chaos: deterministic fault injection across sessions --------------------
+
+/// Sum the faults a plan injects on the `lineitem` pages (the only
+/// table the selection workload scans): expected transient retries and
+/// whether any page faults permanently. Memory-engine catalogs have no
+/// disk pages, so the plan is inert there (`(0, false)`).
+fn lineitem_faults(db: &EcoDb, plan: FaultPlan) -> (u64, bool) {
+    let li = db.catalog().expect("lineitem");
+    let TableData::Disk(dt) = &li.data else {
+        return (0, false);
+    };
+    let mut retries = 0u64;
+    let mut any_permanent = false;
+    for (_, fault) in plan.faults_in_table(dt.table_id(), dt.num_pages() as u64) {
+        match fault {
+            PageFault::Transient { failures } => retries += u64::from(failures),
+            PageFault::Permanent => any_permanent = true,
+            PageFault::Stall { .. } => {}
+        }
+    }
+    (retries, any_permanent)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Chaos: random fault plans × random session mixes × both storage
+    /// profiles. The server must never panic; every rejection is typed
+    /// (`Io` only when the plan holds a permanent fault); and for
+    /// plans without permanent faults the run completes in full, with
+    /// `retry_ios` exactly equal to the injected transient-failure
+    /// count and every base ledger class bit-identical to a no-fault
+    /// run of the same sessions.
+    #[test]
+    fn chaos_random_fault_plans_degrade_gracefully(
+        seed in 0u64..1_000_000,
+        rate_ppm in 0u32..400_000,
+        sessions in 4usize..20,
+        threshold in 1usize..6,
+    ) {
+        for profile in [EngineProfile::MemoryEngine, EngineProfile::CommercialDisk] {
+            let db = EcoDb::tpch(profile, 0.002);
+            let plan = FaultPlan::new(seed, rate_ppm);
+            db.set_fault_plan(plan);
+            db.flush_cache();
+            let requests = session_workload(sessions, 500.0, seed);
+            let cfg = ServerConfig::batched(2, threshold);
+            // The serve loop must terminate with one typed outcome per
+            // request, whatever the plan injects.
+            let report = EcoServer::new(&db, cfg).serve(&requests);
+            prop_assert_eq!(report.outcomes.len(), sessions);
+
+            let (expected_retries, any_permanent) = lineitem_faults(&db, plan);
+            for o in &report.outcomes {
+                if let SessionOutcome::Rejected { error, .. } = o {
+                    prop_assert!(
+                        matches!(error, ServerError::Io(_)),
+                        "unexpected rejection class: {}", error
+                    );
+                    prop_assert!(any_permanent, "Io rejection needs a permanent fault");
+                }
+            }
+
+            // No-fault baseline over the same sessions, same pool state.
+            db.set_fault_plan(FaultPlan::none());
+            db.flush_cache();
+            let clean = EcoServer::new(&db, cfg).serve(&requests);
+            prop_assert_eq!(clean.io_failed, 0);
+
+            if matches!(profile, EngineProfile::MemoryEngine) {
+                // Heap tables never touch the buffer pool: any fault
+                // plan is inert and the ledgers agree bit for bit.
+                prop_assert_eq!(report.served, sessions);
+                prop_assert_eq!(&report.ledger, &clean.ledger);
+                continue;
+            }
+
+            if !any_permanent {
+                // Transient/stall faults always recover: full service,
+                // exact retry accounting, and base classes identical to
+                // the no-fault ledger.
+                prop_assert_eq!(report.served, clean.served);
+                prop_assert_eq!(report.ledger.disk.retry_ios, expected_retries);
+                prop_assert_eq!(
+                    report.ledger.disk.retry_bytes,
+                    expected_retries * PAGE_SIZE as u64
+                );
+                let mut base = report.ledger.clone();
+                base.disk.retry_ios = 0;
+                base.disk.retry_bytes = 0;
+                base.backoff_ns = 0;
+                prop_assert_eq!(&base, &clean.ledger);
+                // The per-session fork/merge round trip stays exact
+                // with the v2 retry classes in play.
+                prop_assert!(report.ledger_identity());
+            } else {
+                // Permanent faults: merged batches touching the bad
+                // page fail their sessions; everything else still
+                // completes and nothing is double-charged.
+                prop_assert!(report.io_failed > 0);
+                prop_assert_eq!(report.served + report.failed + report.shed, sessions);
+                prop_assert!(report.ledger_identity());
+            }
+        }
+    }
 }
 
 /// An empty-result SQL query flows through the whole pricing stack.
