@@ -1,0 +1,22 @@
+//! Shared helpers for CI benchmark artifacts.
+//!
+//! Every `bench_smoke` report ends the same way: serialize a JSON blob
+//! to a caller-chosen path, or abort the job with exit code 2 when the
+//! filesystem refuses. Factoring the write keeps the per-report
+//! functions focused on measurement and identity checking.
+
+/// Write `json` to `path`, printing a confirmation line. Exits the
+/// process with code 2 on I/O failure — a missing artifact must fail
+/// the CI job loudly, not silently upload nothing.
+pub fn write_artifact(path: &str, json: &str) {
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {path}");
+}
+
+/// Default an `Option<String>` CLI argument to a fixed artifact name.
+pub fn artifact_path(arg: Option<String>, default: &str) -> String {
+    arg.unwrap_or_else(|| default.to_string())
+}

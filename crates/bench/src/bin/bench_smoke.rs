@@ -21,22 +21,29 @@
 //!   point required to carry zero schema-v2 retry classes (the
 //!   fault-free bit-identity invariant), the base ledger classes
 //!   bit-identical to the fault-free run at every rate, and
-//!   per-session ledger identity verified at every point.
+//!   per-session ledger identity verified at every point;
+//! * `BENCH_compression.json` — compressed columnar pricing (ledger
+//!   schema v3) on TPC-H Q1/Q6: per-query compression ratio, priced
+//!   memory bytes and joules/query raw vs compressed, with compressed
+//!   rows required bit-identical to raw, the priced-byte ratio required
+//!   ≥2x, and compressed joules/query required strictly lower.
 //!
 //! ```text
 //! cargo run -p eco-bench --bin bench_smoke --release \
-//!     [-- <parallel.json> [<columnar.json> [<throughput.json> [<faults.json>]]]]
+//!     [-- <parallel.json> [<columnar.json> [<throughput.json> \
+//!      [<faults.json> [<compression.json>]]]]]
 //! ```
 //!
 //! Paths default to `BENCH_parallel_scaling.json` /
 //! `BENCH_columnar.json` / `BENCH_throughput.json` / `BENCH_faults.json`
+//! / `BENCH_compression.json`
 //! in the current directory (CI runs it from the repo root). Exits
 //! non-zero if any ledger or row-identity check fails, so the smoke
 //! job guards correctness, not just timing.
 
 use std::time::{Duration, Instant};
 
-use eco_bench::{bench_db_commercial, bench_db_memory};
+use eco_bench::{artifact_path, bench_db_commercial, bench_db_memory, write_artifact};
 use eco_core::server::EcoDb;
 use eco_query::context::ExecCtx;
 use eco_query::exec::{execute, execute_columnar, execute_parallel, execute_scalar, ExecEngine};
@@ -47,6 +54,8 @@ use eco_server::{
     ServerConfig,
 };
 use eco_simhw::fault::FaultPlan;
+use eco_simhw::machine::MachineConfig;
+use eco_simhw::trace::{PhaseKind, PricingMode, WorkTrace};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SAMPLES: usize = 7;
@@ -321,19 +330,69 @@ fn faults_report() -> (String, usize) {
     (json, failures)
 }
 
+/// Compressed-pricing gains for `BENCH_compression.json`: per-query
+/// priced memory bytes and joules/query under [`PricingMode::Raw`] vs
+/// [`PricingMode::Compressed`] on the scan-bound queries (ledger schema
+/// v3, columnar engine, memory storage). Three checks fail the job per
+/// query: compressed rows must be bit-identical to raw, the priced-byte
+/// compression ratio must be ≥2x, and compressed joules/query must be
+/// strictly lower. Returns the JSON blob and the failure count.
+fn compression_report(db: &EcoDb) -> (String, usize) {
+    let mut failures = 0usize;
+    let mut blobs = Vec::new();
+    let machine = db.machine();
+    let config = MachineConfig::stock();
+
+    let run = |pricing: PricingMode, plan_fn: PlanFn, name: &str| {
+        let mut ctx = ExecCtx::new().with_columnar(true).with_pricing(pricing);
+        let rows = execute_columnar(plan_fn(db).as_mut(), &mut ctx);
+        let bytes = ctx.mem_stream_bytes;
+        let mut trace = WorkTrace::new();
+        trace.push(ctx.take_phase(PhaseKind::Execute, name));
+        let m = machine.measure(&trace, &config);
+        (rows, bytes, m.cpu_joules + m.dram_joules)
+    };
+
+    for (name, plan_fn) in [("q1", q1 as PlanFn), ("q6", q6 as PlanFn)] {
+        let (raw_rows, raw_bytes, raw_joules) = run(PricingMode::Raw, plan_fn, name);
+        let (comp_rows, comp_bytes, comp_joules) = run(PricingMode::Compressed, plan_fn, name);
+
+        let rows_identical = comp_rows == raw_rows;
+        let ratio = raw_bytes as f64 / comp_bytes as f64;
+        let ratio_ok = ratio >= 2.0;
+        let joules_ok = comp_joules < raw_joules;
+        if !rows_identical || !ratio_ok || !joules_ok {
+            eprintln!(
+                "FAIL: {name} compression (rows_identical={rows_identical}, \
+                 ratio={ratio:.2}, joules {comp_joules:.6} vs {raw_joules:.6})"
+            );
+            failures += 1;
+        }
+        println!(
+            "{name} compressed: priced bytes {raw_bytes} -> {comp_bytes} ({ratio:.2}x), \
+             joules/query {raw_joules:.5} -> {comp_joules:.5}, rows_identical={rows_identical}"
+        );
+        blobs.push(format!(
+            "\"{name}\":{{\"raw_priced_bytes\":{raw_bytes},\"compressed_priced_bytes\":{comp_bytes},\
+             \"compression_ratio\":{ratio:.4},\"raw_joules_per_query\":{raw_joules:.6},\
+             \"compressed_joules_per_query\":{comp_joules:.6},\"rows_identical\":{rows_identical},\
+             \"ratio_ge_2x\":{ratio_ok},\"joules_lower\":{joules_ok}}}"
+        ));
+    }
+    let json = format!(
+        "{{\"bench\":\"compressed_pricing\",\"scale\":{},\"queries\":{{{}}}}}\n",
+        eco_bench::BENCH_SCALE,
+        blobs.join(",")
+    );
+    (json, failures)
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_parallel_scaling.json".to_string());
-    let columnar_path = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| "BENCH_columnar.json".to_string());
-    let throughput_path = std::env::args()
-        .nth(3)
-        .unwrap_or_else(|| "BENCH_throughput.json".to_string());
-    let faults_path = std::env::args()
-        .nth(4)
-        .unwrap_or_else(|| "BENCH_faults.json".to_string());
+    let out_path = artifact_path(std::env::args().nth(1), "BENCH_parallel_scaling.json");
+    let columnar_path = artifact_path(std::env::args().nth(2), "BENCH_columnar.json");
+    let throughput_path = artifact_path(std::env::args().nth(3), "BENCH_throughput.json");
+    let faults_path = artifact_path(std::env::args().nth(4), "BENCH_faults.json");
+    let compression_path = artifact_path(std::env::args().nth(5), "BENCH_compression.json");
     let host_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -402,35 +461,23 @@ fn main() {
         eco_bench::BENCH_SCALE,
         query_blobs.join(",")
     );
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
-        eprintln!("cannot write {out_path}: {e}");
-        std::process::exit(2);
-    });
-    println!("wrote {out_path}");
+    write_artifact(&out_path, &json);
 
     let (columnar_json, columnar_failures) = columnar_report(&db);
     failures += columnar_failures;
-    std::fs::write(&columnar_path, &columnar_json).unwrap_or_else(|e| {
-        eprintln!("cannot write {columnar_path}: {e}");
-        std::process::exit(2);
-    });
-    println!("wrote {columnar_path}");
+    write_artifact(&columnar_path, &columnar_json);
 
     let (throughput_json, throughput_failures) = throughput_report();
     failures += throughput_failures;
-    std::fs::write(&throughput_path, &throughput_json).unwrap_or_else(|e| {
-        eprintln!("cannot write {throughput_path}: {e}");
-        std::process::exit(2);
-    });
-    println!("wrote {throughput_path}");
+    write_artifact(&throughput_path, &throughput_json);
 
     let (faults_json, faults_failures) = faults_report();
     failures += faults_failures;
-    std::fs::write(&faults_path, &faults_json).unwrap_or_else(|e| {
-        eprintln!("cannot write {faults_path}: {e}");
-        std::process::exit(2);
-    });
-    println!("wrote {faults_path}");
+    write_artifact(&faults_path, &faults_json);
+
+    let (compression_json, compression_failures) = compression_report(&db);
+    failures += compression_failures;
+    write_artifact(&compression_path, &compression_json);
 
     if failures > 0 {
         eprintln!("{failures} ledger-identity check(s) failed");

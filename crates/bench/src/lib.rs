@@ -8,6 +8,9 @@
 
 use eco_core::server::{EcoDb, EngineProfile};
 
+pub mod artifact;
+pub use artifact::{artifact_path, write_artifact};
+
 /// Scale factor used by the benches (small enough for Criterion's
 /// repeated sampling; reproduction shapes are scale-free).
 pub const BENCH_SCALE: f64 = 0.01;

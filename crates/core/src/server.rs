@@ -26,7 +26,7 @@ use eco_query::plans;
 use eco_simhw::fault::FaultPlan;
 use eco_simhw::machine::{Machine, MachineConfig, Measurement};
 use eco_simhw::multicore::{MultiCoreMachine, MultiCoreMeasurement};
-use eco_simhw::trace::{OpClass, Phase, PhaseKind, WorkTrace};
+use eco_simhw::trace::{OpClass, Phase, PhaseKind, PricingMode, WorkTrace};
 use eco_storage::{load_tpch, Catalog, EngineKind, Tuple};
 use eco_tpch::{q5_workload, Q5Params, QedQuery, TpchDb, TpchGenerator};
 
@@ -209,6 +209,7 @@ pub struct EcoDb {
     catalog: Catalog,
     machine: Machine,
     engine: ExecEngine,
+    pricing: PricingMode,
 }
 
 impl EcoDb {
@@ -234,6 +235,7 @@ impl EcoDb {
             catalog,
             machine: Machine::paper_sut(),
             engine: ExecEngine::Batch,
+            pricing: PricingMode::Raw,
         }
     }
 
@@ -264,9 +266,35 @@ impl EcoDb {
         self.engine = engine;
     }
 
-    /// A fresh [`ExecCtx`] configured for this database's engine.
+    /// The energy-pricing mode driving statements (default
+    /// [`PricingMode::Raw`]).
+    pub fn pricing(&self) -> PricingMode {
+        self.pricing
+    }
+
+    /// Same database with a different pricing mode (builder style).
+    ///
+    /// Unlike [`EcoDb::with_engine`] this is *not* a pure throughput
+    /// knob: under [`PricingMode::Compressed`] scans price *encoded*
+    /// byte counts as memory traffic and dictionary-reading kernels
+    /// charge `DictLookup` (ledger schema v3), so ledgers differ from
+    /// raw mode by design. Raw mode stays bit-identical to pre-v3.
+    pub fn with_pricing(mut self, pricing: PricingMode) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Switch the pricing mode in place.
+    pub fn set_pricing(&mut self, pricing: PricingMode) {
+        self.pricing = pricing;
+    }
+
+    /// A fresh [`ExecCtx`] configured for this database's engine and
+    /// pricing mode.
     fn exec_ctx(&self) -> ExecCtx {
-        ExecCtx::new().with_columnar(self.engine == ExecEngine::Columnar)
+        ExecCtx::new()
+            .with_columnar(self.engine == ExecEngine::Columnar)
+            .with_pricing(self.pricing)
     }
 
     /// The scale factor.
@@ -554,7 +582,8 @@ impl EcoDb {
         } else {
             ExecCtx::exhaustive()
         }
-        .with_columnar(self.engine == ExecEngine::Columnar);
+        .with_columnar(self.engine == ExecEngine::Columnar)
+        .with_pricing(self.pricing);
         ctx.charge(
             OpClass::Parse,
             parse_tokens(StatementKind::MergedSelection(queries.len())),

@@ -13,7 +13,7 @@
 use std::ops::Range;
 use std::sync::Arc;
 
-use eco_storage::{DataChunk, Tuple};
+use eco_storage::{DataChunk, EncodedChunk, Tuple};
 
 /// A view over a run of rows: shared column data, a `[start, end)` row
 /// window, and an optional selection vector of *absolute* row indices
@@ -29,6 +29,13 @@ pub struct Chunk {
     pub end: usize,
     /// Optional selection: the live rows, ascending.
     pub sel: Option<Vec<u32>>,
+    /// Encoded mirror of `data` (same rows, same indices), attached by
+    /// scans under compressed pricing (ledger schema v3). Kernels that
+    /// find a useful encoding here run directly on the compressed form
+    /// (dictionary-id compares, run-at-a-time filtering/aggregation)
+    /// and fall back to `data` otherwise. `None` under raw pricing —
+    /// the raw path never looks at it.
+    pub enc: Option<Arc<EncodedChunk>>,
 }
 
 /// The live rows of a [`Chunk`], for kernel loops.
@@ -100,6 +107,7 @@ impl Chunk {
             start: 0,
             end,
             sel: None,
+            enc: None,
         }
     }
 
@@ -111,7 +119,16 @@ impl Chunk {
             start: range.start,
             end: range.end,
             sel: None,
+            enc: None,
         }
+    }
+
+    /// Attach an encoded mirror of the chunk's data (builder style).
+    /// Row indices in the mirror must align with `data`.
+    pub fn with_enc(mut self, enc: Arc<EncodedChunk>) -> Self {
+        debug_assert_eq!(enc.rows(), self.data.len());
+        self.enc = Some(enc);
+        self
     }
 
     /// Number of live rows.

@@ -1,6 +1,6 @@
 //! The execution context: the work ledger every operator charges into.
 
-use eco_simhw::trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind};
+use eco_simhw::trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind, PricingMode};
 
 use crate::error::ExecError;
 
@@ -69,6 +69,16 @@ pub struct ExecCtx {
     /// knob: the energy ledger is bit-identical either way
     /// (`tests/integration_columnar.rs`).
     pub columnar: bool,
+    /// Energy-pricing mode (ledger schema v3). Under the default
+    /// [`PricingMode::Raw`] every charge is bit-identical to pre-v3
+    /// ledgers and encoded mirrors are never built. Under
+    /// [`PricingMode::Compressed`] scans price *encoded* bytes as
+    /// memory traffic and dictionary-reading kernels charge
+    /// [`OpClass::DictLookup`]. Unlike `batch_size`/`workers`/
+    /// `columnar` this is *not* a pure throughput knob — it changes
+    /// what the ledger says, which is the point: it makes compression
+    /// ratio measurable as joules.
+    pub pricing: PricingMode,
     /// Streaming-exactness depth: non-zero while opening the subtree of
     /// an early-terminating operator ([`crate::ops::Limit`]). Parallel
     /// sections that would pre-materialize a *streaming* child (and so
@@ -100,6 +110,7 @@ impl Default for ExecCtx {
             workers: 1,
             morsel_rows: DEFAULT_MORSEL_ROWS,
             columnar: false,
+            pricing: PricingMode::Raw,
             streaming_exact: 0,
             core_charges: Vec::new(),
             error: None,
@@ -151,6 +162,12 @@ impl ExecCtx {
         self
     }
 
+    /// Same context with a different pricing mode (builder style).
+    pub fn with_pricing(mut self, pricing: PricingMode) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
     /// An empty ledger carrying this context's evaluation knobs — what
     /// each parallel worker charges into. Workers never re-parallelize
     /// (`workers = 1`): nesting would oversubscribe the machine without
@@ -161,6 +178,7 @@ impl ExecCtx {
             batch_size: self.batch_size,
             morsel_rows: self.morsel_rows,
             columnar: self.columnar,
+            pricing: self.pricing,
             ..ExecCtx::default()
         }
     }
@@ -369,7 +387,8 @@ mod tests {
             .with_batch_size(7)
             .with_workers(4)
             .with_morsel_rows(99)
-            .with_columnar(true);
+            .with_columnar(true)
+            .with_pricing(PricingMode::Compressed);
         ctx.charge(OpClass::Arith, 5);
         let f = ctx.fork();
         assert!(f.is_empty());
@@ -377,6 +396,11 @@ mod tests {
         assert_eq!(f.batch_size, 7);
         assert_eq!(f.morsel_rows, 99);
         assert!(f.columnar, "columnar mode survives forking");
+        assert_eq!(
+            f.pricing,
+            PricingMode::Compressed,
+            "pricing survives forking"
+        );
         assert_eq!(f.workers, 1, "workers never nest parallel sections");
     }
 

@@ -10,7 +10,9 @@
 use std::sync::Arc;
 
 use eco_simhw::trace::OpClass;
-use eco_storage::{ColumnChunk, ColumnData, DataChunk, Tuple, Value};
+use eco_storage::{
+    BitPacked, ColumnChunk, ColumnData, DataChunk, EncodedChunk, EncodedColumn, Tuple, Value,
+};
 
 use crate::chunk::Rows;
 use crate::context::ExecCtx;
@@ -33,6 +35,18 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
+    /// The operator with its operands swapped: `a op b` ⇔ `b op.swap() a`.
+    fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
     /// Apply to an ordering result.
     fn test(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
@@ -278,6 +292,60 @@ impl Expr {
         }
     }
 
+    /// Refine a selection vector directly on the *compressed* column
+    /// forms — the ledger-schema-v3 filter path, used only under
+    /// `PricingMode::Compressed`. Selects exactly the rows
+    /// [`Expr::filter_sel`] would (property-tested), but does the work
+    /// — and the charging — on the encoded representation:
+    ///
+    /// * **dictionary** columns compare the literal once per *distinct*
+    ///   value (`PredEval` × dictionary size), then match bit-packed ids
+    ///   (`DictLookup` per live row);
+    /// * **run-length** columns compare once per run fragment the live
+    ///   rows touch (`PredEval` per fragment), accepting or rejecting
+    ///   whole runs;
+    /// * **bit-packed** columns translate the literal into the packed
+    ///   domain once and compare packed words per row (`PredEval` per
+    ///   live row — same count as raw, fewer bytes behind it);
+    /// * everything else (plain columns, non-`col ⋄ lit` shapes) falls
+    ///   back to the raw columnar kernel per conjunct.
+    ///
+    /// Top-level `And`s narrow conjunct-by-conjunct like the raw path,
+    /// so each arm only touches surviving rows.
+    pub fn filter_sel_enc(
+        &self,
+        data: &DataChunk,
+        enc: &EncodedChunk,
+        sel: &mut Vec<u32>,
+        ctx: &mut ExecCtx,
+    ) {
+        if sel.is_empty() {
+            return;
+        }
+        match self {
+            Expr::And(arms) => {
+                for arm in arms {
+                    arm.filter_sel_enc(data, enc, sel, ctx);
+                    if sel.is_empty() {
+                        return;
+                    }
+                }
+            }
+            Expr::Cmp(op, l, r) => {
+                // Normalize to `col ⋄ lit`; anything else takes the raw path.
+                let (col, lit, op) = match (&**l, &**r) {
+                    (Expr::Col(i), Expr::Lit(v)) => (*i, v, *op),
+                    (Expr::Lit(v), Expr::Col(i)) => (*i, v, op.swap()),
+                    _ => return self.filter_sel(data, sel, ctx),
+                };
+                if !cmp_sel_enc(op, enc.column(col), lit, sel, ctx) {
+                    self.filter_sel(data, sel, ctx);
+                }
+            }
+            _ => self.filter_sel(data, sel, ctx),
+        }
+    }
+
     /// Evaluate a boolean expression over the live rows, returning one
     /// flag per live-row ordinal. Charge-identical to per-row
     /// [`Expr::eval_bool`] (see module notes on selection narrowing).
@@ -441,6 +509,122 @@ impl Expr {
             _ => ColumnChunk::new(ColumnData::Bool(self.eval_flags(data, rows, ctx))),
         }
     }
+}
+
+/// The direct-on-compressed comparison kernel behind
+/// [`Expr::filter_sel_enc`]: refine `sel` against `col ⋄ lit` using the
+/// column's encoded form. Returns `false` when the encoding (or the
+/// literal's type) offers no compressed kernel — the caller then runs
+/// the raw columnar kernel instead.
+fn cmp_sel_enc(
+    op: CmpOp,
+    enc: &EncodedColumn,
+    lit: &Value,
+    sel: &mut Vec<u32>,
+    ctx: &mut ExecCtx,
+) -> bool {
+    match (enc, lit) {
+        (EncodedColumn::DictStr { dict, ids }, Value::Str(lit)) => {
+            // Compare once per distinct value, then match ids.
+            let keep: Vec<bool> = dict
+                .iter()
+                .map(|d| op.test(d.as_ref().cmp(lit.as_ref())))
+                .collect();
+            ctx.charge(OpClass::PredEval, dict.len() as u64);
+            ctx.pred_evals += dict.len() as u64;
+            ctx.charge(OpClass::DictLookup, sel.len() as u64);
+            sel.retain(|&i| keep[ids.get(i as usize) as usize]);
+            true
+        }
+        (EncodedColumn::DictChar { dict, ids }, Value::Char(lit)) => {
+            let keep: Vec<bool> = dict.iter().map(|d| op.test(d.cmp(lit))).collect();
+            ctx.charge(OpClass::PredEval, dict.len() as u64);
+            ctx.pred_evals += dict.len() as u64;
+            ctx.charge(OpClass::DictLookup, sel.len() as u64);
+            sel.retain(|&i| keep[ids.get(i as usize) as usize]);
+            true
+        }
+        (EncodedColumn::RleInt { values, ends }, Value::Int(lit)) => {
+            rle_cmp_sel(op, values, ends, lit, sel, ctx);
+            true
+        }
+        (EncodedColumn::RleDate { values, ends }, Value::Date(lit)) => {
+            rle_cmp_sel(op, values, ends, lit, sel, ctx);
+            true
+        }
+        (EncodedColumn::PackInt { min, packed }, Value::Int(lit)) => {
+            // Translate the literal into the packed (offset-from-min)
+            // domain once; rows compare packed words, never decoding.
+            let delta = i128::from(*lit) - i128::from(*min);
+            pack_cmp_sel(op, packed, delta, sel, ctx);
+            true
+        }
+        (EncodedColumn::PackDate { min, packed }, Value::Date(lit)) => {
+            let delta = i128::from(*lit) - i128::from(*min);
+            pack_cmp_sel(op, packed, delta, sel, ctx);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Run-at-a-time comparison: one `PredEval` per run *fragment* the live
+/// rows touch; every row of an accepted fragment survives with no
+/// per-row work. Relies on `sel` being ascending (a [`crate::chunk::Chunk`]
+/// invariant), so runs advance monotonically.
+fn rle_cmp_sel<T: Ord + Copy>(
+    op: CmpOp,
+    values: &[T],
+    ends: &[u32],
+    lit: &T,
+    sel: &mut Vec<u32>,
+    ctx: &mut ExecCtx,
+) {
+    let mut run = 0usize;
+    let mut have = false;
+    let mut verdict = false;
+    let mut touched = 0u64;
+    sel.retain(|&i| {
+        while ends[run] <= i {
+            run += 1;
+            have = false;
+        }
+        if !have {
+            verdict = op.test(values[run].cmp(lit));
+            have = true;
+            touched += 1;
+        }
+        verdict
+    });
+    ctx.charge(OpClass::PredEval, touched);
+    ctx.pred_evals += touched;
+}
+
+/// Packed-domain comparison: `value ⋄ lit` ⇔ `packed ⋄ (lit - min)`,
+/// with out-of-range literals resolving without touching the words.
+/// One `PredEval` per live row — same count as the raw kernel, but the
+/// bytes behind it are the packed words.
+fn pack_cmp_sel(op: CmpOp, packed: &BitPacked, delta: i128, sel: &mut Vec<u32>, ctx: &mut ExecCtx) {
+    ctx.charge(OpClass::PredEval, sel.len() as u64);
+    ctx.pred_evals += sel.len() as u64;
+    if delta < 0 {
+        // Every stored value is >= min > lit.
+        let keep = matches!(op, CmpOp::Ne | CmpOp::Gt | CmpOp::Ge);
+        if !keep {
+            sel.clear();
+        }
+        return;
+    }
+    if delta > u64::MAX as i128 {
+        // lit is above every representable offset: value < lit always.
+        let keep = matches!(op, CmpOp::Ne | CmpOp::Lt | CmpOp::Le);
+        if !keep {
+            sel.clear();
+        }
+        return;
+    }
+    let d = delta as u64;
+    sel.retain(|&i| op.test(packed.get(i as usize).cmp(&d)));
 }
 
 /// The typed comparison kernel: resolve both operands, charge one
@@ -760,6 +944,109 @@ mod columnar_tests {
         assert_eq!(sel.len(), 20, "all rows pass");
         Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(0)).filter_sel(&chunk, &mut sel, &mut ctx);
         assert!(sel.is_empty(), "no rows pass");
+    }
+
+    /// The compressed kernels must select exactly the rows the raw
+    /// kernels select, for every operator and every encoding — and the
+    /// dictionary path must charge per *distinct* value, not per row.
+    #[test]
+    fn filter_sel_enc_matches_raw_rows_for_every_encoding() {
+        let schema = Schema::new(&[
+            ("packed", ColumnType::Int), // narrow range → PackInt
+            ("runs", ColumnType::Int),   // long runs → RleInt
+            ("s", ColumnType::Str),      // few distinct → DictStr
+            ("c", ColumnType::Char),     // few distinct → DictChar
+            ("d", ColumnType::Date),     // narrow range → PackDate
+            ("wide", ColumnType::Int),   // full range → Plain
+        ]);
+        let rows: Vec<Tuple> = (0..600)
+            .map(|i| {
+                vec![
+                    Value::Int(100 + (i * 37) % 50),
+                    Value::Int(i / 60),
+                    Value::str(format!("g{}", i % 5)),
+                    Value::Char(['A', 'N', 'R'][(i as usize) % 3]),
+                    Value::Date(8000 + (i as i32 * 13) % 400),
+                    Value::Int(i.wrapping_mul(0x7E37_79B9_7F4A_7C15)),
+                ]
+            })
+            .collect();
+        let chunk = DataChunk::from_rows(&schema, &rows);
+        let enc = EncodedChunk::encode(&chunk);
+        assert_eq!(enc.column(0).encoding_name(), "pack-int");
+        assert_eq!(enc.column(1).encoding_name(), "rle-int");
+        assert_eq!(enc.column(2).encoding_name(), "dict-str");
+        assert_eq!(enc.column(3).encoding_name(), "dict-char");
+        assert_eq!(enc.column(4).encoding_name(), "pack-date");
+        assert_eq!(enc.column(5).encoding_name(), "plain");
+
+        let ops = [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ];
+        let cases: Vec<(usize, Value)> = vec![
+            (0, Value::Int(120)),
+            (0, Value::Int(5)),    // below the frame of reference
+            (0, Value::Int(9999)), // above every stored value
+            (1, Value::Int(4)),
+            (2, Value::str("g2")),
+            (2, Value::str("zzz")), // absent from the dictionary
+            (3, Value::Char('N')),
+            (4, Value::Date(8100)),
+            (5, Value::Int(0)),
+        ];
+        for (col, lit) in &cases {
+            for op in ops {
+                for flipped in [false, true] {
+                    let pred = if flipped {
+                        Expr::cmp(op.swap(), Expr::Lit(lit.clone()), Expr::col(*col))
+                    } else {
+                        Expr::cmp(op, Expr::col(*col), Expr::Lit(lit.clone()))
+                    };
+                    let mut raw_sel: Vec<u32> = (0..chunk.len() as u32).collect();
+                    let mut raw_ctx = ExecCtx::new();
+                    pred.filter_sel(&chunk, &mut raw_sel, &mut raw_ctx);
+                    let mut enc_sel: Vec<u32> = (0..chunk.len() as u32).collect();
+                    let mut enc_ctx = ExecCtx::new();
+                    pred.filter_sel_enc(&chunk, &enc, &mut enc_sel, &mut enc_ctx);
+                    assert_eq!(
+                        enc_sel, raw_sel,
+                        "col {col} {op:?} {lit:?} flipped={flipped}"
+                    );
+                }
+            }
+        }
+
+        // Dictionary kernel: PredEval per distinct value + DictLookup
+        // per live row, instead of PredEval per row.
+        let pred = Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::str("g2"));
+        let mut sel: Vec<u32> = (0..600).collect();
+        let mut ctx = ExecCtx::new();
+        pred.filter_sel_enc(&chunk, &enc, &mut sel, &mut ctx);
+        assert_eq!(ctx.cpu.count(OpClass::PredEval), 5, "one per distinct");
+        assert_eq!(ctx.cpu.count(OpClass::DictLookup), 600, "one per row");
+
+        // RLE kernel: one PredEval per run touched (10 runs of 60).
+        let pred = Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::int(4));
+        let mut sel: Vec<u32> = (0..600).collect();
+        let mut ctx = ExecCtx::new();
+        pred.filter_sel_enc(&chunk, &enc, &mut sel, &mut ctx);
+        assert_eq!(sel.len(), 240);
+        assert_eq!(ctx.cpu.count(OpClass::PredEval), 10, "one per run");
+
+        // And-narrowing: later conjuncts only touch survivors.
+        let pred = Expr::And(vec![
+            Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::int(1)),
+            Expr::cmp(CmpOp::Eq, Expr::col(2), Expr::str("g0")),
+        ]);
+        let mut sel: Vec<u32> = (0..600).collect();
+        let mut ctx = ExecCtx::new();
+        pred.filter_sel_enc(&chunk, &enc, &mut sel, &mut ctx);
+        assert_eq!(ctx.cpu.count(OpClass::DictLookup), 60, "narrowed first");
     }
 
     /// NULL handling: an invalid value fails every comparison (like SQL

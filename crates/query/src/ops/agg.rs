@@ -1,9 +1,10 @@
 //! Hash aggregation: GROUP BY with SUM / COUNT / MIN / MAX / AVG.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use eco_simhw::trace::OpClass;
-use eco_storage::{ColumnType, Schema, Tuple, Value};
+use eco_storage::{ColumnType, EncodedChunk, EncodedColumn, Schema, Tuple, Value};
 
 use crate::chunk::Chunk;
 use crate::context::ExecCtx;
@@ -351,6 +352,13 @@ struct ColumnarGroups {
     /// Reused per-chunk group-id buffer.
     gids: Vec<u32>,
     scratch_key: Vec<Value>,
+    /// The encoded chunk the dict-id memo below is keyed against
+    /// (compressed pricing, single dictionary-encoded group column).
+    dict_enc: Option<Arc<EncodedChunk>>,
+    /// Dictionary id → group slot memo (`u32::MAX` = not yet seen).
+    /// Lets repeat keys skip re-hashing the string payload entirely:
+    /// the id *is* the hash.
+    dict_gids: Vec<u32>,
 }
 
 impl ColumnarGroups {
@@ -369,6 +377,8 @@ impl ColumnarGroups {
             index,
             accs,
             gids: Vec::new(),
+            dict_enc: None,
+            dict_gids: Vec::new(),
         }
     }
 
@@ -380,47 +390,81 @@ impl ColumnarGroups {
         self.scratch_key.clear();
         self.scratch_key
             .extend(self.group_cols.iter().map(|&c| chunk.data.value(c, i)));
-        let (slot, new_key) = self
-            .index
-            .slot_or_insert(&mut self.scratch_key, self.keys.len());
-        if let Some(key) = new_key {
-            self.keys.push(key);
-            self.accs.iter_mut().for_each(ColAcc::grow);
-        }
-        slot as u32
+        self.slot_of_scratch() as u32
     }
 
-    /// Absorb one chunk (see type docs for the charge contract).
+    /// Absorb one chunk (see type docs for the charge contract). Under
+    /// compressed pricing (the chunk carries an encoded mirror) two
+    /// direct-on-compressed paths replace their raw equivalents:
+    /// dictionary-id group keys ([`Self::gids_from_dict`]) and
+    /// run-at-a-time `SUM`/`AVG` over run-length-encoded inputs (one
+    /// `AggUpdate` per gid-constant run fragment, weighted by its
+    /// length, instead of one per row).
     fn absorb(&mut self, ctx: &mut ExecCtx, chunk: &Chunk) {
         let n = chunk.len();
         if n == 0 {
             return;
         }
-        ctx.charge(OpClass::HashProbe, n as u64);
-        ctx.charge_mem_random(n as u64);
-        ctx.charge(OpClass::AggUpdate, (n * self.aggs.len()) as u64);
 
         let mut gids = std::mem::take(&mut self.gids);
         gids.clear();
         gids.reserve(n);
-        chunk.rows().for_each(|_, i| {
-            let gid = self.gid_of(chunk, i);
-            gids.push(gid);
-        });
+        let dict_keyed = match (&chunk.enc, self.group_cols.len()) {
+            (Some(enc), 1) => {
+                let enc = Arc::clone(enc);
+                self.gids_from_dict(ctx, chunk, &enc, &mut gids)
+            }
+            _ => false,
+        };
+        if !dict_keyed {
+            ctx.charge(OpClass::HashProbe, n as u64);
+            ctx.charge_mem_random(n as u64);
+            chunk.rows().for_each(|_, i| {
+                let gid = self.gid_of(chunk, i);
+                gids.push(gid);
+            });
+        }
 
         let rows = chunk.rows();
         for (spec, acc) in self.aggs.iter().zip(&mut self.accs) {
+            // Run-length input under compressed pricing → accumulate
+            // run fragments, not rows.
+            let rle = match (&chunk.enc, &spec.input, spec.func) {
+                (Some(enc), Expr::Col(c), AggFunc::Sum | AggFunc::Avg) => match enc.column(*c) {
+                    EncodedColumn::RleInt { values, ends } => Some((values, ends)),
+                    _ => None,
+                },
+                _ => None,
+            };
             match (spec.func, acc) {
                 (AggFunc::Count, ColAcc::Count(counts)) => {
+                    ctx.charge(OpClass::AggUpdate, n as u64);
                     for &g in &gids {
                         counts[g as usize] += 1;
                     }
                 }
                 (AggFunc::Sum, ColAcc::Sum(sums)) => {
+                    if let Some((values, ends)) = rle {
+                        let frags = rle_accumulate(values, ends, rows, &gids, |g, v, w| {
+                            sums[g] += v * w;
+                        });
+                        ctx.charge(OpClass::AggUpdate, frags);
+                        continue;
+                    }
+                    ctx.charge(OpClass::AggUpdate, n as u64);
                     let src = spec.input.eval_num(&chunk.data, rows, ctx);
                     rows.for_each(|k, i| sums[gids[k] as usize] += src.get(k, i));
                 }
                 (AggFunc::Avg, ColAcc::Avg { sums, counts }) => {
+                    if let Some((values, ends)) = rle {
+                        let frags = rle_accumulate(values, ends, rows, &gids, |g, v, w| {
+                            sums[g] += v * w;
+                            counts[g] += w;
+                        });
+                        ctx.charge(OpClass::AggUpdate, frags);
+                        continue;
+                    }
+                    ctx.charge(OpClass::AggUpdate, n as u64);
                     let src = spec.input.eval_num(&chunk.data, rows, ctx);
                     rows.for_each(|k, i| {
                         let g = gids[k] as usize;
@@ -429,6 +473,7 @@ impl ColumnarGroups {
                     });
                 }
                 (AggFunc::Min, ColAcc::Min(accs)) => {
+                    ctx.charge(OpClass::AggUpdate, n as u64);
                     let col = spec.input.eval_column(&chunk.data, rows, ctx);
                     rows.for_each(|k, _| {
                         let g = gids[k] as usize;
@@ -446,6 +491,7 @@ impl ColumnarGroups {
                     });
                 }
                 (AggFunc::Max, ColAcc::Max(accs)) => {
+                    ctx.charge(OpClass::AggUpdate, n as u64);
                     let col = spec.input.eval_column(&chunk.data, rows, ctx);
                     rows.for_each(|k, _| {
                         let g = gids[k] as usize;
@@ -468,6 +514,83 @@ impl ColumnarGroups {
         self.gids = gids;
     }
 
+    /// Dictionary-id group keys: translate each live row's bit-packed
+    /// id and serve its group slot from a per-dictionary memo — the id
+    /// *is* the hash, so repeat keys never re-hash the string payload.
+    /// Memo hits charge one `DictLookup` (an L1 array index); only the
+    /// first sight of each id pays the `HashProbe` + random access the
+    /// raw path pays on every row. Slot assignment still routes through
+    /// [`GroupIndex::slot_or_insert`], so group order (and rows) are
+    /// identical to the raw path by construction. Returns `false` when
+    /// the single group column is not dictionary-encoded.
+    fn gids_from_dict(
+        &mut self,
+        ctx: &mut ExecCtx,
+        chunk: &Chunk,
+        enc: &Arc<EncodedChunk>,
+        gids: &mut Vec<u32>,
+    ) -> bool {
+        let col = self.group_cols[0];
+        let dict_len = match enc.column(col) {
+            EncodedColumn::DictStr { dict, .. } => dict.len(),
+            EncodedColumn::DictChar { dict, .. } => dict.len(),
+            _ => return false,
+        };
+        // The memo is keyed by dictionary id, so it is only valid for
+        // the encoded chunk that minted those ids.
+        if !self.dict_enc.as_ref().is_some_and(|e| Arc::ptr_eq(e, enc)) {
+            self.dict_enc = Some(Arc::clone(enc));
+            self.dict_gids.clear();
+        }
+        self.dict_gids.resize(dict_len, u32::MAX);
+        let mut misses = 0u64;
+        let n = chunk.len() as u64;
+        match enc.column(col) {
+            EncodedColumn::DictStr { dict, ids } => chunk.rows().for_each(|_, i| {
+                let d = ids.get(i) as usize;
+                let mut gid = self.dict_gids[d];
+                if gid == u32::MAX {
+                    misses += 1;
+                    self.scratch_key.clear();
+                    self.scratch_key.push(Value::Str(Arc::clone(&dict[d])));
+                    gid = self.slot_of_scratch() as u32;
+                    self.dict_gids[d] = gid;
+                }
+                gids.push(gid);
+            }),
+            EncodedColumn::DictChar { dict, ids } => chunk.rows().for_each(|_, i| {
+                let d = ids.get(i) as usize;
+                let mut gid = self.dict_gids[d];
+                if gid == u32::MAX {
+                    misses += 1;
+                    self.scratch_key.clear();
+                    self.scratch_key.push(Value::Char(dict[d]));
+                    gid = self.slot_of_scratch() as u32;
+                    self.dict_gids[d] = gid;
+                }
+                gids.push(gid);
+            }),
+            _ => unreachable!("checked above"),
+        }
+        ctx.charge(OpClass::DictLookup, n);
+        ctx.charge(OpClass::HashProbe, misses);
+        ctx.charge_mem_random(misses);
+        true
+    }
+
+    /// Slot for the key currently in `scratch_key`, growing accumulators
+    /// on first sight (shared tail of [`Self::gid_of`] and the dict path).
+    fn slot_of_scratch(&mut self) -> usize {
+        let (slot, new_key) = self
+            .index
+            .slot_or_insert(&mut self.scratch_key, self.keys.len());
+        if let Some(key) = new_key {
+            self.keys.push(key);
+            self.accs.iter_mut().for_each(ColAcc::grow);
+        }
+        slot
+    }
+
     /// Convert into a [`GroupTable`] (first-seen order preserved) so
     /// partial-merge and output assembly stay on one code path.
     fn into_group_table(self) -> GroupTable {
@@ -479,6 +602,48 @@ impl ColumnarGroups {
         }
         table
     }
+}
+
+/// Run-at-a-time accumulation over a run-length-encoded input column:
+/// `f(gid, run value, weight)` once per maximal fragment of live rows
+/// sharing one run *and* one group id — the weight is the fragment
+/// length, so the result is exactly the per-row accumulation's. Returns
+/// the fragment count (the `AggUpdate` charge). Relies on live rows
+/// being ascending, so runs advance monotonically.
+fn rle_accumulate(
+    values: &[i64],
+    ends: &[u32],
+    rows: crate::chunk::Rows<'_>,
+    gids: &[u32],
+    mut f: impl FnMut(usize, i64, i64),
+) -> u64 {
+    let mut run = 0usize;
+    let mut cur_run = usize::MAX;
+    let mut cur_gid = 0usize;
+    let mut weight = 0i64;
+    let mut frags = 0u64;
+    rows.for_each(|k, i| {
+        while ends[run] as usize <= i {
+            run += 1;
+        }
+        let g = gids[k] as usize;
+        if run == cur_run && g == cur_gid {
+            weight += 1;
+        } else {
+            if cur_run != usize::MAX {
+                f(cur_gid, values[cur_run], weight);
+                frags += 1;
+            }
+            cur_run = run;
+            cur_gid = g;
+            weight = 1;
+        }
+    });
+    if cur_run != usize::MAX {
+        f(cur_gid, values[cur_run], weight);
+        frags += 1;
+    }
+    frags
 }
 
 /// Hash-based GROUP BY aggregation. With no group columns, produces a
@@ -804,6 +969,83 @@ mod tests {
                 "{engine:?}"
             );
         }
+    }
+
+    /// Micro-assertion for the compressed aggregate kernels: under
+    /// compressed pricing the dictionary-id group path and the RLE
+    /// run-at-a-time path must produce exactly the raw path's rows —
+    /// while charging per distinct id / per run fragment instead of
+    /// per row.
+    #[test]
+    fn compressed_dict_keys_and_rle_runs_match_raw_path() {
+        use crate::ops::SeqScan;
+        use eco_simhw::trace::PricingMode;
+        use eco_storage::{Catalog, HeapTable};
+
+        let schema = Schema::new(&[("g", ColumnType::Str), ("v", ColumnType::Int)]);
+        // g: 5 distinct strings → dict-str; v: 10 runs of 60 → rle-int.
+        let tuples: Vec<Tuple> = (0..600)
+            .map(|i| vec![Value::str(format!("g{}", i % 5)), Value::Int(i / 60)])
+            .collect();
+        let mut cat = Catalog::new(1 << 20);
+        cat.add_memory_table("t", HeapTable::from_tuples(schema, tuples));
+
+        let mk = |group: Vec<usize>| {
+            HashAggregate::new(
+                Box::new(SeqScan::new(cat.expect("t"))),
+                group,
+                vec![
+                    AggSpec {
+                        func: AggFunc::Sum,
+                        input: Expr::col(1),
+                        name: "s".into(),
+                    },
+                    AggSpec {
+                        func: AggFunc::Avg,
+                        input: Expr::col(1),
+                        name: "a".into(),
+                    },
+                    AggSpec {
+                        func: AggFunc::Count,
+                        input: Expr::col(1),
+                        name: "c".into(),
+                    },
+                ],
+            )
+        };
+
+        let run = |agg: &mut HashAggregate, pricing: PricingMode| {
+            let mut ctx = ExecCtx::new().with_columnar(true).with_pricing(pricing);
+            agg.open(&mut ctx);
+            let rows: Vec<Tuple> = std::iter::from_fn(|| agg.next(&mut ctx)).collect();
+            (rows, ctx)
+        };
+
+        // Grouped by the dictionary column.
+        let (raw_rows, raw_ctx) = run(&mut mk(vec![0]), PricingMode::Raw);
+        let (comp_rows, comp_ctx) = run(&mut mk(vec![0]), PricingMode::Compressed);
+        assert_eq!(comp_rows, raw_rows, "dict-keyed groups must match raw");
+        assert_eq!(raw_ctx.cpu.count(OpClass::HashProbe), 600);
+        assert_eq!(
+            comp_ctx.cpu.count(OpClass::HashProbe),
+            5,
+            "only first sight of each dictionary id probes the hash table"
+        );
+        assert_eq!(comp_ctx.cpu.count(OpClass::DictLookup), 600);
+        assert_eq!(comp_ctx.mem_random_accesses, 5);
+
+        // Global aggregate over the RLE column: one AggUpdate per run
+        // fragment for SUM and AVG (10 runs, one chunk), per row for
+        // COUNT.
+        let (raw_rows, raw_ctx) = run(&mut mk(vec![]), PricingMode::Raw);
+        let (comp_rows, comp_ctx) = run(&mut mk(vec![]), PricingMode::Compressed);
+        assert_eq!(comp_rows, raw_rows, "run-at-a-time totals must match raw");
+        assert_eq!(raw_ctx.cpu.count(OpClass::AggUpdate), 1800);
+        assert_eq!(
+            comp_ctx.cpu.count(OpClass::AggUpdate),
+            10 + 10 + 600,
+            "SUM and AVG touch runs, COUNT touches rows"
+        );
     }
 
     #[test]

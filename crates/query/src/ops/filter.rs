@@ -82,7 +82,15 @@ impl Operator for Filter {
             Some(sel) => sel,
             None => chunk.rows().to_indices(),
         };
-        self.predicate.filter_sel(&chunk.data, &mut sel, ctx);
+        match &chunk.enc {
+            // Compressed pricing with an encoded mirror attached by the
+            // scan: filter directly on the compressed form (dictionary
+            // ids, runs, packed words; see [`Expr::filter_sel_enc`]).
+            Some(enc) => self
+                .predicate
+                .filter_sel_enc(&chunk.data, enc, &mut sel, ctx),
+            None => self.predicate.filter_sel(&chunk.data, &mut sel, ctx),
+        }
         Some(chunk.with_sel(sel))
     }
 

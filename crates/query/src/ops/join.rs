@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use eco_simhw::trace::OpClass;
-use eco_storage::{tuple_width, DataChunk, Schema, Tuple, Value};
+use eco_storage::{tuple_width, BitPacked, DataChunk, EncodedColumn, Schema, Tuple, Value};
 
 use crate::chunk::Chunk;
 use crate::context::ExecCtx;
@@ -194,6 +194,10 @@ impl HashJoin {
     /// materialization — non-matching probe rows are never built).
     /// Charges one `HashProbe` + one random access per live probe row
     /// and the output rows' widths, exactly like the row paths.
+    /// Under compressed pricing, a single dictionary-encoded probe key
+    /// reuses the dictionary id as the hash: the payload is hashed once
+    /// per distinct id per chunk ([`Self::probe_dict_chunk`]) and every
+    /// repeat resolves by array index.
     fn probe_chunk(
         table: &JoinTable,
         probe_keys: &[usize],
@@ -205,6 +209,33 @@ impl HashJoin {
         let n = chunk.len() as u64;
         if n == 0 {
             return;
+        }
+        if let (Some(enc), [key], JoinTable::Single(_)) = (&chunk.enc, probe_keys, table) {
+            match enc.column(*key) {
+                EncodedColumn::DictStr { dict, ids } => {
+                    return Self::probe_dict_chunk(
+                        table,
+                        ids,
+                        |d| Value::Str(Arc::clone(&dict[d])),
+                        dict.len(),
+                        chunk,
+                        rows,
+                        ctx,
+                    );
+                }
+                EncodedColumn::DictChar { dict, ids } => {
+                    return Self::probe_dict_chunk(
+                        table,
+                        ids,
+                        |d| Value::Char(dict[d]),
+                        dict.len(),
+                        chunk,
+                        rows,
+                        ctx,
+                    );
+                }
+                _ => {}
+            }
         }
         let mut out_bytes = 0u64;
         chunk.rows().for_each(|_, i| {
@@ -219,6 +250,50 @@ impl HashJoin {
         });
         ctx.charge(OpClass::HashProbe, n);
         ctx.charge_mem_random(n);
+        ctx.charge_mem_bytes(out_bytes);
+    }
+
+    /// Dictionary-id probe kernel (compressed pricing, single key): the
+    /// id *is* the hash key, so the string/char payload is hashed only
+    /// on the first sight of each id in this chunk; repeats serve their
+    /// match list from a per-id memo. Every live row charges one
+    /// `DictLookup` (the id translation); only memo misses charge the
+    /// `HashProbe` + random access the raw kernel charges per row.
+    /// Output rows — and their byte charges — are identical to the raw
+    /// kernel's.
+    fn probe_dict_chunk(
+        table: &JoinTable,
+        ids: &BitPacked,
+        key_val: impl Fn(usize) -> Value,
+        dict_len: usize,
+        chunk: &Chunk,
+        rows: &mut Vec<Tuple>,
+        ctx: &mut ExecCtx,
+    ) {
+        let JoinTable::Single(m) = table else {
+            unreachable!("dict probe requires a single-key table");
+        };
+        let mut memo: Vec<Option<Option<&[Tuple]>>> = vec![None; dict_len];
+        let mut misses = 0u64;
+        let mut out_bytes = 0u64;
+        chunk.rows().for_each(|_, i| {
+            let d = ids.get(i) as usize;
+            let matches = *memo[d].get_or_insert_with(|| {
+                misses += 1;
+                m.get(&key_val(d)).map(Vec::as_slice)
+            });
+            if let Some(matches) = matches {
+                let probe_t = chunk.data.row(i);
+                for build_t in matches {
+                    let t = Self::join_row(build_t, &probe_t);
+                    out_bytes += tuple_width(&t);
+                    rows.push(t);
+                }
+            }
+        });
+        ctx.charge(OpClass::DictLookup, chunk.len() as u64);
+        ctx.charge(OpClass::HashProbe, misses);
+        ctx.charge_mem_random(misses);
         ctx.charge_mem_bytes(out_bytes);
     }
 }
@@ -603,6 +678,64 @@ mod tests {
         let build = src("a", &[]);
         let probe = src("b", &[]);
         let _ = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0, 1]);
+    }
+
+    /// Micro-assertion for the dictionary-id probe path: under
+    /// compressed pricing a dict-encoded probe key must produce exactly
+    /// the raw kernel's rows while hashing the string payload once per
+    /// distinct id per chunk instead of once per row.
+    #[test]
+    fn dict_id_probe_matches_raw_rows_and_skips_rehashing() {
+        use crate::ops::SeqScan;
+        use eco_simhw::trace::PricingMode;
+        use eco_storage::{Catalog, HeapTable};
+
+        // Probe side: 600 rows over 5 distinct string keys → dict-str.
+        let pschema = Schema::new(&[("pk", ColumnType::Str), ("pv", ColumnType::Int)]);
+        let ptuples: Vec<Tuple> = (0..600)
+            .map(|i| vec![Value::str(format!("key-{}", i % 5)), Value::Int(i)])
+            .collect();
+        let mut cat = Catalog::new(1 << 20);
+        cat.add_memory_table("p", HeapTable::from_tuples(pschema, ptuples));
+
+        // Build side: 3 of the 5 keys (and one absent key) match.
+        let bschema = Schema::new(&[("bk", ColumnType::Str), ("bv", ColumnType::Int)]);
+        let mk = |pricing: PricingMode| {
+            let build = VecSource::new(
+                bschema.clone(),
+                vec![
+                    vec![Value::str("key-1"), Value::Int(100)],
+                    vec![Value::str("key-3"), Value::Int(300)],
+                    vec![Value::str("key-4"), Value::Int(400)],
+                    vec![Value::str("absent"), Value::Int(999)],
+                ],
+            );
+            let probe = SeqScan::new(cat.expect("p"));
+            let mut j = HashJoin::new(Box::new(build), Box::new(probe), vec![0], vec![0]);
+            let mut ctx = ExecCtx::new().with_columnar(true).with_pricing(pricing);
+            j.open(&mut ctx);
+            let mut rows = Vec::new();
+            while let Some(c) = j.next_chunk(&mut ctx) {
+                c.to_tuples(&mut rows);
+            }
+            (rows, ctx)
+        };
+
+        let (raw_rows, raw_ctx) = mk(PricingMode::Raw);
+        let (comp_rows, comp_ctx) = mk(PricingMode::Compressed);
+        assert_eq!(comp_rows, raw_rows, "dict-id probe must match raw rows");
+        assert_eq!(raw_rows.len(), 360, "3 of 5 keys × 120 rows each");
+        assert_eq!(raw_ctx.cpu.count(OpClass::HashProbe), 600);
+        assert_eq!(
+            comp_ctx.cpu.count(OpClass::HashProbe),
+            5,
+            "payload hashed once per distinct id per chunk"
+        );
+        assert_eq!(comp_ctx.cpu.count(OpClass::DictLookup), 600);
+        assert!(
+            comp_ctx.mem_stream_bytes < raw_ctx.mem_stream_bytes,
+            "scan prices encoded bytes"
+        );
     }
 
     /// Micro-assertion for the borrowed multi-key probe path: composite

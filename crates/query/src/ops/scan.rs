@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use eco_simhw::trace::OpClass;
+use eco_simhw::trace::{OpClass, PricingMode};
 use eco_storage::{Schema, StoredTable, TableData, Tuple};
 
 use crate::chunk::Chunk;
@@ -38,6 +38,15 @@ enum ScanBounds {
 /// Charges one `TupleFetch` plus the tuple's average width in memory
 /// bytes per tuple produced. Disk-engine scans additionally drain the
 /// buffer pool's I/O ledger into the context after every page.
+///
+/// Under [`PricingMode::Compressed`] (ledger schema v3) the per-tuple
+/// memory charge is the table's average *encoded* width instead — the
+/// deterministic table-wide mean of the encoded mirrors' byte counts,
+/// so every scan geometry (scalar, batch, columnar, any morsel split)
+/// prices the same bytes. Disk I/O is unaffected: pages store raw
+/// tuples, so cold reads cost what they always did. Columnar chunks
+/// additionally carry the encoded mirror so downstream kernels can run
+/// directly on the compressed form.
 ///
 /// The batch path emits whole page slices per call (capped at the
 /// context's batch size) instead of advancing a per-tuple page cursor;
@@ -184,7 +193,18 @@ impl Operator for SeqScan {
         self.table.schema()
     }
 
-    fn open(&mut self, _ctx: &mut ExecCtx) {
+    fn open(&mut self, ctx: &mut ExecCtx) {
+        // Re-derive the priced width from the context's pricing mode:
+        // raw prices stored tuple bytes, compressed prices the encoded
+        // mirror's average. Done here (not in `new`) so the encoded
+        // mirror is only ever built on compressed-priced executions.
+        self.avg_bytes = match ctx.pricing {
+            PricingMode::Raw => self.table.avg_tuple_bytes(),
+            PricingMode::Compressed => match &self.table.data {
+                TableData::Memory(heap) => heap.encoded().avg_tuple_bytes(),
+                TableData::Disk(disk) => disk.columnar().avg_encoded_tuple_bytes(),
+            },
+        };
         self.current = None;
         match (&self.table.data, self.bounds) {
             (TableData::Disk(disk), _) => {
@@ -244,7 +264,10 @@ impl Operator for SeqScan {
                     return None;
                 }
                 let end = (self.idx + ctx.batch_size.max(1)).min(limit);
-                let chunk = Chunk::window(Arc::clone(cols), self.idx..end);
+                let mut chunk = Chunk::window(Arc::clone(cols), self.idx..end);
+                if ctx.pricing == PricingMode::Compressed {
+                    chunk = chunk.with_enc(Arc::clone(heap.encoded()));
+                }
                 self.charge_tuples(ctx, (end - self.idx) as u64);
                 self.idx = end;
                 Some(chunk)
@@ -290,10 +313,13 @@ impl Operator for SeqScan {
                 let cols = disk.columnar();
                 let (g0, g1) = cols.page_row_range(self.page_no, page_end);
                 let base = cols.extent_row_start(extent_no);
-                let chunk = Chunk::window(
+                let mut chunk = Chunk::window(
                     Arc::clone(cols.extent_chunk(extent_no)),
                     (g0 - base)..(g1 - base),
                 );
+                if ctx.pricing == PricingMode::Compressed {
+                    chunk = chunk.with_enc(Arc::clone(cols.extent_encoded(extent_no)));
+                }
                 self.charge_tuples(ctx, (g1 - g0) as u64);
                 self.page_no = page_end;
                 if self.page_no >= bound_end {
@@ -505,6 +531,57 @@ mod tests {
         let expected: Vec<Tuple> = (0..500).map(|i| vec![Value::Int(i)]).collect();
         assert_eq!(all, expected, "morsel order reproduces the serial stream");
         assert_eq!(ctx.cpu.count(OpClass::TupleFetch), 500);
+    }
+
+    #[test]
+    fn compressed_pricing_charges_fewer_bytes_same_rows() {
+        let schema = Schema::new(&[("k", ColumnType::Int), ("s", ColumnType::Str)]);
+        let tuples: Vec<Tuple> = (0..2000)
+            .map(|i| vec![Value::Int(i % 16), Value::str(format!("g{}", i % 8))])
+            .collect();
+        let mut cat = Catalog::new(1 << 20);
+        cat.add_memory_table("m", HeapTable::from_tuples(schema.clone(), tuples.clone()));
+        cat.add_disk_table("d", schema, &tuples);
+
+        for name in ["m", "d"] {
+            let table = cat.expect(name);
+            let mut raw = ExecCtx::new();
+            let mut scan = SeqScan::new(Arc::clone(&table));
+            scan.open(&mut raw);
+            let raw_rows = std::iter::from_fn(|| scan.next(&mut raw)).count();
+
+            let mut comp = ExecCtx::new().with_pricing(PricingMode::Compressed);
+            let mut scan = SeqScan::new(Arc::clone(&table));
+            scan.open(&mut comp);
+            let comp_rows = std::iter::from_fn(|| scan.next(&mut comp)).count();
+
+            assert_eq!(raw_rows, comp_rows, "{name}: same rows either way");
+            assert_eq!(
+                raw.cpu.count(OpClass::TupleFetch),
+                comp.cpu.count(OpClass::TupleFetch),
+                "{name}: fetch counts are pricing-independent"
+            );
+            assert!(
+                comp.mem_stream_bytes < raw.mem_stream_bytes,
+                "{name}: encoded pricing must charge fewer bytes \
+                 ({} vs {})",
+                comp.mem_stream_bytes,
+                raw.mem_stream_bytes
+            );
+        }
+
+        // Columnar chunks carry the encoded mirror only when compressed.
+        let table = cat.expect("m");
+        let mut raw = ExecCtx::new().with_columnar(true);
+        let mut scan = SeqScan::new(Arc::clone(&table));
+        scan.open(&mut raw);
+        assert!(scan.next_chunk(&mut raw).expect("chunk").enc.is_none());
+        let mut comp = ExecCtx::new()
+            .with_columnar(true)
+            .with_pricing(PricingMode::Compressed);
+        let mut scan = SeqScan::new(table);
+        scan.open(&mut comp);
+        assert!(scan.next_chunk(&mut comp).expect("chunk").enc.is_some());
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub const IDLE_MULTIPLIER: f64 = 6.0;
 // predicate evaluation saturates the pipeline; row copies stall on
 // memory. Indexed by `OpClass as usize`:
 //   [TupleFetch, PredEval, HashBuild, HashProbe, Arith, AggUpdate,
-//    ResultEmit, Parse, SortCmp, RowCopy, SplitRoute]
+//    ResultEmit, Parse, SortCmp, RowCopy, SplitRoute, DictLookup]
 
 /// Cycles per operation for each [`crate::trace::OpClass`].
 pub const OP_CYCLES: [f64; N_OP_CLASSES] = [
@@ -103,6 +103,7 @@ pub const OP_CYCLES: [f64; N_OP_CLASSES] = [
     45.0,   // SortCmp
     1800.0, // RowCopy: client-side (JDBC-style) row materialization
     800.0,  // SplitRoute: QED split bookkeeping per result row
+    4.0,    // DictLookup: one dictionary id translation (array index, L1-resident)
 ];
 
 /// Switching-activity factor per [`crate::trace::OpClass`].
@@ -118,6 +119,7 @@ pub const OP_ACTIVITY: [f64; N_OP_CLASSES] = [
     0.88, // SortCmp
     0.40, // RowCopy (memory streaming in the client)
     0.45, // SplitRoute
+    0.80, // DictLookup (tight indexed loads, cache-resident dictionary)
 ];
 
 // ---------------------------------------------------------------------------

@@ -47,4 +47,6 @@ pub use fault::{FaultPlan, PageFault, BACKOFF_BASE_NS, MAX_READ_RETRIES};
 pub use machine::{Machine, MachineConfig, Measurement};
 pub use multicore::{MultiCoreMachine, MultiCoreMeasurement};
 pub use opensys::{ArrivalSchedule, IdleMeasurement, OpenSystemMeasurement, OpenSystemRun};
-pub use trace::{CpuWork, DiskWork, OpClass, Phase, PhaseKind, WorkTrace, LEDGER_SCHEMA_VERSION};
+pub use trace::{
+    CpuWork, DiskWork, OpClass, Phase, PhaseKind, PricingMode, WorkTrace, LEDGER_SCHEMA_VERSION,
+};

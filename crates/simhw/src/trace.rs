@@ -23,7 +23,44 @@ use crate::calib;
 /// The v2 classes are zero on any fault-free run, so every v1 figure
 /// is byte-for-byte unchanged; a run with faults prices its robustness
 /// overhead through these classes and nowhere else.
-pub const LEDGER_SCHEMA_VERSION: u32 = 2;
+///
+/// * **v3** — adds the opt-in **compressed pricing mode**
+///   ([`PricingMode::Compressed`]) and the dictionary-lookup charge
+///   class ([`OpClass::DictLookup`], one id→payload translation when an
+///   execution kernel reads through a dictionary-encoded column). Under
+///   [`PricingMode::Raw`] (the default) no `DictLookup` is ever
+///   charged and every scan prices its *raw* tuple bytes, so every
+///   v1/v2 figure stays byte-for-byte unchanged; under
+///   [`PricingMode::Compressed`] scans price the *encoded* byte counts
+///   as memory traffic and compressed kernels charge `DictLookup`, so
+///   compression ratio becomes measurable joules.
+pub const LEDGER_SCHEMA_VERSION: u32 = 3;
+
+/// How the ledger prices column-store memory traffic (ledger schema
+/// v3; see [`LEDGER_SCHEMA_VERSION`]).
+///
+/// * [`PricingMode::Raw`] — every scan charges the raw (uncompressed)
+///   tuple bytes and no [`OpClass::DictLookup`] is ever recorded. This
+///   is the bit-identical mode every reproduced figure is priced
+///   under: op-class counts, memory bytes, random accesses and disk
+///   I/O are invariant across scalar/batch/columnar/parallel
+///   execution.
+/// * [`PricingMode::Compressed`] — scans over encoded columnar
+///   mirrors charge the *encoded* bytes per tuple as memory traffic,
+///   and kernels that read through a dictionary charge one
+///   [`OpClass::DictLookup`] per id translation. CPU op counts may
+///   legitimately differ from raw mode (a dictionary predicate
+///   compares once per *distinct* value; an RLE aggregate accumulates
+///   once per *run*), so compressed-mode ledgers are comparable to
+///   each other, not to raw-mode ledgers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PricingMode {
+    /// Raw tuple bytes; bit-identical to every pre-v3 ledger.
+    #[default]
+    Raw,
+    /// Encoded bytes as memory traffic + `DictLookup` charges (v3).
+    Compressed,
+}
 
 /// Classes of CPU work with distinct cycle costs and switching-activity
 /// levels. The split matters for power: a tight predicate-evaluation
@@ -55,10 +92,16 @@ pub enum OpClass {
     /// Route one aggregated-result row back to its originating query
     /// (the QED application-side split).
     SplitRoute = 10,
+    /// Translate one dictionary id to its payload (or match a
+    /// pre-evaluated id) inside a compressed execution kernel. Charged
+    /// only under [`PricingMode::Compressed`] (ledger schema v3) —
+    /// raw-mode ledgers never record it, keeping every pre-v3 figure
+    /// bit-identical.
+    DictLookup = 11,
 }
 
 /// Number of [`OpClass`] variants.
-pub const N_OP_CLASSES: usize = 11;
+pub const N_OP_CLASSES: usize = 12;
 
 /// All op classes, in discriminant order.
 pub const ALL_OP_CLASSES: [OpClass; N_OP_CLASSES] = [
@@ -73,6 +116,7 @@ pub const ALL_OP_CLASSES: [OpClass; N_OP_CLASSES] = [
     OpClass::SortCmp,
     OpClass::RowCopy,
     OpClass::SplitRoute,
+    OpClass::DictLookup,
 ];
 
 impl OpClass {
@@ -110,6 +154,7 @@ impl OpClass {
             OpClass::SortCmp => "sort_cmp",
             OpClass::RowCopy => "row_copy",
             OpClass::SplitRoute => "split_route",
+            OpClass::DictLookup => "dict_lookup",
         }
     }
 }

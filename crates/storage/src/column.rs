@@ -135,23 +135,42 @@ impl ColumnData {
     /// Gather the values at `indices` into a fresh column (strings cost
     /// one `Arc` bump each). Indices may repeat (join fan-out).
     pub fn gather(&self, indices: &[u32]) -> ColumnData {
-        match self {
-            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect()),
-            ColumnData::Str(v) => ColumnData::Str(
-                indices
-                    .iter()
-                    .map(|&i| Arc::clone(&v[i as usize]))
-                    .collect(),
-            ),
-            ColumnData::Date(v) => {
-                ColumnData::Date(indices.iter().map(|&i| v[i as usize]).collect())
+        let mut out = ColumnData::empty(self.column_type());
+        self.gather_into(indices, &mut out);
+        out
+    }
+
+    /// Gather the values at `indices` into `out`, reusing `out`'s
+    /// allocation when its type already matches (the per-chunk scratch
+    /// discipline: callers that gather in a loop keep one scratch
+    /// column per output column instead of allocating per call).
+    /// Replaces `out` with a fresh column on a type mismatch.
+    pub fn gather_into(&self, indices: &[u32], out: &mut ColumnData) {
+        if out.column_type() != self.column_type() {
+            *out = ColumnData::empty(self.column_type());
+        }
+        match (self, out) {
+            (ColumnData::Int(v), ColumnData::Int(o)) => {
+                o.clear();
+                o.extend(indices.iter().map(|&i| v[i as usize]));
             }
-            ColumnData::Char(v) => {
-                ColumnData::Char(indices.iter().map(|&i| v[i as usize]).collect())
+            (ColumnData::Str(v), ColumnData::Str(o)) => {
+                o.clear();
+                o.extend(indices.iter().map(|&i| Arc::clone(&v[i as usize])));
             }
-            ColumnData::Bool(v) => {
-                ColumnData::Bool(indices.iter().map(|&i| v[i as usize]).collect())
+            (ColumnData::Date(v), ColumnData::Date(o)) => {
+                o.clear();
+                o.extend(indices.iter().map(|&i| v[i as usize]));
             }
+            (ColumnData::Char(v), ColumnData::Char(o)) => {
+                o.clear();
+                o.extend(indices.iter().map(|&i| v[i as usize]));
+            }
+            (ColumnData::Bool(v), ColumnData::Bool(o)) => {
+                o.clear();
+                o.extend(indices.iter().map(|&i| v[i as usize]));
+            }
+            _ => unreachable!("gather_into aligned the output type above"),
         }
     }
 }
@@ -330,6 +349,25 @@ mod tests {
         let masked = ColumnChunk::with_validity(ColumnData::Int(vec![1, 2]), vec![true, false]);
         assert!(masked.is_valid(0));
         assert!(!masked.is_valid(1));
+    }
+
+    #[test]
+    fn gather_into_reuses_scratch_across_calls() {
+        let col = ColumnData::Int((0..100).collect());
+        let mut scratch = ColumnData::empty(T::Int);
+        col.gather_into(&[5, 5, 99, 0], &mut scratch);
+        assert_eq!(scratch.as_ints().unwrap(), &[5, 5, 99, 0]);
+        // Second gather reuses the same buffer and fully replaces it.
+        col.gather_into(&[1, 2], &mut scratch);
+        assert_eq!(scratch.as_ints().unwrap(), &[1, 2]);
+        // A type mismatch replaces the scratch instead of panicking.
+        let strs = ColumnData::Str(vec![Arc::from("a"), Arc::from("b")]);
+        strs.gather_into(&[1, 0], &mut scratch);
+        assert_eq!(
+            scratch,
+            ColumnData::Str(vec![Arc::from("b"), Arc::from("a")])
+        );
+        assert_eq!(strs.gather(&[1, 0]), scratch, "gather matches gather_into");
     }
 
     #[test]

@@ -15,6 +15,7 @@ use eco_simhw::trace::DiskWork;
 
 use crate::bufferpool::{BufferPool, PageId, EXTENT_PAGES};
 use crate::column::DataChunk;
+use crate::encode::EncodedChunk;
 use crate::page::{Page, PAGE_SIZE};
 use crate::value::{Schema, Tuple};
 
@@ -80,6 +81,13 @@ pub struct ColumnarExtents {
     page_rows: Vec<usize>,
     /// One chunk per extent, in extent order.
     extents: Vec<Arc<DataChunk>>,
+    /// Lazily-built encoded mirror of each extent (see
+    /// [`ColumnarExtents::extent_encoded`]): row indices align exactly
+    /// with the raw extent chunks, so selection vectors transfer.
+    encoded: Vec<OnceLock<Arc<EncodedChunk>>>,
+    /// Per-row priced byte charge for compressed-mode scans, averaged
+    /// over the whole table (see [`ColumnarExtents::avg_encoded_tuple_bytes`]).
+    avg_encoded_bytes: OnceLock<u64>,
 }
 
 impl ColumnarExtents {
@@ -91,6 +99,32 @@ impl ColumnarExtents {
     /// The chunk holding extent `e`'s rows.
     pub fn extent_chunk(&self, e: usize) -> &Arc<DataChunk> {
         &self.extents[e]
+    }
+
+    /// The *encoded* mirror of extent `e` (dictionary / RLE /
+    /// bit-packed per column; see [`crate::encode`]), built lazily —
+    /// raw-pricing scans never build it. Extent-relative row indices
+    /// align with [`ColumnarExtents::extent_chunk`].
+    pub fn extent_encoded(&self, e: usize) -> &Arc<EncodedChunk> {
+        self.encoded[e].get_or_init(|| Arc::new(EncodedChunk::encode(&self.extents[e])))
+    }
+
+    /// The deterministic integer per-row byte charge compressed-mode
+    /// scans price over this table: the mean of the per-extent encoded
+    /// footprints, computed once over all extents so every scan
+    /// geometry (serial, morsel-parallel, any batch size) charges
+    /// identically per row.
+    pub fn avg_encoded_tuple_bytes(&self) -> u64 {
+        *self.avg_encoded_bytes.get_or_init(|| {
+            let rows: usize = self.extents.iter().map(|e| e.len()).sum();
+            if rows == 0 {
+                return 1;
+            }
+            let total: u64 = (0..self.extents.len())
+                .map(|e| self.extent_encoded(e).encoded_bytes())
+                .sum();
+            (total / rows as u64).max(1) + 2
+        })
     }
 
     /// First table-global row of extent `e`.
@@ -174,7 +208,13 @@ impl DiskTable {
                 }
                 extents.push(Arc::new(DataChunk::from_rows(&self.schema, &rows)));
             }
-            ColumnarExtents { page_rows, extents }
+            let encoded = (0..extents.len()).map(|_| OnceLock::new()).collect();
+            ColumnarExtents {
+                page_rows,
+                extents,
+                encoded,
+                avg_encoded_bytes: OnceLock::new(),
+            }
         })
     }
 
@@ -477,6 +517,32 @@ mod tests {
         // Page row ranges are consistent with the pages themselves.
         let (s, end) = cols.page_row_range(0, t.num_pages());
         assert_eq!((s, end), (0, 2000));
+    }
+
+    #[test]
+    fn encoded_extents_roundtrip_and_price_fewer_bytes() {
+        let pool = Arc::new(BufferPool::new(256));
+        let data = tuples(2000);
+        let t = DiskTable::load(1, schema(), &data, pool);
+        let cols = t.columnar();
+        for e in 0..cols.num_extents() {
+            let enc = cols.extent_encoded(e);
+            let raw = cols.extent_chunk(e);
+            assert_eq!(enc.rows(), raw.len());
+            for (i, col) in enc.columns().iter().enumerate() {
+                assert_eq!(col.decode(), raw.column(i).data, "extent {e} column {i}");
+            }
+        }
+        // `k` is a sorted int (packs small) and `s` has a shared prefix
+        // but unique payloads (stays plain); the average must not exceed
+        // the raw width and must be stable across calls.
+        let avg = cols.avg_encoded_tuple_bytes();
+        assert!(
+            avg <= t.avg_tuple_bytes(),
+            "{avg} > {}",
+            t.avg_tuple_bytes()
+        );
+        assert_eq!(avg, cols.avg_encoded_tuple_bytes());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::column::DataChunk;
+use crate::encode::EncodedChunk;
 use crate::value::{tuple_width, Schema, Tuple};
 
 /// An append-only in-memory table.
@@ -18,6 +19,9 @@ pub struct HeapTable {
     /// Lazily-built columnar mirror of `tuples` (see
     /// [`HeapTable::columns`]); invalidated on insert.
     columns: OnceLock<Arc<DataChunk>>,
+    /// Lazily-built *encoded* mirror of [`HeapTable::columns`] (see
+    /// [`HeapTable::encoded`]); invalidated on insert.
+    encoded: OnceLock<Arc<EncodedChunk>>,
 }
 
 impl HeapTable {
@@ -28,6 +32,7 @@ impl HeapTable {
             tuples: Vec::new(),
             bytes: 0,
             columns: OnceLock::new(),
+            encoded: OnceLock::new(),
         }
     }
 
@@ -49,8 +54,9 @@ impl HeapTable {
         );
         self.bytes += tuple_width(&tuple);
         self.tuples.push(tuple);
-        // The columnar mirror no longer matches; rebuild on next use.
+        // The columnar mirrors no longer match; rebuild on next use.
         self.columns.take();
+        self.encoded.take();
     }
 
     /// The whole table as one columnar [`DataChunk`] mirror, built
@@ -61,6 +67,15 @@ impl HeapTable {
     pub fn columns(&self) -> &Arc<DataChunk> {
         self.columns
             .get_or_init(|| Arc::new(DataChunk::from_rows(&self.schema, &self.tuples)))
+    }
+
+    /// The whole table's *encoded* columnar mirror (dictionary / RLE /
+    /// bit-packed per column, auto-selected; see [`crate::encode`]),
+    /// built lazily on first use — raw-pricing executions never build
+    /// it. Row indices align exactly with [`HeapTable::columns`].
+    pub fn encoded(&self) -> &Arc<EncodedChunk> {
+        self.encoded
+            .get_or_init(|| Arc::new(EncodedChunk::encode(self.columns())))
     }
 
     /// The table's schema.
@@ -138,6 +153,22 @@ mod tests {
         assert_eq!(cols.len(), 2);
         assert_eq!(cols.row(1), t.tuples()[1]);
         assert_eq!(cols.column(0).data.as_ints().unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn encoded_mirror_tracks_inserts_and_roundtrips() {
+        let mut t = HeapTable::new(schema());
+        for i in 0..64 {
+            t.insert(vec![Value::Int(i % 4), Value::str(format!("g{}", i % 3))]);
+        }
+        let enc = Arc::clone(t.encoded());
+        assert_eq!(enc.rows(), 64);
+        for (i, col) in enc.columns().iter().enumerate() {
+            assert_eq!(col.decode(), t.columns().column(i).data, "column {i}");
+        }
+        // Insert invalidates; the fresh mirror sees the new row.
+        t.insert(vec![Value::Int(9), Value::str("g9")]);
+        assert_eq!(t.encoded().rows(), 65);
     }
 
     #[test]

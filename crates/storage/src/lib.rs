@@ -12,11 +12,30 @@
 //!
 //! The engine stores real tuples and returns real bytes; only the
 //! *pricing* of I/O is simulated (see `eco-simhw`).
+//!
+//! # Compressed columnar mirrors (ledger schema v3)
+//!
+//! Both engines expose lazily-built columnar mirrors of their tuples
+//! ([`heap::HeapTable::columns`], [`disk_table::DiskTable::columnar`]),
+//! and — since schema v3 — *encoded* mirrors next to them
+//! ([`heap::HeapTable::encoded`], [`ColumnarExtents::extent_encoded`]):
+//! dictionary encoding for strings/chars, run-length and
+//! frame-of-reference bit-packing for ints/dates, one bitmap bit per
+//! bool, auto-selected per column from build-time stats (see
+//! [`encode`]). The encoded mirrors never replace the raw data — under
+//! the default raw pricing mode they are never even built, and every
+//! pre-v3 ledger figure stays bit-identical. Under the opt-in
+//! compressed pricing mode (`PricingMode::Compressed` in `eco-simhw`),
+//! scans price [`encode::EncodedChunk::avg_tuple_bytes`] — the encoded
+//! byte count per row — as memory traffic, and kernels that read
+//! through a dictionary charge the v3 `DictLookup` op class, so
+//! compression ratio becomes measurable joules.
 
 pub mod bufferpool;
 pub mod catalog;
 pub mod column;
 pub mod disk_table;
+pub mod encode;
 pub mod heap;
 pub mod loader;
 pub mod page;
@@ -26,6 +45,7 @@ pub use bufferpool::{BufferPool, PageId};
 pub use catalog::{Catalog, StoredTable, TableData};
 pub use column::{ColumnChunk, ColumnData, DataChunk};
 pub use disk_table::{ColumnarExtents, IoError};
+pub use encode::{BitPacked, EncodedChunk, EncodedColumn};
 pub use heap::HeapTable;
 pub use loader::{load_tbl, load_tpch, parse_tbl, EngineKind, LoadError};
 pub use value::{tuple_width, Column, ColumnType, Schema, Tuple, Value};

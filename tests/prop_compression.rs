@@ -1,0 +1,164 @@
+//! Property tests for compressed columnar execution (ledger schema v3).
+//!
+//! Two invariants, checked over random tables × encodings × predicates
+//! × both storage engines:
+//!
+//! 1. **Compressed matches raw**: under [`PricingMode::Compressed`]
+//!    the direct-on-compressed kernels (dictionary-id predicates, RLE
+//!    run-at-a-time filters and aggregates, frame-of-reference packed
+//!    scans) produce rows bit-identical to the raw columnar path.
+//! 2. **Raw mode is untouched**: raw-mode rows and full energy ledgers
+//!    stay bit-identical to scalar execution, and the compression
+//!    machinery never charges (no `DictLookup`, no encoded mirrors) —
+//!    i.e. pre-v3 ledgers are reproduced byte for byte.
+
+use proptest::prelude::*;
+
+use ecodb::query::context::ExecCtx;
+use ecodb::query::exec::{execute_parallel, execute_scalar};
+use ecodb::query::expr::{AggFunc, CmpOp, Expr};
+use ecodb::query::ops::{AggSpec, BoxedOp, Filter, HashAggregate, SeqScan};
+use ecodb::simhw::trace::{OpClass, PricingMode};
+use ecodb::storage::{Catalog, ColumnType, HeapTable, Schema, Tuple, Value};
+
+/// Deterministic pseudo-random table whose columns exercise every
+/// encoding: a low-cardinality string (dict-str), a run- or
+/// range-structured int (rle-int / pack-int / plain), a run-structured
+/// date, a tiny-alphabet char (dict-char), a bool (bitmap) and a
+/// high-cardinality string (plain).
+fn make_tuples(n: usize, k: u64, run: usize, base: i64, span: i64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            let mix = (i as u64).wrapping_mul(0x9e37_79b9).rotate_left(13);
+            vec![
+                Value::str(format!("s{}", mix % k)),
+                Value::Int(base + (mix as i64).rem_euclid(span) + (i / run) as i64),
+                Value::Date((i / run) as i32),
+                Value::Char((b'A' + (mix % k.min(20)) as u8) as char),
+                Value::Bool(mix % 7 < 3),
+                Value::str(format!("wide-{i}-{mix}")),
+            ]
+        })
+        .collect()
+}
+
+fn table_schema() -> Schema {
+    Schema::new(&[
+        ("g", ColumnType::Str),
+        ("v", ColumnType::Int),
+        ("d", ColumnType::Date),
+        ("c", ColumnType::Char),
+        ("b", ColumnType::Bool),
+        ("w", ColumnType::Str),
+    ])
+}
+
+fn load(engine_idx: usize, tuples: &[Tuple]) -> Catalog {
+    let mut cat = Catalog::new(1 << 20);
+    if engine_idx == 0 {
+        cat.add_memory_table("t", HeapTable::from_tuples(table_schema(), tuples.to_vec()));
+    } else {
+        cat.add_disk_table("t", table_schema(), tuples);
+    }
+    cat
+}
+
+const OPS: [CmpOp; 6] = [
+    CmpOp::Eq,
+    CmpOp::Ne,
+    CmpOp::Lt,
+    CmpOp::Le,
+    CmpOp::Gt,
+    CmpOp::Ge,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn compressed_matches_raw(
+        n in 1usize..300,
+        k in 1u64..8,
+        run in 1usize..60,
+        base in -1000i64..1000,
+        span in prop_oneof![Just(5i64), Just(1000), Just(i64::MAX / 4)],
+        engine_idx in 0usize..2,
+        op_idx in 0usize..6,
+        col in 0usize..4,
+        lit in 0i64..2000,
+        flip in any::<bool>(),
+        and_extra in any::<bool>(),
+        do_agg in any::<bool>(),
+        chunk in prop_oneof![Just(7usize), Just(64), Just(1024)],
+        workers in 1usize..3,
+    ) {
+        let tuples = make_tuples(n, k, run, base, span);
+        let op = OPS[op_idx];
+        let literal = match col {
+            0 => Expr::str(&format!("s{}", lit as u64 % (k + 1))),
+            1 => Expr::int(base + lit),
+            2 => Expr::date((lit % 40) as i32),
+            _ => Expr::Lit(Value::Char((b'A' + (lit % 25) as u8) as char)),
+        };
+        let cmp = if flip {
+            Expr::cmp(op, literal, Expr::col(col))
+        } else {
+            Expr::cmp(op, Expr::col(col), literal)
+        };
+        let pred = if and_extra {
+            Expr::And(vec![cmp, Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::int(base))])
+        } else {
+            cmp
+        };
+
+        let mk = |cat: &Catalog| -> BoxedOp {
+            let scan = SeqScan::new(cat.expect("t"));
+            let filtered = Filter::new(Box::new(scan), pred.clone());
+            if do_agg {
+                Box::new(HashAggregate::new(
+                    Box::new(filtered),
+                    vec![0],
+                    vec![
+                        AggSpec { func: AggFunc::Sum, input: Expr::col(1), name: "s".into() },
+                        AggSpec { func: AggFunc::Avg, input: Expr::col(1), name: "a".into() },
+                        AggSpec { func: AggFunc::Count, input: Expr::col(1), name: "n".into() },
+                    ],
+                ))
+            } else {
+                Box::new(filtered)
+            }
+        };
+
+        // Raw scalar baseline on a fresh catalog (cold pool).
+        let mut sctx = ExecCtx::new().with_batch_size(1);
+        let scalar = execute_scalar(mk(&load(engine_idx, &tuples)).as_mut(), &mut sctx);
+
+        // Raw columnar: rows AND the full ledger bit-identical to
+        // scalar — compression machinery must be invisible in raw mode.
+        let mut rctx = ExecCtx::new().with_batch_size(chunk).with_columnar(true);
+        let raw = execute_parallel(mk(&load(engine_idx, &tuples)).as_mut(), &mut rctx, workers);
+        prop_assert_eq!(&raw, &scalar, "raw columnar rows differ from scalar");
+        prop_assert_eq!(&rctx.cpu, &sctx.cpu, "raw-mode op counts differ from scalar");
+        prop_assert_eq!(rctx.mem_stream_bytes, sctx.mem_stream_bytes);
+        prop_assert_eq!(rctx.mem_random_accesses, sctx.mem_random_accesses);
+        prop_assert_eq!(rctx.disk, sctx.disk);
+        prop_assert_eq!(rctx.pred_evals, sctx.pred_evals);
+        prop_assert_eq!(rctx.cpu.count(OpClass::DictLookup), 0, "raw mode must never dict-decode");
+
+        // Compressed columnar: identical rows, same tuple fetches, and
+        // the scan priced encoded (never wider per the +2 header floor)
+        // memory traffic.
+        let mut cctx = ExecCtx::new()
+            .with_batch_size(chunk)
+            .with_columnar(true)
+            .with_pricing(PricingMode::Compressed);
+        let comp = execute_parallel(mk(&load(engine_idx, &tuples)).as_mut(), &mut cctx, workers);
+        prop_assert_eq!(&comp, &raw, "compressed rows differ from raw");
+        prop_assert_eq!(
+            cctx.cpu.count(OpClass::TupleFetch),
+            rctx.cpu.count(OpClass::TupleFetch),
+            "compressed path must fetch the same live rows"
+        );
+        prop_assert_eq!(cctx.disk, rctx.disk, "disk pages stay raw; I/O pricing unchanged");
+    }
+}
