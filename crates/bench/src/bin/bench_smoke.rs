@@ -26,17 +26,24 @@
 //!   schema v3) on TPC-H Q1/Q6: per-query compression ratio, priced
 //!   memory bytes and joules/query raw vs compressed, with compressed
 //!   rows required bit-identical to raw, the priced-byte ratio required
-//!   ≥2x, and compressed joules/query required strictly lower.
+//!   ≥2x, and compressed joules/query required strictly lower;
+//! * `BENCH_index.json` — B-tree access paths (ledger schema v4) on
+//!   selective `lineitem.l_orderkey` point/range selections: scan vs
+//!   `IxScan` medians and speedups (≥10x required on both shapes),
+//!   index rows required bit-identical to scan rows, the scan plan's
+//!   ledger required bit-identical before/after `CREATE INDEX` with
+//!   every v4 class zero on the index-free path, and the probe required
+//!   to actually charge v4 index I/O.
 //!
 //! ```text
 //! cargo run -p eco-bench --bin bench_smoke --release \
 //!     [-- <parallel.json> [<columnar.json> [<throughput.json> \
-//!      [<faults.json> [<compression.json>]]]]]
+//!      [<faults.json> [<compression.json> [<index.json>]]]]]]
 //! ```
 //!
 //! Paths default to `BENCH_parallel_scaling.json` /
 //! `BENCH_columnar.json` / `BENCH_throughput.json` / `BENCH_faults.json`
-//! / `BENCH_compression.json`
+//! / `BENCH_compression.json` / `BENCH_index.json`
 //! in the current directory (CI runs it from the repo root). Exits
 //! non-zero if any ledger or row-identity check fails, so the smoke
 //! job guards correctness, not just timing.
@@ -55,7 +62,7 @@ use eco_server::{
 };
 use eco_simhw::fault::FaultPlan;
 use eco_simhw::machine::MachineConfig;
-use eco_simhw::trace::{PhaseKind, PricingMode, WorkTrace};
+use eco_simhw::trace::{OpClass, PhaseKind, PricingMode, WorkTrace};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SAMPLES: usize = 7;
@@ -387,12 +394,146 @@ fn compression_report(db: &EcoDb) -> (String, usize) {
     (json, failures)
 }
 
+/// Scan-vs-B-tree access paths for `BENCH_index.json` (ledger schema
+/// v4): warm point and narrow-range selections on
+/// `lineitem.l_orderkey`, each run as a full sequential scan and as an
+/// `IxScan` probe. Checks that fail the job: index rows bit-identical
+/// to scan rows; probe ≥10x faster than the scan on both shapes;
+/// `CREATE INDEX` leaves the scan plan's ledger bit-identical with
+/// every v4 class zero (the index-free bit-identity invariant on the
+/// perf path); and the first (cold) probe actually charges v4 index
+/// I/O. Returns the JSON blob and the failure count.
+fn index_report() -> (String, usize) {
+    const MIN_SPEEDUP: f64 = 10.0;
+    let db = bench_db_commercial();
+    // The commercial profile's residual warm re-reads advance a
+    // pool-wide hit counter, smearing a few disk charges across runs;
+    // silence them so warm before/after ledgers compare bit-for-bit.
+    db.catalog().pool().set_warm_reread_every(None);
+    let mut failures = 0usize;
+
+    let li = &db.source().lineitem;
+    let min_key = li.iter().map(|l| l.l_orderkey).min().unwrap_or(1);
+    let max_key = li.iter().map(|l| l.l_orderkey).max().unwrap_or(1);
+    let point_key = li[li.len() / 2].l_orderkey;
+    let range_hi = min_key + (max_key - min_key) / 500; // ~0.2 % of keyspace
+    let shapes: [(&str, i64, i64); 2] = [
+        ("point", point_key, point_key),
+        ("range", min_key, range_hi),
+    ];
+
+    let run_scan = |lo: i64, hi: i64| {
+        let mut ctx = ExecCtx::new();
+        let rows = execute(
+            plans::orderkey_range_plan(db.catalog(), lo, hi).as_mut(),
+            &mut ctx,
+        );
+        (rows, ctx)
+    };
+
+    // Warm the pool, then record the index-free scan ledgers.
+    let _ = run_scan(min_key, max_key);
+    let before: Vec<_> = shapes.iter().map(|&(_, lo, hi)| run_scan(lo, hi)).collect();
+
+    db.create_index("ix_lineitem_orderkey", "lineitem", "l_orderkey")
+        .expect("disk profile indexes l_orderkey");
+
+    let mut blobs = Vec::new();
+    for (&(name, lo, hi), (scan_rows, scan_ctx)) in shapes.iter().zip(&before) {
+        // Creating the index must not disturb the scan plan's ledger.
+        let (rows_after, ctx_after) = run_scan(lo, hi);
+        let scan_ledger_identical = rows_after == *scan_rows
+            && ctx_after.cpu == scan_ctx.cpu
+            && ctx_after.mem_stream_bytes == scan_ctx.mem_stream_bytes
+            && ctx_after.mem_random_accesses == scan_ctx.mem_random_accesses
+            && ctx_after.disk == scan_ctx.disk;
+        let v4_zero = ctx_after.disk.index_ios == 0
+            && ctx_after.disk.index_bytes == 0
+            && ctx_after.cpu.count(OpClass::NodeSearch) == 0;
+
+        // First probe: index pages are cold (they materialize lazily),
+        // so this run must carry the v4 index-I/O charges.
+        let mut ictx = ExecCtx::new();
+        let ix_rows = execute(
+            plans::orderkey_range_plan_indexed(db.catalog(), lo, hi)
+                .expect("index registered above")
+                .as_mut(),
+            &mut ictx,
+        );
+        let rows_identical = ix_rows == *scan_rows;
+        let index_ios = ictx.disk.index_ios;
+        let probe_charged = index_ios > 0 && ictx.cpu.count(OpClass::NodeSearch) > 0;
+
+        let scan_ns = median_ns(
+            || {
+                let mut ctx = ExecCtx::new();
+                std::hint::black_box(
+                    execute(
+                        plans::orderkey_range_plan(db.catalog(), lo, hi).as_mut(),
+                        &mut ctx,
+                    )
+                    .len(),
+                );
+            },
+            SAMPLES,
+        );
+        let index_ns = median_ns(
+            || {
+                let mut ctx = ExecCtx::new();
+                std::hint::black_box(
+                    execute(
+                        plans::orderkey_range_plan_indexed(db.catalog(), lo, hi)
+                            .expect("index registered above")
+                            .as_mut(),
+                        &mut ctx,
+                    )
+                    .len(),
+                );
+            },
+            SAMPLES,
+        );
+        let speedup = scan_ns as f64 / index_ns as f64;
+        let fast_enough = speedup >= MIN_SPEEDUP;
+        if !rows_identical || !scan_ledger_identical || !v4_zero || !probe_charged || !fast_enough {
+            eprintln!(
+                "FAIL: index {name} (rows_identical={rows_identical}, \
+                 scan_ledger_identical={scan_ledger_identical}, v4_zero={v4_zero}, \
+                 probe_charged={probe_charged}, speedup={speedup:.2})"
+            );
+            failures += 1;
+        }
+        println!(
+            "{name} index: scan {:.3} ms, probe {:.4} ms, speedup {speedup:.1}x, rows {}, \
+             index_ios {index_ios}, ledger_identical={scan_ledger_identical}",
+            scan_ns as f64 / 1e6,
+            index_ns as f64 / 1e6,
+            scan_rows.len(),
+        );
+        blobs.push(format!(
+            "\"{name}\":{{\"rows\":{},\"scan_median_ns\":{scan_ns},\"index_median_ns\":{index_ns},\
+             \"speedup\":{speedup:.4},\"cold_index_ios\":{index_ios},\
+             \"rows_identical\":{rows_identical},\
+             \"scan_ledger_identical\":{scan_ledger_identical},\"v4_zero_on_scan\":{v4_zero},\
+             \"probe_charged_v4\":{probe_charged}}}",
+            scan_rows.len(),
+        ));
+    }
+    let json = format!(
+        "{{\"bench\":\"index_access_path\",\"scale\":{},\"samples\":{SAMPLES},\
+         \"min_speedup\":{MIN_SPEEDUP},\"queries\":{{{}}}}}\n",
+        eco_bench::BENCH_SCALE,
+        blobs.join(",")
+    );
+    (json, failures)
+}
+
 fn main() {
     let out_path = artifact_path(std::env::args().nth(1), "BENCH_parallel_scaling.json");
     let columnar_path = artifact_path(std::env::args().nth(2), "BENCH_columnar.json");
     let throughput_path = artifact_path(std::env::args().nth(3), "BENCH_throughput.json");
     let faults_path = artifact_path(std::env::args().nth(4), "BENCH_faults.json");
     let compression_path = artifact_path(std::env::args().nth(5), "BENCH_compression.json");
+    let index_path = artifact_path(std::env::args().nth(6), "BENCH_index.json");
     let host_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -478,6 +619,10 @@ fn main() {
     let (compression_json, compression_failures) = compression_report(&db);
     failures += compression_failures;
     write_artifact(&compression_path, &compression_json);
+
+    let (index_json, index_failures) = index_report();
+    failures += index_failures;
+    write_artifact(&index_path, &index_json);
 
     if failures > 0 {
         eprintln!("{failures} ledger-identity check(s) failed");

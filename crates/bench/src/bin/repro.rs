@@ -24,7 +24,7 @@ fn main() {
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = [
             "table1", "fig1", "fig2", "fig3", "fig4", "warmcold", "fig5", "fig6", "openergy",
-            "parallel",
+            "parallel", "index",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -70,8 +70,12 @@ fn main() {
                 "{}",
                 exp::parallel_scaling_report(&exp::parallel_scaling(scale))
             ),
+            "index" => println!(
+                "{}",
+                exp::index_crossover_report(&exp::index_crossover(scale))
+            ),
             other => eprintln!(
-                "unknown experiment {other:?} (try: table1 fig1..fig6 warmcold openergy parallel all)"
+                "unknown experiment {other:?} (try: table1 fig1..fig6 warmcold openergy parallel index all)"
             ),
         }
     }

@@ -13,6 +13,7 @@
 //! | [`fig5`]   | Fig 5 — disk throughput & energy/KB by pattern |
 //! | [`fig6`]   | Fig 6 — QED energy vs average response time |
 //! | [`operator_energy`] | extension — join-algorithm energy (§2) |
+//! | [`index_crossover`] | extension — B-tree probe vs scan energy (Fig 5's random-vs-sequential axis applied to access paths) |
 //!
 //! Scale factors are configurable (the paper used SF 1.0 / 0.125 / 0.5
 //! on real hardware; simulation shapes are scale-free, so tests and
@@ -674,6 +675,145 @@ pub fn operator_energy_report(rows: &[JoinAlgoRow]) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Index crossover (extension; ledger schema v4): where does a B-tree
+// probe beat a sequential scan in *joules*? Fig 5 prices random I/O far
+// above sequential per KB; this experiment applies that axis to access
+// paths.
+// ---------------------------------------------------------------------------
+
+/// One selectivity point of the scan-vs-index energy study.
+#[derive(Debug, Clone)]
+pub struct IndexCrossoverRow {
+    /// Fraction of the `l_orderkey` keyspace covered by the `BETWEEN`
+    /// (lineitem is clustered by orderkey, so this is also roughly the
+    /// fraction of pages the index path must touch).
+    pub key_fraction: f64,
+    /// Fraction of lineitem selected.
+    pub selectivity: f64,
+    /// Rows returned (identical on both paths).
+    pub rows: usize,
+    /// Cold sequential-scan seconds.
+    pub scan_seconds: f64,
+    /// Cold sequential-scan joules (CPU + disk).
+    pub scan_joules: f64,
+    /// Cold index-probe seconds.
+    pub index_seconds: f64,
+    /// Cold index-probe joules (CPU + disk).
+    pub index_joules: f64,
+    /// index/scan energy ratio (< 1 means the index wins).
+    pub energy_ratio: f64,
+    /// Whether both access paths returned identical rows.
+    pub results_match: bool,
+}
+
+/// The crossover experiment: `l_orderkey BETWEEN lo AND lo+w` on the
+/// commercial-disk profile, cold (flushed pool) so the disk pattern
+/// dominates, comparing the sequential-scan plan against the B-tree
+/// index plan as the key range widens. Lineitem is clustered by
+/// orderkey, so the covered key fraction is roughly the fraction of
+/// pages the index path touches. Narrow ranges favor the index (a few
+/// random-priced page fetches beat streaming everything); wide ranges
+/// favor the scan (random pricing makes touching every page through
+/// the index strictly worse than streaming it).
+pub fn index_crossover(scale: f64) -> Vec<IndexCrossoverRow> {
+    use eco_query::context::ExecCtx;
+    use eco_query::exec::execute;
+    use eco_query::ops::BoxedOp;
+    use eco_query::plans;
+    use eco_simhw::trace::{PhaseKind, WorkTrace};
+    use eco_storage::Tuple;
+
+    let db = EcoDb::tpch(EngineProfile::CommercialDisk, scale);
+    db.create_index("ix_lineitem_orderkey", "lineitem", "l_orderkey")
+        .expect("disk profile indexes l_orderkey");
+    let lineitem_rows = db.source().lineitem.len() as f64;
+    let min_key = db
+        .source()
+        .lineitem
+        .iter()
+        .map(|l| l.l_orderkey)
+        .min()
+        .unwrap_or(1);
+    let max_key = db
+        .source()
+        .lineitem
+        .iter()
+        .map(|l| l.l_orderkey)
+        .max()
+        .unwrap_or(1);
+    let span = (max_key - min_key).max(1) as f64;
+
+    // Cold-run a plan: flush the pool, execute, price at stock.
+    let measure = |mut plan: BoxedOp, label: &str| -> (Vec<Tuple>, f64, f64) {
+        db.flush_cache();
+        let mut ctx = ExecCtx::new();
+        let rows = execute(plan.as_mut(), &mut ctx);
+        let mut trace = WorkTrace::new();
+        trace.push(ctx.take_phase(PhaseKind::Execute, label));
+        let m = db.machine().measure(&trace, &MachineConfig::stock());
+        (rows, m.elapsed_s, m.cpu_joules + m.disk_joules)
+    };
+
+    [0.001f64, 0.01, 0.05, 0.2, 0.5, 1.0]
+        .iter()
+        .map(|&key_fraction| {
+            let hi = min_key + (span * key_fraction).ceil() as i64;
+            let scan = plans::orderkey_range_plan(db.catalog(), min_key, hi);
+            let (scan_rows, scan_seconds, scan_joules) = measure(scan, "range scan");
+            let ix = plans::orderkey_range_plan_indexed(db.catalog(), min_key, hi)
+                .expect("index registered above");
+            let (ix_rows, index_seconds, index_joules) = measure(ix, "range probe");
+            IndexCrossoverRow {
+                key_fraction,
+                selectivity: scan_rows.len() as f64 / lineitem_rows,
+                rows: scan_rows.len(),
+                scan_seconds,
+                scan_joules,
+                index_seconds,
+                index_joules,
+                energy_ratio: index_joules / scan_joules,
+                results_match: scan_rows == ix_rows,
+            }
+        })
+        .collect()
+}
+
+/// Format the index-crossover study.
+pub fn index_crossover_report(rows: &[IndexCrossoverRow]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}%", r.key_fraction * 100.0),
+                format!("{:.1}%", r.selectivity * 100.0),
+                r.rows.to_string(),
+                format!("{:.4}", r.scan_seconds),
+                format!("{:.2}", r.scan_joules),
+                format!("{:.4}", r.index_seconds),
+                format!("{:.2}", r.index_joules),
+                format!("{:.3}", r.energy_ratio),
+                r.results_match.to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        "Index crossover: l_orderkey range, cold, scan vs B-tree probe",
+        &[
+            "keyspace",
+            "sel",
+            "rows",
+            "scan s",
+            "scan J",
+            "index s",
+            "index J",
+            "E ratio",
+            "results ok",
+        ],
+        &table,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -818,6 +958,42 @@ mod tests {
             assert!(w[1].elapsed_s <= w[0].elapsed_s * 1.0001);
         }
         assert!(!parallel_scaling_report(&rows).is_empty());
+    }
+
+    #[test]
+    fn index_crossover_favors_probes_only_when_selective() {
+        let rows = index_crossover(SCALE);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.results_match,
+                "fraction {}: rows must match",
+                r.key_fraction
+            );
+        }
+        let narrow = &rows[0];
+        let full = rows.last().unwrap();
+        assert!(
+            narrow.energy_ratio < 0.5,
+            "narrow range should favor the index: {}",
+            narrow.energy_ratio
+        );
+        assert!(
+            full.energy_ratio > 1.0,
+            "full range should favor the scan: {}",
+            full.energy_ratio
+        );
+        // The ratio rises with selectivity: each extra matched page is
+        // random-priced on the index path, sequential on the scan path.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].energy_ratio > w[0].energy_ratio * 0.99,
+                "ratio should rise with width: {} then {}",
+                w[0].energy_ratio,
+                w[1].energy_ratio
+            );
+        }
+        assert!(!index_crossover_report(&rows).is_empty());
     }
 
     #[test]

@@ -20,8 +20,9 @@
 //!   paper's two systems (MySQL memory engine / commercial disk DBMS),
 //!   client round trips, admission, parse accounting.
 //! * [`advisor`] — choose an operating point (PVC setting, QED batch
-//!   size) under response-time constraints; detect and react to
-//!   mis-predictions (the paper's "adapt the query plan midflight").
+//!   size, scan-vs-index access path) under response-time constraints;
+//!   detect and react to mis-predictions (the paper's "adapt the query
+//!   plan midflight").
 //! * [`experiments`] — a typed harness reproducing **every** table and
 //!   figure in the paper's evaluation.
 
@@ -34,6 +35,7 @@ pub mod qed;
 pub mod qed_model;
 pub mod server;
 
+pub use advisor::{AccessPath, AccessPathAdvice};
 pub use metrics::{Edp, OperatingPoint};
 pub use pvc::{PvcSweep, PvcSweepPoint};
 pub use qed::{QedOutcome, QedScheme};

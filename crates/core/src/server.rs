@@ -23,6 +23,7 @@ use eco_query::exec::{execute_parallel, ExecEngine};
 use eco_query::mqo::{split_results, MergeError, MergedSelection};
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
+use eco_query::sql::Statement;
 use eco_simhw::fault::FaultPlan;
 use eco_simhw::machine::{Machine, MachineConfig, Measurement};
 use eco_simhw::multicore::{MultiCoreMachine, MultiCoreMeasurement};
@@ -93,6 +94,10 @@ pub enum ServerError {
     Merge(MergeError),
     /// The statement's SQL failed to lex, parse or bind.
     Sql(eco_query::sql::SqlError),
+    /// `CREATE INDEX` was rejected by the catalog: duplicate name,
+    /// unknown table or column, or a memory-engine table (secondary
+    /// indexes are paged structures over the disk engine).
+    Index(eco_storage::IndexError),
     /// The statement was rejected by admission control (server over
     /// its energy/backlog knee).
     Shed {
@@ -110,6 +115,7 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Merge(e) => write!(f, "merge error: {e}"),
             ServerError::Sql(e) => write!(f, "SQL error: {e}"),
+            ServerError::Index(e) => write!(f, "index error: {e}"),
             ServerError::Shed { queued } => {
                 write!(f, "admission control shed the statement ({queued} queued)")
             }
@@ -123,6 +129,7 @@ impl std::error::Error for ServerError {
         match self {
             ServerError::Merge(e) => Some(e),
             ServerError::Sql(e) => Some(e),
+            ServerError::Index(e) => Some(e),
             ServerError::Shed { .. } => None,
             ServerError::Io(e) => Some(e),
         }
@@ -144,6 +151,12 @@ impl From<eco_query::sql::SqlError> for ServerError {
 impl From<ExecError> for ServerError {
     fn from(e: ExecError) -> Self {
         ServerError::Io(e)
+    }
+}
+
+impl From<eco_storage::IndexError> for ServerError {
+    fn from(e: eco_storage::IndexError) -> Self {
+        ServerError::Index(e)
     }
 }
 
@@ -754,8 +767,10 @@ impl EcoDb {
         )
     }
 
-    /// Trace an ad-hoc SQL `SELECT` (parsed, bound and planned by the
-    /// generic planner in `eco-query::sql`). Panics on a disk fault —
+    /// Trace an ad-hoc SQL statement (parsed, bound and planned by the
+    /// generic front end in `eco-query::sql`): `SELECT`s execute and
+    /// return rows; `CREATE INDEX` bulk-loads a paged B-tree (ledger
+    /// schema v4) and returns no rows. Panics on a disk fault —
     /// fault-injected servers use [`Self::try_trace_sql`], which types
     /// it.
     pub fn trace_sql(
@@ -771,22 +786,66 @@ impl EcoDb {
 
     /// Fallible SQL tracing with every failure mode typed into
     /// [`ServerError`] — the session layer's single error type: lex /
-    /// parse / bind errors as [`ServerError::Sql`], unrecoverable disk
+    /// parse / bind errors as [`ServerError::Sql`], catalog rejections
+    /// of `CREATE INDEX` as [`ServerError::Index`], unrecoverable disk
     /// faults as [`ServerError::Io`].
+    ///
+    /// Once an index exists, the planner picks it automatically for
+    /// sufficiently selective sargable predicates (see
+    /// `eco_query::sql::plan`); probes are charged as v4 index random
+    /// I/O, so index-free sessions keep bit-identical ledgers.
     pub fn try_trace_sql(&self, sql: &str) -> Result<(Vec<Tuple>, WorkTrace), ServerError> {
-        let mut plan = eco_query::sql::compile(&self.catalog, sql)?;
-        let mut ctx = self.exec_ctx();
+        let stmt = eco_query::sql::parse_statement(sql)?;
         let tokens = (sql.split_whitespace().count() as u64).max(4);
+        let mut ctx = self.exec_ctx();
         ctx.charge(OpClass::Parse, tokens);
-        let rows = self.engine.execute(plan.as_mut(), &mut ctx);
-        if let Some(e) = ctx.take_error() {
-            return Err(ServerError::Io(e));
-        }
-        let exec_phase = ctx.take_phase(PhaseKind::Execute, "sql");
+        let (rows, label) = match stmt {
+            Statement::Select(select) => {
+                let mut plan = eco_query::sql::plan_select(&self.catalog, &select)?;
+                let rows = self.engine.execute(plan.as_mut(), &mut ctx);
+                if let Some(e) = ctx.take_error() {
+                    return Err(ServerError::Io(e));
+                }
+                (rows, "sql")
+            }
+            Statement::CreateIndex {
+                name,
+                table,
+                column,
+            } => {
+                let entry = self.catalog.create_index(&name, &table, &column)?;
+                // The bulk load sorts and packs key/row-id pairs
+                // entirely in memory (no paged I/O — pages materialize
+                // lazily on first probe), so the build bills as CPU
+                // comparison work, one NodeSearch per indexed row.
+                ctx.charge(OpClass::NodeSearch, entry.index.len() as u64);
+                (Vec::new(), "create index")
+            }
+        };
+        let exec_phase = ctx.take_phase(PhaseKind::Execute, label);
         let mut trace = WorkTrace::new();
         trace.push(self.gap_before(&exec_phase));
         trace.push(exec_phase);
         Ok((rows, trace))
+    }
+
+    /// Build a paged B-tree secondary index (ledger schema v4) over a
+    /// disk-engine table column, bulk-loaded from the current table
+    /// contents — the programmatic twin of SQL `CREATE INDEX`.
+    ///
+    /// Creation itself charges no statement ledger; only statements
+    /// that *probe* the index pick up `index_ios`/`index_bytes` (priced
+    /// as random I/O) and `NodeSearch` CPU work, so every index-free
+    /// run stays bit-identical to pre-v4 figures. Memory-engine tables
+    /// are rejected with [`ServerError::Index`]: the paper's CPU-stress
+    /// profile has no paged storage to index.
+    pub fn create_index(
+        &self,
+        name: &str,
+        table: &str,
+        column: &str,
+    ) -> Result<std::sync::Arc<eco_storage::IndexEntry>, ServerError> {
+        Ok(self.catalog.create_index(name, table, column)?)
     }
 
     /// Run an ad-hoc SQL `SELECT` under a machine configuration.
@@ -950,6 +1009,57 @@ mod tests {
         // The database is still fully operational afterwards.
         let (rows, _) = db.trace_q6(1994, 6, 24);
         assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn create_index_statement_builds_and_planner_uses_it() {
+        let db = db(EngineProfile::CommercialDisk);
+        let sql = "SELECT l_orderkey FROM lineitem WHERE l_quantity = 7";
+        let (scan_rows, scan_trace) = db.try_trace_sql(sql).expect("scan plan");
+        assert!(scan_trace
+            .phases()
+            .iter()
+            .all(|p| p.disk.index_ios == 0 && p.cpu.count(OpClass::NodeSearch) == 0));
+
+        let (ddl_rows, ddl_trace) = db
+            .try_trace_sql("CREATE INDEX ix_qty ON lineitem (l_quantity)")
+            .expect("create index");
+        assert!(ddl_rows.is_empty(), "DDL returns no rows");
+        assert!(
+            ddl_trace
+                .phases()
+                .iter()
+                .any(|p| p.cpu.count(OpClass::NodeSearch) > 0),
+            "bulk load bills NodeSearch comparison work"
+        );
+
+        // Same statement now routes through the index: same answer,
+        // probes billed as v4 index random I/O.
+        let (ix_rows, ix_trace) = db.try_trace_sql(sql).expect("index plan");
+        assert_eq!(scan_rows, ix_rows, "access path must not change answers");
+        assert!(ix_trace.phases().iter().any(|p| p.disk.index_ios > 0));
+
+        // Duplicate names and memory-engine tables are typed catalog
+        // rejections, not panics.
+        let err = db
+            .try_trace_sql("CREATE INDEX ix_qty ON lineitem (l_quantity)")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::Index(eco_storage::IndexError::DuplicateIndex(_))
+        ));
+        let mem = self::db(EngineProfile::MemoryEngine);
+        let err = mem
+            .try_trace_sql("CREATE INDEX ix_qty ON lineitem (l_quantity)")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::Index(eco_storage::IndexError::NotDiskTable(_))
+        ));
+        // Both databases still serve statements afterwards.
+        let (rows, _) = db.trace_q6(1994, 6, 24);
+        assert_eq!(rows.len(), 1);
+        mem.try_trace_sql(sql).expect("memory profile still serves");
     }
 
     #[test]

@@ -50,6 +50,14 @@ impl WorkEstimate {
     fn charge_mem(&mut self, bytes: f64) {
         self.phase.mem_stream_bytes += bytes.max(0.0).round() as u64;
     }
+
+    /// Charge `n` estimated cold index-page reads (ledger schema v4:
+    /// priced like random I/O, ledgered as index I/O).
+    fn charge_index_ios(&mut self, n: f64) {
+        let n = n.max(0.0).round() as u64;
+        self.phase.disk.index_ios += n;
+        self.phase.disk.index_bytes += n * eco_storage::page::PAGE_SIZE as u64;
+    }
 }
 
 /// Selectivity of a one-year `o_orderdate` window (orders span the
@@ -87,6 +95,79 @@ pub fn estimate_selection_batch(catalog: &Catalog, k: usize, short_circuit: bool
     e.out_rows = out;
     e.charge(OpClass::ResultEmit, out);
     e.charge_mem(out * width);
+    e
+}
+
+/// Estimate a cold sequential-scan selection keeping `selectivity` of
+/// `table`: every tuple fetched and tested once (mirroring a
+/// `Filter`-over-`SeqScan` plan), streaming every page off disk when
+/// the table is paged. The scan side of the scan-vs-probe crossover;
+/// [`estimate_index_selection`] is the probe side.
+pub fn estimate_scan_selection(catalog: &Catalog, table: &str, selectivity: f64) -> WorkEstimate {
+    let t = catalog.expect(table);
+    let rows = t.len() as f64;
+    let width = t.avg_tuple_bytes() as f64;
+    let sel = selectivity.clamp(0.0, 1.0);
+
+    let mut e = WorkEstimate::new(&format!("est:scan:{table}"));
+    e.charge(OpClass::TupleFetch, rows);
+    e.charge_mem(rows * width);
+    e.charge(OpClass::PredEval, rows);
+    if let eco_storage::TableData::Disk(d) = &t.data {
+        e.phase.disk.sequential_bytes += d.num_pages() as u64 * eco_storage::page::PAGE_SIZE as u64;
+    }
+    let out = rows * sel;
+    e.out_rows = out;
+    e.charge(OpClass::ResultEmit, out);
+    e.charge_mem(out * width);
+    e
+}
+
+/// Estimate a cold B-tree index selection keeping `selectivity` of
+/// `table` (ledger schema v4): tree descent + leaf walk node searches,
+/// index-page reads, and base-page fetches for the matching rows — the
+/// optimizer-side mirror of what an [`crate::ops::IxScan`] charges.
+/// Compare against [`estimate_selection_batch`]-style scan estimates to
+/// predict the scan-vs-probe energy crossover without executing.
+pub fn estimate_index_selection(
+    catalog: &Catalog,
+    index: &eco_storage::IndexEntry,
+    selectivity: f64,
+) -> WorkEstimate {
+    use eco_storage::btree::BTREE_FANOUT;
+    let t = catalog.expect(&index.table);
+    let rows = t.len() as f64;
+    let width = t.avg_tuple_bytes() as f64;
+    let sel = selectivity.clamp(0.0, 1.0);
+    let matches = rows * sel;
+    let height = index.index.height() as f64;
+
+    let mut e = WorkEstimate::new(&format!("est:ixscan:{}", index.name));
+    // Descent: one binary search per level (~log2(fanout) steps each);
+    // leaf walk: one comparison per entry examined.
+    e.charge(
+        OpClass::NodeSearch,
+        height * (BTREE_FANOUT as f64).log2() + matches + 1.0,
+    );
+    // Index pages: the descent path plus the extra leaves a wide range
+    // walks through.
+    e.charge_index_ios(height + matches / BTREE_FANOUT as f64);
+    // Base pages (cold): matching row ids are sorted, so each distinct
+    // page is fetched once — Cardenas' estimate of distinct pages hit
+    // by `matches` uniformly-scattered rows.
+    let num_pages = match &t.data {
+        eco_storage::TableData::Disk(d) => d.num_pages() as f64,
+        eco_storage::TableData::Memory(_) => 0.0,
+    };
+    if num_pages > 0.0 {
+        let rows_per_page = rows / num_pages;
+        let distinct = num_pages * (1.0 - (1.0 - sel).powf(rows_per_page));
+        e.charge_index_ios(distinct);
+    }
+    // Per produced tuple: the SeqScan-identical fetch charges.
+    e.charge(OpClass::TupleFetch, matches);
+    e.charge_mem(matches * width);
+    e.out_rows = matches;
     e
 }
 
@@ -211,6 +292,41 @@ mod tests {
         let cat = setup();
         let est = estimate_q5(&cat, &Q5Params::new("ASIA", 1994));
         assert!(est.phase.cpu.total_ops() > 0);
+        let m = est.measure(&Machine::paper_sut(), &MachineConfig::stock());
+        assert!(m.elapsed_s > 0.0);
+    }
+
+    #[test]
+    fn index_estimate_tracks_actual_probe() {
+        use crate::exec::execute;
+        use crate::plans;
+        let db = TpchGenerator::new(0.01).generate();
+        let cat = load_tpch(&db, EngineKind::Disk, 1 << 16);
+        let entry = cat
+            .create_index("ix_li_qty", "lineitem", "l_quantity")
+            .expect("index");
+        // Quantity uniform over 1..=50: BETWEEN 1 AND 5 keeps ~10 %.
+        let est = estimate_index_selection(&cat, &entry, 5.0 / 50.0);
+        cat.pool().flush();
+        let mut plan = plans::quantity_range_plan_indexed(&cat, 1, 5).expect("indexed");
+        let mut ctx = ExecCtx::new();
+        let rows = execute(plan.as_mut(), &mut ctx);
+        let rel_rows = (est.out_rows - rows.len() as f64).abs() / rows.len() as f64;
+        assert!(
+            rel_rows < 0.25,
+            "rows: est {} vs {}",
+            est.out_rows,
+            rows.len()
+        );
+        let actual_ios = ctx.disk.index_ios as f64;
+        let est_ios = est.phase.disk.index_ios as f64;
+        assert!(actual_ios > 0.0);
+        let rel_ios = (est_ios - actual_ios).abs() / actual_ios;
+        assert!(
+            rel_ios < 0.5,
+            "index I/O: est {est_ios} vs actual {actual_ios}"
+        );
+        // The estimate prices (v4 index I/O shows up as joules).
         let m = est.measure(&Machine::paper_sut(), &MachineConfig::stock());
         assert!(m.elapsed_s > 0.0);
     }

@@ -73,8 +73,11 @@
 //! The crate also provides:
 //!
 //! * hand-built physical plans for TPC-H Q1/Q3/Q5/Q6 and simple
-//!   selections ([`plans`]) — no indexes anywhere, matching the paper's
-//!   setup ("we did not create any database indices");
+//!   selections ([`plans`]) — index-free by default, matching the
+//!   paper's setup ("we did not create any database indices"), with
+//!   opt-in `*_indexed` variants ([`ops::IxScan`] probes and
+//!   [`ops::IxJoin`] index nested loops, ledger schema v4) for the
+//!   random-vs-sequential energy studies;
 //! * the multi-query optimizer used by QED ([`mqo`]): merge a batch of
 //!   selection queries into one disjunctive scan and split the results;
 //! * a cardinality + energy/time cost model ([`estimate`]) — the

@@ -154,6 +154,24 @@ pub struct OrderKey {
     pub desc: bool,
 }
 
+/// A parsed SQL statement: a query, or one of the DDL forms the
+/// engine supports.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`
+    Select(SelectStmt),
+    /// `CREATE INDEX name ON table (column)` — builds a B-tree
+    /// secondary index (ledger schema v4; disk tables only).
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Indexed table.
+        table: String,
+        /// Indexed column (single-column indexes only).
+        column: String,
+    },
+}
+
 /// A parsed `SELECT` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {

@@ -16,9 +16,9 @@ pub mod lexer;
 pub mod parser;
 pub mod plan;
 
-pub use ast::{BinOp, SelectItem, SelectStmt, SqlExpr};
+pub use ast::{BinOp, SelectItem, SelectStmt, SqlExpr, Statement};
 pub use lexer::{tokenize, tokenize_spanned, Spanned, Token};
-pub use parser::parse_select;
+pub use parser::{parse_select, parse_statement};
 pub use plan::plan_select;
 
 /// Where and how lexing or parsing failed: a typed reason plus the

@@ -7,6 +7,7 @@
 //! Grammar (case-insensitive keywords):
 //!
 //! ```text
+//! stmt     := select | CREATE INDEX name ON name '(' name ')'
 //! select   := SELECT items FROM name (',' name)*
 //!             [WHERE or_expr] [GROUP BY name (',' name)*]
 //!             [ORDER BY key (',' key)*] [LIMIT int] [';']
@@ -24,7 +25,7 @@
 //!           | ident ['.' ident]
 //! ```
 
-use super::ast::{BinOp, OrderKey, SelectItem, SelectStmt, SqlExpr};
+use super::ast::{BinOp, OrderKey, SelectItem, SelectStmt, SqlExpr, Statement};
 use super::lexer::{tokenize_spanned, Spanned, Token};
 use super::{ParseError, ParseErrorKind, SqlError};
 use crate::expr::AggFunc;
@@ -46,6 +47,26 @@ pub fn parse_select(sql: &str) -> Result<SelectStmt, SqlError> {
         end: sql.len(),
     };
     let stmt = p.select()?;
+    p.eat_if(&Token::Semi);
+    if !p.at_end() {
+        return Err(p.err("end of input"));
+    }
+    Ok(stmt)
+}
+
+/// Parse one statement: a `SELECT`, or
+/// `CREATE INDEX name ON table (column)`.
+pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
+    let mut p = Parser {
+        toks: tokenize_spanned(sql).map_err(SqlError::Lex)?,
+        pos: 0,
+        end: sql.len(),
+    };
+    let stmt = if p.peek_keyword("create") {
+        p.create_index()?
+    } else {
+        Statement::Select(p.select()?)
+    };
     p.eat_if(&Token::Semi);
     if !p.at_end() {
         return Err(p.err("end of input"));
@@ -136,6 +157,23 @@ impl Parser {
 
     fn peek_keyword(&self, kw: &str) -> bool {
         matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    /// `CREATE INDEX name ON table '(' column ')'`.
+    fn create_index(&mut self) -> Result<Statement, SqlError> {
+        self.expect_keyword("create")?;
+        self.expect_keyword("index")?;
+        let name = self.ident()?;
+        self.expect_keyword("on")?;
+        let table = self.ident()?;
+        self.expect(Token::LParen)?;
+        let column = self.ident()?;
+        self.expect(Token::RParen)?;
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            column,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStmt, SqlError> {
@@ -570,6 +608,34 @@ mod tests {
         for sql in malformed {
             let r = parse_select(sql);
             assert!(r.is_err(), "{sql:?} parsed as {r:?}");
+        }
+    }
+
+    #[test]
+    fn parses_create_index_and_routes_selects() {
+        let s = parse_statement("CREATE INDEX ix_li_qty ON lineitem (l_quantity);").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateIndex {
+                name: "ix_li_qty".into(),
+                table: "lineitem".into(),
+                column: "l_quantity".into(),
+            }
+        );
+        let s = parse_statement("SELECT a FROM t").unwrap();
+        assert!(matches!(s, Statement::Select(_)));
+        for bad in [
+            "CREATE",
+            "CREATE INDEX",
+            "CREATE INDEX i",
+            "CREATE INDEX i ON",
+            "CREATE INDEX i ON t",
+            "CREATE INDEX i ON t (",
+            "CREATE INDEX i ON t (c",
+            "CREATE INDEX i ON t (c) junk",
+            "CREATE TABLE t (c)",
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad:?} must not parse");
         }
     }
 

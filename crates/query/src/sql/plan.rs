@@ -7,18 +7,34 @@
 //! prefix — no cartesian products). The result is a left-deep hash-join
 //! tree with the smaller side as the build input, which reproduces the
 //! hand-built Q5 plan shape from `crate::plans`.
+//!
+//! **Index selection** (ledger schema v4): when a base table carries a
+//! B-tree index on a predicate column and the predicate is sargable and
+//! selective — an equality or `BETWEEN` with literal bounds, estimated
+//! to keep at most [`INDEX_SELECTIVITY_CUTOFF`] of the table — the
+//! planner replaces the scan+filter with an [`IxScan`] probe and keeps
+//! any remaining predicates as a filter above it. Catalogs without
+//! indexes plan exactly as before, so index-free ledgers stay
+//! bit-identical.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use eco_storage::{Catalog, ColumnType, StoredTable};
+use eco_storage::{Catalog, ColumnType, StoredTable, TableData, Value};
 
 use super::ast::{BinOp, SelectItem, SelectStmt, SqlExpr};
 use super::SqlError;
 use crate::expr::{AggFunc, ArithOp, CmpOp, Expr};
 use crate::ops::{
-    AggSpec, BoxedOp, Filter, HashAggregate, HashJoin, Limit, Project, SeqScan, Sort, SortKey,
+    AggSpec, BoxedOp, Filter, HashAggregate, HashJoin, IxBound, IxScan, Limit, Project, SeqScan,
+    Sort, SortKey,
 };
+
+/// Maximum estimated selectivity at which an available index is chosen
+/// over a sequential scan. Matches the paper's crossover intuition: a
+/// probe pays random I/O per matching page, so it only wins when few
+/// rows survive (the `index_crossover` experiment measures where).
+pub const INDEX_SELECTIVITY_CUTOFF: f64 = 0.15;
 
 /// Plan a parsed statement against the catalog.
 pub fn plan_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoxedOp, SqlError> {
@@ -61,12 +77,36 @@ pub fn plan_select(catalog: &Catalog, stmt: &SelectStmt) -> Result<BoxedOp, SqlE
         table_idx: usize,
     }
     let mut rels: Vec<Rel> = Vec::new();
-    for (i, (_, t)) in tables.iter().enumerate() {
-        let mut op: BoxedOp = Box::new(SeqScan::new(Arc::clone(t)));
+    for (i, (name, t)) in tables.iter().enumerate() {
+        let mut preds: Vec<SqlExpr> = table_preds[i].clone();
+        // Index selection: a sargable, selective predicate with an
+        // index on its column becomes the access path; the rest stay
+        // as a filter above it.
+        let probe = preds.iter().enumerate().find_map(|(pos, p)| {
+            let (col, lo, hi) = sargable_bounds(p)?;
+            if estimate_selectivity(p) > INDEX_SELECTIVITY_CUTOFF {
+                return None;
+            }
+            let entry = catalog.index_on(name, &col)?;
+            matches!(t.data, TableData::Disk(_)).then_some((pos, entry, lo, hi))
+        });
         let mut est = t.len() as f64;
-        if !table_preds[i].is_empty() {
+        let mut op: BoxedOp = match probe {
+            Some((pos, entry, lo, hi)) => {
+                let p = preds.remove(pos);
+                est *= estimate_selectivity(&p);
+                Box::new(IxScan::range(
+                    Arc::clone(t),
+                    Arc::clone(&entry.index),
+                    lo,
+                    hi,
+                ))
+            }
+            None => Box::new(SeqScan::new(Arc::clone(t))),
+        };
+        if !preds.is_empty() {
             let mut bound = Vec::new();
-            for p in &table_preds[i] {
+            for p in &preds {
                 est *= estimate_selectivity(p);
                 bound.push(bind_expr(p, op.schema())?);
             }
@@ -449,6 +489,54 @@ pub fn bind_expr(e: &SqlExpr, schema: &eco_storage::Schema) -> Result<Expr, SqlE
     })
 }
 
+/// A literal usable as an index probe key. Decimal literals are
+/// already scaled to integer hundredths (the storage convention), so
+/// they compare directly against stored ints.
+fn literal_value(e: &SqlExpr) -> Option<Value> {
+    match e {
+        SqlExpr::Int(n) | SqlExpr::Decimal(n) => Some(Value::Int(*n)),
+        SqlExpr::Str(s) => Some(Value::str(s.as_str())),
+        SqlExpr::DateLit(d) => Some(Value::Date(d.0)),
+        _ => None,
+    }
+}
+
+/// `column = literal` (either side), as `(column, key)`.
+fn column_literal(l: &SqlExpr, r: &SqlExpr) -> Option<(String, Value)> {
+    if let SqlExpr::Column { name, .. } = l {
+        if let Some(v) = literal_value(r) {
+            return Some((name.clone(), v));
+        }
+    }
+    if let SqlExpr::Column { name, .. } = r {
+        if let Some(v) = literal_value(l) {
+            return Some((name.clone(), v));
+        }
+    }
+    None
+}
+
+/// Index-sargable predicates: `col = lit` and
+/// `col BETWEEN lit AND lit` (inclusive, like its binding). Returns
+/// the probed column and the owned probe bounds.
+fn sargable_bounds(e: &SqlExpr) -> Option<(String, IxBound, IxBound)> {
+    match e {
+        SqlExpr::Binary(BinOp::Eq, l, r) => {
+            let (col, v) = column_literal(l, r)?;
+            Some((col, IxBound::Inclusive(v.clone()), IxBound::Inclusive(v)))
+        }
+        SqlExpr::Between(x, lo, hi) => {
+            let SqlExpr::Column { name, .. } = x.as_ref() else {
+                return None;
+            };
+            let lo = literal_value(lo)?;
+            let hi = literal_value(hi)?;
+            Some((name.clone(), IxBound::Inclusive(lo), IxBound::Inclusive(hi)))
+        }
+        _ => None,
+    }
+}
+
 /// Selectivity heuristics for pushed-down predicates (drives join order).
 fn estimate_selectivity(e: &SqlExpr) -> f64 {
     match e {
@@ -671,6 +759,54 @@ mod tests {
                AND r_name = 'EUROPE' GROUP BY n_name ORDER BY n_name",
         );
         assert!(rows.len() <= 5, "at most 5 EUROPE nations");
+    }
+
+    #[test]
+    fn index_is_chosen_when_selective_and_rows_match_the_scan_plan() {
+        use eco_simhw::trace::OpClass;
+        let db = TpchGenerator::new(0.004).generate();
+        let cat = load_tpch(&db, EngineKind::Disk, 1 << 16);
+        let sql = "SELECT * FROM lineitem WHERE l_quantity = 17";
+        let scan_rows = run(&cat, sql); // no index yet: sequential plan
+        cat.create_index("ix_li_qty", "lineitem", "l_quantity")
+            .expect("create index");
+
+        let mut plan = compile(&cat, sql).unwrap_or_else(|e| panic!("{e}"));
+        let mut ctx = ExecCtx::new();
+        let ix_rows = execute(plan.as_mut(), &mut ctx);
+        assert_eq!(ix_rows, scan_rows, "index path returns identical rows");
+        assert!(
+            ctx.cpu.count(OpClass::NodeSearch) > 0,
+            "selective equality must route through the index"
+        );
+
+        // BETWEEN with literal bounds also probes.
+        let mut plan = compile(
+            &cat,
+            "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity BETWEEN 3 AND 5",
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        let mut ctx = ExecCtx::new();
+        let rows = execute(plan.as_mut(), &mut ctx);
+        let want = db
+            .lineitem
+            .iter()
+            .filter(|l| (3..=5).contains(&l.l_quantity))
+            .count() as i64;
+        assert_eq!(rows[0][0].as_int(), Some(want));
+        assert!(ctx.cpu.count(OpClass::NodeSearch) > 0);
+
+        // Non-selective shapes keep the sequential plan even though the
+        // index exists.
+        let mut plan = compile(
+            &cat,
+            "SELECT COUNT(*) AS n FROM lineitem WHERE l_quantity <> 17",
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+        let mut ctx = ExecCtx::new();
+        execute(plan.as_mut(), &mut ctx);
+        assert_eq!(ctx.cpu.count(OpClass::NodeSearch), 0);
+        assert_eq!(ctx.disk.index_ios, 0, "no probe, no v4 charges");
     }
 
     #[test]

@@ -88,7 +88,8 @@ pub const IDLE_MULTIPLIER: f64 = 6.0;
 // predicate evaluation saturates the pipeline; row copies stall on
 // memory. Indexed by `OpClass as usize`:
 //   [TupleFetch, PredEval, HashBuild, HashProbe, Arith, AggUpdate,
-//    ResultEmit, Parse, SortCmp, RowCopy, SplitRoute, DictLookup]
+//    ResultEmit, Parse, SortCmp, RowCopy, SplitRoute, DictLookup,
+//    NodeSearch]
 
 /// Cycles per operation for each [`crate::trace::OpClass`].
 pub const OP_CYCLES: [f64; N_OP_CLASSES] = [
@@ -104,6 +105,7 @@ pub const OP_CYCLES: [f64; N_OP_CLASSES] = [
     1800.0, // RowCopy: client-side (JDBC-style) row materialization
     800.0,  // SplitRoute: QED split bookkeeping per result row
     4.0,    // DictLookup: one dictionary id translation (array index, L1-resident)
+    70.0,   // NodeSearch: one B-tree binary-search step (key compare + slot pick)
 ];
 
 /// Switching-activity factor per [`crate::trace::OpClass`].
@@ -120,6 +122,7 @@ pub const OP_ACTIVITY: [f64; N_OP_CLASSES] = [
     0.40, // RowCopy (memory streaming in the client)
     0.45, // SplitRoute
     0.80, // DictLookup (tight indexed loads, cache-resident dictionary)
+    0.65, // NodeSearch (branchy compares, latency-bound page pointer chases)
 ];
 
 // ---------------------------------------------------------------------------

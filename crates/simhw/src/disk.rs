@@ -95,13 +95,16 @@ impl DiskSpec {
     }
 
     /// Cost of the disk work recorded in a trace phase. Retry I/O
-    /// (ledger schema v2) prices exactly like random I/O — a re-read
-    /// repositions the head and bursts the block again — it is only
-    /// *ledgered* separately so fault-free runs stay bit-identical.
+    /// (ledger schema v2) and index I/O (schema v4) price exactly like
+    /// random I/O — a re-read or a B-tree probe repositions the head
+    /// and bursts the block again — they are only *ledgered* separately
+    /// so fault-free and index-free runs stay bit-identical.
     pub fn cost(&self, work: &DiskWork) -> DiskCost {
         let seq_xfer = work.sequential_bytes as f64 / self.seq_rate;
-        let rand_seek = (work.random_ios + work.retry_ios) as f64 * self.rand_overhead_s;
-        let rand_xfer = (work.random_bytes + work.retry_bytes) as f64 / self.rand_burst_rate;
+        let rand_seek =
+            (work.random_ios + work.retry_ios + work.index_ios) as f64 * self.rand_overhead_s;
+        let rand_xfer =
+            (work.random_bytes + work.retry_bytes + work.index_bytes) as f64 / self.rand_burst_rate;
         self.cost_parts(rand_seek, seq_xfer + rand_xfer)
     }
 
@@ -271,6 +274,27 @@ mod tests {
         let ct = d.cost(&retry);
         assert_eq!(cr.busy_s, ct.busy_s);
         assert_eq!(cr.busy_joules(), ct.busy_joules());
+    }
+
+    #[test]
+    fn index_io_prices_exactly_like_random_io() {
+        // Schema v4: a B-tree probe pays seek + burst per page, same as
+        // any other random access — the class split is bookkeeping only.
+        let d = DiskSpec::default();
+        let random = DiskWork {
+            random_ios: 40,
+            random_bytes: 40 * 8192,
+            ..DiskWork::none()
+        };
+        let index = DiskWork {
+            index_ios: 40,
+            index_bytes: 40 * 8192,
+            ..DiskWork::none()
+        };
+        let cr = d.cost(&random);
+        let ci = d.cost(&index);
+        assert_eq!(cr.busy_s, ci.busy_s);
+        assert_eq!(cr.busy_joules(), ci.busy_joules());
     }
 
     #[test]

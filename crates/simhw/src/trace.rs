@@ -34,7 +34,19 @@ use crate::calib;
 ///   [`PricingMode::Compressed`] scans price the *encoded* byte counts
 ///   as memory traffic and compressed kernels charge `DictLookup`, so
 ///   compression ratio becomes measurable joules.
-pub const LEDGER_SCHEMA_VERSION: u32 = 3;
+///
+/// * **v4** — adds the secondary-index charge classes: **index random
+///   I/O** ([`DiskWork::index_ios`] / [`DiskWork::index_bytes`], the
+///   page reads a B-tree probe and its base-row fetches pay through the
+///   buffer pool — priced exactly like random I/O but ledgered apart so
+///   scan-shaped plans keep their pure sequential/random split) and the
+///   node-search CPU class ([`OpClass::NodeSearch`], one binary-search
+///   step inside a B-tree page). Index-free runs charge nothing to the
+///   v4 classes, so every v1–v3 figure stays byte-for-byte unchanged;
+///   an index plan prices its probe overhead through these classes and
+///   nowhere else, which is what makes the paper's fig5
+///   random-vs-sequential energy split reproducible from real plans.
+pub const LEDGER_SCHEMA_VERSION: u32 = 4;
 
 /// How the ledger prices column-store memory traffic (ledger schema
 /// v3; see [`LEDGER_SCHEMA_VERSION`]).
@@ -98,10 +110,15 @@ pub enum OpClass {
     /// raw-mode ledgers never record it, keeping every pre-v3 figure
     /// bit-identical.
     DictLookup = 11,
+    /// One binary-search step inside a B-tree index page (key compare +
+    /// child-slot narrowing). Charged only by index probes (ledger
+    /// schema v4) — index-free runs never record it, keeping every
+    /// pre-v4 figure bit-identical.
+    NodeSearch = 12,
 }
 
 /// Number of [`OpClass`] variants.
-pub const N_OP_CLASSES: usize = 12;
+pub const N_OP_CLASSES: usize = 13;
 
 /// All op classes, in discriminant order.
 pub const ALL_OP_CLASSES: [OpClass; N_OP_CLASSES] = [
@@ -117,6 +134,7 @@ pub const ALL_OP_CLASSES: [OpClass; N_OP_CLASSES] = [
     OpClass::RowCopy,
     OpClass::SplitRoute,
     OpClass::DictLookup,
+    OpClass::NodeSearch,
 ];
 
 impl OpClass {
@@ -155,6 +173,7 @@ impl OpClass {
             OpClass::RowCopy => "row_copy",
             OpClass::SplitRoute => "split_route",
             OpClass::DictLookup => "dict_lookup",
+            OpClass::NodeSearch => "node_search",
         }
     }
 }
@@ -252,6 +271,15 @@ pub struct DiskWork {
     pub retry_ios: u64,
     /// Bytes transferred by those retry I/Os (schema v2).
     pub retry_bytes: u64,
+    /// Index random I/Os: page reads issued by a B-tree probe (index
+    /// node descent *and* the base-row fetches it drives). Priced
+    /// exactly like [`DiskWork::random_ios`] but ledgered separately so
+    /// index-free runs stay bit-identical and scan plans keep a pure
+    /// sequential/random split (ledger schema v4; see
+    /// [`LEDGER_SCHEMA_VERSION`]).
+    pub index_ios: u64,
+    /// Bytes transferred by those index I/Os (schema v4).
+    pub index_bytes: u64,
 }
 
 impl DiskWork {
@@ -267,11 +295,13 @@ impl DiskWork {
             && self.random_bytes == 0
             && self.retry_ios == 0
             && self.retry_bytes == 0
+            && self.index_ios == 0
+            && self.index_bytes == 0
     }
 
     /// Total bytes moved.
     pub fn total_bytes(&self) -> u64 {
-        self.sequential_bytes + self.random_bytes + self.retry_bytes
+        self.sequential_bytes + self.random_bytes + self.retry_bytes + self.index_bytes
     }
 
     /// Merge another disk ledger into this one.
@@ -281,6 +311,8 @@ impl DiskWork {
         self.random_bytes += other.random_bytes;
         self.retry_ios += other.retry_ios;
         self.retry_bytes += other.retry_bytes;
+        self.index_ios += other.index_ios;
+        self.index_bytes += other.index_bytes;
     }
 
     /// Subtract `other` from this ledger. Panics if `other` records
@@ -306,6 +338,14 @@ impl DiskWork {
             .retry_bytes
             .checked_sub(other.retry_bytes)
             .expect("subtracting more retry bytes than were recorded");
+        self.index_ios = self
+            .index_ios
+            .checked_sub(other.index_ios)
+            .expect("subtracting more index I/Os than were recorded");
+        self.index_bytes = self
+            .index_bytes
+            .checked_sub(other.index_bytes)
+            .expect("subtracting more index bytes than were recorded");
     }
 }
 
@@ -541,5 +581,32 @@ mod tests {
         // Retry I/O never leaks into the v1 random-I/O class.
         assert_eq!(a.random_ios, 0);
         assert_eq!(a.random_bytes, 0);
+    }
+
+    #[test]
+    fn index_classes_are_separate_and_zero_by_default() {
+        // Index-free construction charges nothing to the v4 classes.
+        let p = Phase::execute("scan only");
+        assert_eq!(p.disk.index_ios, 0);
+        assert_eq!(p.disk.index_bytes, 0);
+        assert_eq!(p.cpu.count(OpClass::NodeSearch), 0);
+
+        let mut a = DiskWork::none();
+        a.index_ios = 5;
+        a.index_bytes = 5 * 8192;
+        assert!(!a.is_empty());
+        assert_eq!(a.total_bytes(), 5 * 8192);
+        let mut b = DiskWork::none();
+        b.index_ios = 2;
+        b.index_bytes = 2 * 8192;
+        a.merge(&b);
+        assert_eq!(a.index_ios, 7);
+        a.subtract(&b);
+        assert_eq!(a.index_ios, 5);
+        // Index I/O never leaks into the v1 or v2 disk classes.
+        assert_eq!(a.random_ios, 0);
+        assert_eq!(a.random_bytes, 0);
+        assert_eq!(a.retry_ios, 0);
+        assert_eq!(a.sequential_bytes, 0);
     }
 }

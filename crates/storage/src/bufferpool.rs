@@ -164,7 +164,7 @@ impl BufferPool {
     where
         F: FnOnce(FaultPlan, &mut DiskWork, &mut u64) -> Result<Arc<Vec<Tuple>>, E>,
     {
-        let (tuples, io, backoff_ns) = self.get_inner_checked(id, DEFAULT_STREAM, load)?;
+        let (tuples, io, backoff_ns) = self.get_inner_checked(id, Some(DEFAULT_STREAM), load)?;
         if !io.is_empty() {
             self.inner.lock().io.merge(&io);
         }
@@ -183,7 +183,28 @@ impl BufferPool {
     where
         F: FnOnce(FaultPlan, &mut DiskWork, &mut u64) -> Result<Arc<Vec<Tuple>>, E>,
     {
-        self.get_inner_checked(id, stream, load)
+        self.get_inner_checked(id, Some(stream), load)
+    }
+
+    /// Checked fetch for an index probe (ledger schema v4). A miss
+    /// charges one [`DiskWork::index_ios`] plus [`PAGE_SIZE`]
+    /// [`DiskWork::index_bytes`] — priced exactly like a random access
+    /// but ledgered separately — and never reads or updates the
+    /// sequential-position tracker, so interleaved probes cannot break
+    /// a concurrent scan's streaming run and an index-free run's ledger
+    /// stays bit-identical. Returns this access's I/O and backoff
+    /// directly (probes attribute charges to their own operator, like
+    /// private scan streams); fault handling matches
+    /// [`Self::get_checked`].
+    pub fn get_index_checked<F, E>(
+        &self,
+        id: PageId,
+        load: F,
+    ) -> Result<(Arc<Vec<Tuple>>, DiskWork, u64), E>
+    where
+        F: FnOnce(FaultPlan, &mut DiskWork, &mut u64) -> Result<Arc<Vec<Tuple>>, E>,
+    {
+        self.get_inner_checked(id, None, load)
     }
 
     fn get_inner<F>(&self, id: PageId, stream: u64, load: F) -> (Arc<Vec<Tuple>>, DiskWork)
@@ -191,17 +212,20 @@ impl BufferPool {
         F: FnOnce() -> Arc<Vec<Tuple>>,
     {
         let r: Result<_, std::convert::Infallible> =
-            self.get_inner_checked(id, stream, |_, _, _| Ok(load()));
+            self.get_inner_checked(id, Some(stream), |_, _, _| Ok(load()));
         match r {
             Ok((tuples, io, _)) => (tuples, io),
             Err(e) => match e {},
         }
     }
 
+    /// `stream`: `Some(s)` classifies the miss against scan stream `s`'s
+    /// sequential position; `None` is an index probe (v4 classes, no
+    /// position tracking).
     fn get_inner_checked<F, E>(
         &self,
         id: PageId,
-        stream: u64,
+        stream: Option<u64>,
         load: F,
     ) -> Result<(Arc<Vec<Tuple>>, DiskWork, u64), E>
     where
@@ -236,19 +260,29 @@ impl BufferPool {
         // — DBMS files interleave table extents on disk, which is why
         // the paper's cold runs are seek-dominated (≈3× slower, §3.5)
         // rather than running at the drive's streaming rate.
-        let consecutive = g
-            .last_page
-            .get(&(id.table, stream))
-            .map(|&p| p + 1 == id.page)
-            == Some(true);
-        let extent_start = id.page.is_multiple_of(EXTENT_PAGES);
-        if consecutive && !extent_start {
-            io.sequential_bytes += PAGE_SIZE as u64;
-        } else {
-            io.random_ios += 1;
-            io.random_bytes += PAGE_SIZE as u64;
+        match stream {
+            Some(stream) => {
+                let consecutive = g
+                    .last_page
+                    .get(&(id.table, stream))
+                    .map(|&p| p + 1 == id.page)
+                    == Some(true);
+                let extent_start = id.page.is_multiple_of(EXTENT_PAGES);
+                if consecutive && !extent_start {
+                    io.sequential_bytes += PAGE_SIZE as u64;
+                } else {
+                    io.random_ios += 1;
+                    io.random_bytes += PAGE_SIZE as u64;
+                }
+                g.last_page.insert((id.table, stream), id.page);
+            }
+            // Index probe: every miss repositions the head (v4 class),
+            // and the scan position trackers are left untouched.
+            None => {
+                io.index_ios += 1;
+                io.index_bytes += PAGE_SIZE as u64;
+            }
         }
-        g.last_page.insert((id.table, stream), id.page);
         g.stats.misses += 1;
 
         let plan = g.fault_plan;
@@ -510,6 +544,34 @@ mod tests {
             Ok(page_data(0))
         });
         assert!(r.is_ok());
+    }
+
+    #[test]
+    fn index_probe_charges_v4_and_preserves_scan_streaming() {
+        let pool = BufferPool::new(64);
+        // A scan cursor is mid-run...
+        pool.get(id(1, 1), || page_data(1));
+        pool.get(id(1, 2), || page_data(2));
+        pool.take_io();
+        // ...an index probe lands between its reads...
+        let r: Result<_, ()> = pool.get_index_checked(id(1, 9), |_, _, _| Ok(page_data(9)));
+        let (_, io, backoff) = r.expect("probe succeeds");
+        assert_eq!(backoff, 0);
+        assert_eq!(io.index_ios, 1);
+        assert_eq!(io.index_bytes, PAGE_SIZE as u64);
+        assert_eq!(io.random_ios, 0, "probe never charges the v1 class");
+        assert_eq!(io.sequential_bytes, 0);
+        // Probe charges are returned, not accumulated in the pool.
+        assert!(pool.take_io().is_empty());
+        // ...and the scan keeps streaming as if the probe never happened.
+        pool.get(id(1, 3), || page_data(3));
+        let io = pool.take_io();
+        assert_eq!(io.sequential_bytes, PAGE_SIZE as u64);
+        assert_eq!(io.random_ios, 0);
+        // A probe hit on a cached page charges nothing.
+        let r: Result<_, ()> = pool.get_index_checked(id(1, 9), |_, _, _| panic!("hit"));
+        let (_, io, _) = r.expect("hit");
+        assert!(io.index_ios == 0 && io.index_bytes == 0);
     }
 
     #[test]

@@ -1,8 +1,12 @@
-//! The catalog: named tables plus the shared buffer pool.
+//! The catalog: named tables, secondary indexes, and the shared buffer
+//! pool.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+use parking_lot::Mutex;
+
+use crate::btree::{BTreeIndex, FIRST_INDEX_ID};
 use crate::bufferpool::BufferPool;
 use crate::disk_table::DiskTable;
 use crate::heap::HeapTable;
@@ -57,12 +61,69 @@ impl StoredTable {
     }
 }
 
+/// Why a `CREATE INDEX` was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// An index with this name already exists.
+    DuplicateIndex(String),
+    /// The named table is not in the catalog.
+    NoSuchTable(String),
+    /// The named column is not in the table's schema.
+    NoSuchColumn {
+        /// Target table.
+        table: String,
+        /// Missing column.
+        column: String,
+    },
+    /// Secondary indexes are paged structures over the disk engine;
+    /// the memory engine (the paper's CPU-stress profile) has none.
+    NotDiskTable(String),
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::DuplicateIndex(n) => write!(f, "index {n:?} already exists"),
+            IndexError::NoSuchTable(t) => write!(f, "no table named {t:?}"),
+            IndexError::NoSuchColumn { table, column } => {
+                write!(f, "no column {column:?} in table {table:?}")
+            }
+            IndexError::NotDiskTable(t) => {
+                write!(
+                    f,
+                    "table {t:?} is not a disk table; only disk tables can be indexed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// One registered secondary index.
+#[derive(Debug)]
+pub struct IndexEntry {
+    /// Index name.
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Indexed column.
+    pub column: String,
+    /// The B-tree itself.
+    pub index: Arc<BTreeIndex>,
+}
+
 /// Named tables + the shared buffer pool.
 #[derive(Debug)]
 pub struct Catalog {
     tables: BTreeMap<String, Arc<StoredTable>>,
     pool: Arc<BufferPool>,
     next_table_id: u32,
+    /// Secondary indexes, by index name. Interior-mutable because
+    /// `CREATE INDEX` arrives through the `&self` statement path (the
+    /// executor holds the catalog shared).
+    indexes: Mutex<BTreeMap<String, Arc<IndexEntry>>>,
+    next_index_id: Mutex<u32>,
 }
 
 impl Catalog {
@@ -72,6 +133,8 @@ impl Catalog {
             tables: BTreeMap::new(),
             pool: Arc::new(BufferPool::new(pool_pages)),
             next_table_id: 1,
+            indexes: Mutex::new(BTreeMap::new()),
+            next_index_id: Mutex::new(FIRST_INDEX_ID),
         }
     }
 
@@ -129,6 +192,77 @@ impl Catalog {
     pub fn is_empty(&self) -> bool {
         self.tables.is_empty()
     }
+
+    /// Build and register a B-tree secondary index named `name` over
+    /// `table.column`. Bulk-loads from the column straight off the
+    /// table's pages (no I/O charged — see [`crate::btree`]); probes
+    /// later charge the v4 index classes through the shared pool.
+    pub fn create_index(
+        &self,
+        name: &str,
+        table: &str,
+        column: &str,
+    ) -> Result<Arc<IndexEntry>, IndexError> {
+        let stored = self
+            .get(table)
+            .ok_or_else(|| IndexError::NoSuchTable(table.to_string()))?;
+        let TableData::Disk(disk) = &stored.data else {
+            return Err(IndexError::NotDiskTable(table.to_string()));
+        };
+        let col = stored
+            .schema()
+            .index_of(column)
+            .ok_or_else(|| IndexError::NoSuchColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        let key_type = stored.schema().columns()[col].ty;
+        let mut indexes = self.indexes.lock();
+        if indexes.contains_key(name) {
+            return Err(IndexError::DuplicateIndex(name.to_string()));
+        }
+        let id = {
+            let mut next = self.next_index_id.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        let entries = disk.column_with_row_ids(col);
+        let index = Arc::new(BTreeIndex::build(
+            id,
+            key_type,
+            entries,
+            Arc::clone(&self.pool),
+        ));
+        let entry = Arc::new(IndexEntry {
+            name: name.to_string(),
+            table: table.to_string(),
+            column: column.to_string(),
+            index,
+        });
+        indexes.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Look up an index by name.
+    pub fn index(&self, name: &str) -> Option<Arc<IndexEntry>> {
+        self.indexes.lock().get(name).cloned()
+    }
+
+    /// The index on `table.column`, if one exists (first by name when
+    /// several cover the same column).
+    pub fn index_on(&self, table: &str, column: &str) -> Option<Arc<IndexEntry>> {
+        self.indexes
+            .lock()
+            .values()
+            .find(|e| e.table == table && e.column == column)
+            .cloned()
+    }
+
+    /// All index names, sorted.
+    pub fn index_names(&self) -> Vec<String> {
+        self.indexes.lock().keys().cloned().collect()
+    }
 }
 
 #[cfg(test)]
@@ -168,5 +302,41 @@ mod tests {
     #[should_panic(expected = "no table named")]
     fn expect_missing_panics() {
         Catalog::new(16).expect("ghost");
+    }
+
+    #[test]
+    fn create_index_and_lookup() {
+        let mut c = Catalog::new(16);
+        c.add_disk_table("d", schema(), &[vec![Value::Int(2)], vec![Value::Int(3)]]);
+        let e = c.create_index("ix_d_k", "d", "k").expect("create");
+        assert_eq!(e.index.len(), 2);
+        assert!(c.index("ix_d_k").is_some());
+        assert!(c.index_on("d", "k").is_some());
+        assert!(c.index_on("d", "missing").is_none());
+        assert_eq!(c.index_names(), vec!["ix_d_k".to_string()]);
+        // Typed rejections, not panics.
+        assert_eq!(
+            c.create_index("ix_d_k", "d", "k").unwrap_err(),
+            IndexError::DuplicateIndex("ix_d_k".to_string())
+        );
+        assert_eq!(
+            c.create_index("x", "ghost", "k").unwrap_err(),
+            IndexError::NoSuchTable("ghost".to_string())
+        );
+        assert_eq!(
+            c.create_index("x", "d", "ghost").unwrap_err(),
+            IndexError::NoSuchColumn {
+                table: "d".to_string(),
+                column: "ghost".to_string()
+            }
+        );
+        c.add_memory_table(
+            "m",
+            HeapTable::from_tuples(schema(), vec![vec![Value::Int(1)]]),
+        );
+        assert_eq!(
+            c.create_index("x", "m", "k").unwrap_err(),
+            IndexError::NotDiskTable("m".to_string())
+        );
     }
 }

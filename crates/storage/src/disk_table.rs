@@ -151,6 +151,10 @@ pub struct DiskTable {
     num_tuples: usize,
     pool: Arc<BufferPool>,
     columnar: OnceLock<ColumnarExtents>,
+    /// Cumulative tuple offsets per page (lazily built; length
+    /// `num_pages + 1`) for row-id → page translation on the index
+    /// fetch path.
+    row_offsets: OnceLock<Vec<usize>>,
 }
 
 impl DiskTable {
@@ -186,6 +190,7 @@ impl DiskTable {
             num_tuples: tuples.len(),
             pool,
             columnar: OnceLock::new(),
+            row_offsets: OnceLock::new(),
         }
     }
 
@@ -254,6 +259,22 @@ impl DiskTable {
         used.checked_div(self.num_tuples).unwrap_or(0) as u64
     }
 
+    /// Decode column `col` of every tuple in row order, straight from
+    /// the pages — never through the buffer pool, so an index build
+    /// charges no I/O (the same rule as the columnar mirror; see
+    /// [`ColumnarExtents`]).
+    pub fn column_with_row_ids(&self, col: usize) -> Vec<(crate::value::Value, usize)> {
+        let mut out = Vec::with_capacity(self.num_tuples);
+        let mut row = 0usize;
+        for page in &self.pages {
+            for t in page.all_tuples() {
+                out.push((t[col].clone(), row));
+                row += 1;
+            }
+        }
+        out
+    }
+
     /// Read one page through the buffer pool (charging I/O on a miss).
     pub fn read_page(&self, page_no: usize) -> Arc<Vec<Tuple>> {
         assert!(page_no < self.pages.len(), "page {page_no} out of range");
@@ -297,6 +318,47 @@ impl DiskTable {
             page: page_no as u32,
         };
         self.pool.get_checked(id, |plan, io, backoff_ns| {
+            self.load_page_verified(page_no, plan, io, backoff_ns)
+        })
+    }
+
+    /// Locate row `row` as `(page_no, slot)` — the translation an index
+    /// probe's row-id payload needs before it can fetch the base tuple.
+    /// Panics on an out-of-range row.
+    pub fn row_location(&self, row: usize) -> (usize, usize) {
+        assert!(row < self.num_tuples, "row {row} out of range");
+        let offsets = self.row_offsets.get_or_init(|| {
+            let mut v = Vec::with_capacity(self.pages.len() + 1);
+            v.push(0usize);
+            let mut total = 0usize;
+            for p in &self.pages {
+                total += p.len();
+                v.push(total);
+            }
+            v
+        });
+        // partition_point: first page whose end offset exceeds `row`.
+        let page = offsets.partition_point(|&end| end <= row) - 1;
+        (page, row - offsets[page])
+    }
+
+    /// Checked read of one page on the **index charge path** (ledger
+    /// schema v4): a miss is charged as index random I/O
+    /// ([`BufferPool::get_index_checked`]) and never disturbs scan
+    /// stream positions — base-row fetches driven by an index probe are
+    /// random accesses wherever they land, and keeping them out of the
+    /// v1 classes keeps scan plans' sequential/random split pure.
+    /// Returns this access's I/O and backoff directly.
+    pub fn read_page_index_checked(
+        &self,
+        page_no: usize,
+    ) -> Result<(Arc<Vec<Tuple>>, DiskWork, u64), IoError> {
+        assert!(page_no < self.pages.len(), "page {page_no} out of range");
+        let id = PageId {
+            table: self.table_id,
+            page: page_no as u32,
+        };
+        self.pool.get_index_checked(id, |plan, io, backoff_ns| {
             self.load_page_verified(page_no, plan, io, backoff_ns)
         })
     }

@@ -30,7 +30,24 @@
 //! byte count per row — as memory traffic, and kernels that read
 //! through a dictionary charge the v3 `DictLookup` op class, so
 //! compression ratio becomes measurable joules.
+//!
+//! # B-tree secondary indexes (ledger schema v4)
+//!
+//! Disk tables can carry paged B-tree secondary indexes
+//! ([`btree::BTreeIndex`], registered via [`Catalog::create_index`]):
+//! fixed-fanout interior/leaf pages stored through the same
+//! [`page::Page`]/[`bufferpool::BufferPool`] machinery as table pages,
+//! bulk-loaded (I/O-free) from the sorted column. Probes route every
+//! page miss — index nodes *and* the base-row fetches they drive —
+//! through the v4 **index random I/O** classes, priced exactly like
+//! random I/O but ledgered separately, so index-free runs stay
+//! bit-identical while index plans make the paper's fig5
+//! random-vs-sequential energy split measurable from real query plans.
+//! See the [`btree`] module docs for the pricing model, and the
+//! repository's `docs/ARCHITECTURE.md` for how v4 fits the versioned
+//! pricing-schema history.
 
+pub mod btree;
 pub mod bufferpool;
 pub mod catalog;
 pub mod column;
@@ -41,8 +58,9 @@ pub mod loader;
 pub mod page;
 pub mod value;
 
+pub use btree::{BTreeIndex, IndexProbe, KeyBound};
 pub use bufferpool::{BufferPool, PageId};
-pub use catalog::{Catalog, StoredTable, TableData};
+pub use catalog::{Catalog, IndexEntry, IndexError, StoredTable, TableData};
 pub use column::{ColumnChunk, ColumnData, DataChunk};
 pub use disk_table::{ColumnarExtents, IoError};
 pub use encode::{BitPacked, EncodedChunk, EncodedColumn};

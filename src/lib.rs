@@ -42,6 +42,15 @@
 //! assert!(pvc.measurement.cpu_joules < stock.measurement.cpu_joules);
 //! assert_eq!(pvc.rows, stock.rows); // same answer, fewer joules
 //! ```
+//!
+//! ## Further reading
+//!
+//! * `README.md` at the repository root — quickstart, the repro-target
+//!   table, and the example catalogue.
+//! * `docs/ARCHITECTURE.md` — the crate map, the four-engine execution
+//!   ladder, and the energy-ledger **bit-identity invariant** with its
+//!   versioned pricing-schema history (v1 base, v2 faults,
+//!   v3 compression, v4 indexes) that every change must follow.
 
 pub use eco_core as core;
 pub use eco_query as query;
