@@ -34,16 +34,22 @@
 //!   ledger required bit-identical before/after `CREATE INDEX` with
 //!   every v4 class zero on the index-free path, and the probe required
 //!   to actually charge v4 index I/O.
+//! * `BENCH_wal.json` — the durable write path (ledger schema v5):
+//!   group-commit batch size × joules/txn and txns/sec on an all-DML
+//!   session mix, with per-session ledger identity and the
+//!   serial-replay identity verified at every point, `log_ios` required
+//!   to equal the expected fsync count exactly, and the threshold-8
+//!   point required ≥2x cheaper in joules/txn than per-statement fsync.
 //!
 //! ```text
 //! cargo run -p eco-bench --bin bench_smoke --release \
 //!     [-- <parallel.json> [<columnar.json> [<throughput.json> \
-//!      [<faults.json> [<compression.json> [<index.json>]]]]]]
+//!      [<faults.json> [<compression.json> [<index.json> [<wal.json>]]]]]]]
 //! ```
 //!
 //! Paths default to `BENCH_parallel_scaling.json` /
 //! `BENCH_columnar.json` / `BENCH_throughput.json` / `BENCH_faults.json`
-//! / `BENCH_compression.json` / `BENCH_index.json`
+//! / `BENCH_compression.json` / `BENCH_index.json` / `BENCH_wal.json`
 //! in the current directory (CI runs it from the repo root). Exits
 //! non-zero if any ledger or row-identity check fails, so the smoke
 //! job guards correctness, not just timing.
@@ -57,8 +63,8 @@ use eco_query::exec::{execute, execute_columnar, execute_parallel, execute_scala
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
 use eco_server::{
-    plan_admission, replay_serial, session_workload, AdmissionConfig, EcoServer, ServeReport,
-    ServerConfig,
+    plan_admission, replay_serial, session_workload, AdmissionConfig, EcoServer, Request,
+    ServeReport, ServerConfig, SessionId, Statement,
 };
 use eco_simhw::fault::FaultPlan;
 use eco_simhw::machine::MachineConfig;
@@ -527,6 +533,121 @@ fn index_report() -> (String, usize) {
     (json, failures)
 }
 
+/// Group-commit economics for `BENCH_wal.json` (ledger schema v5): a
+/// pure-DML session mix on the commercial-disk profile served at
+/// rising group-commit batch sizes, recording joules/txn and txns/sec
+/// per point. `commit_threshold = 1` is the per-statement-durability
+/// baseline (every insert fsyncs its own block-rounded tail); larger
+/// thresholds share one fsync across the group. Checks that fail the
+/// job: full service, per-session fork/merge ledger identity, the
+/// serve ledger bit-identical to a serial replay of the dispatch
+/// transcript on a fresh database (DML transcripts mutate state, so
+/// the replay db must start from the same bytes), `log_ios` exactly
+/// `ceil(sessions / threshold)`, and the batched (threshold 8) point
+/// ≥2x cheaper in joules/txn than the per-statement baseline. Returns
+/// the JSON blob and the failure count.
+fn wal_report() -> (String, usize) {
+    const WORKERS: usize = 2;
+    const SESSIONS: usize = 64;
+    // Saturating offered load: writers arrive faster than fsyncs
+    // complete, so the joules/txn curve measures the write path's
+    // execution energy rather than the shared idle floor.
+    const RATE_QPS: f64 = 1_000_000.0;
+    const THRESHOLDS: [usize; 5] = [1, 2, 4, 8, 16];
+    const GATED_THRESHOLD: usize = 8;
+    const MIN_GAIN: f64 = 2.0;
+
+    // A deterministic all-DML arrival schedule: every session inserts
+    // one fresh region row, evenly spaced at the offered rate.
+    let requests: Vec<Request> = (0..SESSIONS)
+        .map(|i| {
+            let key = 1000 + i;
+            Request {
+                session: SessionId(i as u64),
+                arrival_s: i as f64 / RATE_QPS,
+                statement: Statement::Sql(format!(
+                    "INSERT INTO region VALUES ({key}, 'W{key}', 'wal-bench')"
+                )),
+            }
+        })
+        .collect();
+
+    let mut failures = 0usize;
+    let mut blobs = Vec::new();
+    let mut solo_jpt = 0.0;
+    let mut batched_jpt = 0.0;
+
+    for commit_threshold in THRESHOLDS {
+        // Fresh database per point: the workload mutates `region`.
+        let db = bench_db_commercial();
+        let mut cfg = ServerConfig::batched(WORKERS, 4);
+        cfg.commit_threshold = commit_threshold;
+        let report = EcoServer::new(&db, cfg).serve(&requests);
+
+        let expected_fsyncs = (SESSIONS as u64).div_ceil(commit_threshold as u64);
+        let replay_db = bench_db_commercial();
+        let identity = report.served == SESSIONS
+            && report.ledger_identity()
+            && report.ledger.disk.log_ios == expected_fsyncs
+            && replay_serial(&replay_db, &report.dispatches, WORKERS, cfg.short_circuit)
+                == report.ledger;
+        if !identity {
+            eprintln!(
+                "FAIL: wal commit_threshold={commit_threshold} broke ledger identity \
+                 (served {}/{SESSIONS}, log_ios {} want {expected_fsyncs})",
+                report.served, report.ledger.disk.log_ios
+            );
+            failures += 1;
+        }
+
+        let jpt = report.wall_joules_per_query();
+        if commit_threshold == 1 {
+            solo_jpt = jpt;
+        }
+        if commit_threshold == GATED_THRESHOLD {
+            batched_jpt = jpt;
+        }
+        println!(
+            "wal commit_threshold={commit_threshold}: {:.0} txns/sec, {:.4} mJ/txn, \
+             log_ios {}, log_bytes {}, ledger_identical={identity}",
+            report.queries_per_second(),
+            jpt * 1e3,
+            report.ledger.disk.log_ios,
+            report.ledger.disk.log_bytes,
+        );
+        blobs.push(format!(
+            "{{\"commit_threshold\":{commit_threshold},\"served\":{},\"txns_per_sec\":{:.4},\
+             \"wall_joules_per_txn\":{:.6},\"cpu_joules_per_txn\":{:.6},\"log_ios\":{},\
+             \"log_bytes\":{},\"avg_response_s\":{:.6},\"ledger_identical\":{identity}}}",
+            report.served,
+            report.queries_per_second(),
+            jpt,
+            report.joules_per_query(),
+            report.ledger.disk.log_ios,
+            report.ledger.disk.log_bytes,
+            report.avg_response_s(),
+        ));
+    }
+
+    let gain = solo_jpt / batched_jpt;
+    println!("wal joules/txn gain at commit_threshold={GATED_THRESHOLD}: {gain:.2}x");
+    if gain < MIN_GAIN {
+        eprintln!(
+            "FAIL: group-commit joules/txn gain {gain:.2} < {MIN_GAIN} \
+             (per-statement {solo_jpt:.6} J, batched {batched_jpt:.6} J)"
+        );
+        failures += 1;
+    }
+    let json = format!(
+        "{{\"bench\":\"wal_group_commit\",\"scale\":{},\"workers\":{WORKERS},\
+         \"sessions\":{SESSIONS},\"rate_qps\":{RATE_QPS},\"min_gain\":{MIN_GAIN},\
+         \"gain_at_{GATED_THRESHOLD}\":{gain:.4},\"points\":[{}]}}\n",
+        eco_bench::BENCH_SCALE,
+        blobs.join(",")
+    );
+    (json, failures)
+}
+
 fn main() {
     let out_path = artifact_path(std::env::args().nth(1), "BENCH_parallel_scaling.json");
     let columnar_path = artifact_path(std::env::args().nth(2), "BENCH_columnar.json");
@@ -534,6 +655,7 @@ fn main() {
     let faults_path = artifact_path(std::env::args().nth(4), "BENCH_faults.json");
     let compression_path = artifact_path(std::env::args().nth(5), "BENCH_compression.json");
     let index_path = artifact_path(std::env::args().nth(6), "BENCH_index.json");
+    let wal_path = artifact_path(std::env::args().nth(7), "BENCH_wal.json");
     let host_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -623,6 +745,10 @@ fn main() {
     let (index_json, index_failures) = index_report();
     failures += index_failures;
     write_artifact(&index_path, &index_json);
+
+    let (wal_json, wal_failures) = wal_report();
+    failures += wal_failures;
+    write_artifact(&wal_path, &wal_json);
 
     if failures > 0 {
         eprintln!("{failures} ledger-identity check(s) failed");

@@ -23,13 +23,14 @@ use eco_query::exec::{execute_parallel, ExecEngine};
 use eco_query::mqo::{split_results, MergeError, MergedSelection};
 use eco_query::ops::BoxedOp;
 use eco_query::plans;
-use eco_query::sql::Statement;
+use eco_query::sql::{execute_dml, DmlOutcome, Statement};
 use eco_simhw::fault::FaultPlan;
 use eco_simhw::machine::{Machine, MachineConfig, Measurement};
 use eco_simhw::multicore::{MultiCoreMachine, MultiCoreMeasurement};
-use eco_simhw::trace::{OpClass, Phase, PhaseKind, PricingMode, WorkTrace};
-use eco_storage::{load_tpch, Catalog, EngineKind, Tuple};
+use eco_simhw::trace::{DiskWork, OpClass, Phase, PhaseKind, PricingMode, WorkTrace};
+use eco_storage::{load_tpch, Catalog, EngineKind, Tuple, Value, WalError, WalRecord, WriteAheadLog};
 use eco_tpch::{q5_workload, Q5Params, QedQuery, TpchDb, TpchGenerator};
+use parking_lot::Mutex;
 
 /// Which of the paper's two systems this database emulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +109,19 @@ pub enum ServerError {
     /// budget was exhausted — see [`ExecError`]). Fails only the
     /// statement (and its owning session); the server keeps serving.
     Io(ExecError),
+    /// The write path failed: the write-ahead log hit its installed
+    /// crash point, an fsync failed, or recovery found the log
+    /// unreplayable (see [`WalError`]). Mutations stop until
+    /// [`EcoDb::recover`] runs; reads keep serving.
+    Wal(WalError),
+    /// The statement is not a batchable selection. The QED batch path
+    /// accepts only single-predicate selections; everything else
+    /// (ad-hoc SQL, DML) dispatches solo. Consumers that require the
+    /// selection variant get this typed rejection instead of a panic.
+    NotSelection {
+        /// Debug rendering of the offending statement.
+        statement: String,
+    },
 }
 
 impl std::fmt::Display for ServerError {
@@ -120,6 +134,10 @@ impl std::fmt::Display for ServerError {
                 write!(f, "admission control shed the statement ({queued} queued)")
             }
             ServerError::Io(e) => write!(f, "I/O error: {e}"),
+            ServerError::Wal(e) => write!(f, "WAL error: {e}"),
+            ServerError::NotSelection { statement } => {
+                write!(f, "statement is not a batchable selection: {statement}")
+            }
         }
     }
 }
@@ -132,7 +150,15 @@ impl std::error::Error for ServerError {
             ServerError::Index(e) => Some(e),
             ServerError::Shed { .. } => None,
             ServerError::Io(e) => Some(e),
+            ServerError::Wal(e) => Some(e),
+            ServerError::NotSelection { .. } => None,
         }
+    }
+}
+
+impl From<WalError> for ServerError {
+    fn from(e: WalError) -> Self {
+        ServerError::Wal(e)
     }
 }
 
@@ -214,6 +240,32 @@ pub struct ParallelQueryRun {
     pub measurement: MultiCoreMeasurement,
 }
 
+/// The write-ahead log plus the transaction counter that frames it.
+/// One mutex over both: writers serialize on the log anyway, and the
+/// commit marker must carry the next id atomically with its append.
+#[derive(Debug)]
+struct WalState {
+    log: WriteAheadLog,
+    next_txn: u64,
+}
+
+/// What a crash-recovery pass found and rebuilt (see [`EcoDb::recover`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Committed transaction ids replayed, in commit order.
+    pub committed_txns: Vec<u64>,
+    /// Redo records re-applied (commit markers excluded).
+    pub records_replayed: usize,
+    /// Whether the log image ended in a torn (partially written) record
+    /// — trimmed, never replayed.
+    pub torn_tail: bool,
+    /// Records that were appended but never covered by a commit marker
+    /// — discarded, never replayed.
+    pub uncommitted_records: usize,
+    /// Secondary indexes re-created over the recovered tables.
+    pub indexes_rebuilt: usize,
+}
+
 /// The ecoDB server: a catalog + machine + profile.
 pub struct EcoDb {
     profile: EngineProfile,
@@ -223,6 +275,7 @@ pub struct EcoDb {
     machine: Machine,
     engine: ExecEngine,
     pricing: PricingMode,
+    wal: Mutex<WalState>,
 }
 
 impl EcoDb {
@@ -249,6 +302,10 @@ impl EcoDb {
             machine: Machine::paper_sut(),
             engine: ExecEngine::Batch,
             pricing: PricingMode::Raw,
+            wal: Mutex::new(WalState {
+                log: WriteAheadLog::new(),
+                next_txn: 1,
+            }),
         }
     }
 
@@ -342,7 +399,14 @@ impl EcoDb {
     /// permanent faults surface as [`ServerError::Io`] on the fallible
     /// statement paths. [`FaultPlan::none`] (the default) disables
     /// injection entirely.
+    ///
+    /// A plan carrying a [`WalCrash`](eco_simhw::fault::WalCrash)
+    /// additionally arms the write-ahead log's crash point: the write
+    /// path dies at the scheduled append or fsync with
+    /// [`ServerError::Wal`], after which [`EcoDb::recover`] rebuilds
+    /// the committed-prefix state.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.wal.lock().log.set_crash(plan.wal_crash());
         self.catalog.pool().set_fault_plan(plan);
     }
 
@@ -795,10 +859,37 @@ impl EcoDb {
     /// `eco_query::sql::plan`); probes are charged as v4 index random
     /// I/O, so index-free sessions keep bit-identical ledgers.
     pub fn try_trace_sql(&self, sql: &str) -> Result<(Vec<Tuple>, WorkTrace), ServerError> {
+        self.trace_sql_inner(sql, true).map(|(rows, trace, _)| (rows, trace))
+    }
+
+    /// [`Self::try_trace_sql`] with *deferred durability*: a DML
+    /// statement is executed, logged and applied — visible to every
+    /// subsequent statement — but **not** fsynced. The returned flag
+    /// reports whether log bytes are now pending; the caller owns the
+    /// commit and must eventually call [`Self::commit_wal`] (the group
+    /// commit in `eco-server` batches many statements into one fsync
+    /// through the same QED threshold/deadline policy reads use).
+    /// Non-DML statements behave exactly like [`Self::try_trace_sql`].
+    pub fn try_trace_sql_deferred(
+        &self,
+        sql: &str,
+    ) -> Result<(Vec<Tuple>, WorkTrace, bool), ServerError> {
+        self.trace_sql_inner(sql, false)
+    }
+
+    /// The one shared SQL statement path. `durable` selects auto-commit
+    /// (fsync inside the statement, log I/O charged to its trace) vs
+    /// deferred group commit.
+    fn trace_sql_inner(
+        &self,
+        sql: &str,
+        durable: bool,
+    ) -> Result<(Vec<Tuple>, WorkTrace, bool), ServerError> {
         let stmt = eco_query::sql::parse_statement(sql)?;
         let tokens = (sql.split_whitespace().count() as u64).max(4);
         let mut ctx = self.exec_ctx();
         ctx.charge(OpClass::Parse, tokens);
+        let mut deferred = false;
         let (rows, label) = match stmt {
             Statement::Select(select) => {
                 let mut plan = eco_query::sql::plan_select(&self.catalog, &select)?;
@@ -821,12 +912,146 @@ impl EcoDb {
                 ctx.charge(OpClass::NodeSearch, entry.index.len() as u64);
                 (Vec::new(), "create index")
             }
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {
+                let label = match stmt {
+                    Statement::Insert(_) => "insert",
+                    Statement::Update(_) => "update",
+                    _ => "delete",
+                };
+                let outcome = execute_dml(&self.catalog, &stmt, &mut ctx)?;
+                let affected = self.log_and_apply(outcome, &mut ctx, durable)?;
+                deferred = !durable;
+                (vec![vec![Value::Int(affected as i64)]], label)
+            }
         };
         let exec_phase = ctx.take_phase(PhaseKind::Execute, label);
         let mut trace = WorkTrace::new();
         trace.push(self.gap_before(&exec_phase));
         trace.push(exec_phase);
-        Ok((rows, trace))
+        Ok((rows, trace, deferred))
+    }
+
+    /// The write protocol (one statement = one transaction): charge
+    /// [`OpClass::LogRecord`] per redo record plus the commit marker,
+    /// append them to the write-ahead log, apply the records through
+    /// the catalog (visibility at append), and — when `durable` —
+    /// fsync, charging the v5 log I/O classes (`log_ios`/`log_bytes`).
+    /// Group commit defers the fsync; until it happens the transaction
+    /// is visible but would not survive a crash, which is exactly what
+    /// the crash-replay equivalence property pins down.
+    fn log_and_apply(
+        &self,
+        outcome: DmlOutcome,
+        ctx: &mut ExecCtx,
+        durable: bool,
+    ) -> Result<u64, ServerError> {
+        let mut wal = self.wal.lock();
+        ctx.charge(OpClass::LogRecord, outcome.records.len() as u64 + 1);
+        for rec in &outcome.records {
+            wal.log.append(rec)?;
+        }
+        let txn = wal.next_txn;
+        wal.log.append(&WalRecord::Commit { txn })?;
+        wal.next_txn += 1;
+        if durable {
+            let bytes = wal.log.fsync()?;
+            ctx.charge_disk(DiskWork {
+                log_ios: 1,
+                log_bytes: bytes,
+                ..DiskWork::none()
+            });
+        }
+        // Apply while still holding the log lock so concurrent writers
+        // observe log order = apply order.
+        for rec in &outcome.records {
+            self.catalog.apply_wal_record(rec)?;
+        }
+        Ok(outcome.affected)
+    }
+
+    /// Flush the write-ahead log: one fsync covering every statement
+    /// staged since the last commit, charged as v5 log I/O (one
+    /// `log_ios`, block-rounded `log_bytes`) in its own execute phase.
+    /// Returns the durable byte count and the trace (both zero/empty
+    /// when nothing was pending — an empty fsync is free and uncounted).
+    pub fn commit_wal(&self) -> Result<(u64, WorkTrace), ServerError> {
+        let mut wal = self.wal.lock();
+        if wal.log.pending_bytes() == 0 {
+            return Ok((0, WorkTrace::new()));
+        }
+        let bytes = wal.log.fsync()?;
+        let mut ctx = ExecCtx::new();
+        ctx.charge_disk(DiskWork {
+            log_ios: 1,
+            log_bytes: bytes,
+            ..DiskWork::none()
+        });
+        let phase = ctx.take_phase(PhaseKind::Execute, "group commit");
+        let mut trace = WorkTrace::new();
+        trace.push(phase);
+        Ok((bytes, trace))
+    }
+
+    /// Log bytes appended but not yet fsynced (transactions that would
+    /// not survive a crash right now).
+    pub fn wal_pending_bytes(&self) -> usize {
+        self.wal.lock().log.pending_bytes()
+    }
+
+    /// Fsyncs the write-ahead log has performed.
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.wal.lock().log.fsyncs()
+    }
+
+    /// Whether the write-ahead log has hit its installed crash point
+    /// (mutations fail with [`ServerError::Wal`] until
+    /// [`Self::recover`] runs; reads keep serving).
+    pub fn wal_crashed(&self) -> bool {
+        self.wal.lock().log.crashed()
+    }
+
+    /// A snapshot of the simulated on-disk log image — durable bytes
+    /// plus any torn trailing fragment the crash left behind. What a
+    /// recovery pass (or an external checker) reads.
+    pub fn wal_image(&self) -> Vec<u8> {
+        self.wal.lock().log.image()
+    }
+
+    /// Crash recovery (redo-only): scan the on-disk log image, trim a
+    /// torn tail, discard uncommitted records, rebuild the base tables
+    /// from the generated source rows, replay the committed
+    /// transactions in log order, and re-create every secondary index
+    /// over the recovered tables (`CREATE INDEX` is not logged — the
+    /// index is derivable state). Afterwards the log restarts empty
+    /// (recovery is a checkpoint), the transaction counter resumes past
+    /// the highest committed id, and the spent crash point is cleared;
+    /// the read-fault schedule stays installed.
+    pub fn recover(&mut self) -> Result<RecoveryReport, ServerError> {
+        let image = self.wal.lock().log.image();
+        let rec = WriteAheadLog::recover(&image)?;
+        let catalog = load_tpch(&self.source, self.profile.engine_kind(), 1 << 22);
+        catalog
+            .pool()
+            .set_warm_reread_every(self.profile.warm_reread_every());
+        catalog.pool().set_fault_plan(self.catalog.pool().fault_plan());
+        for r in &rec.records {
+            catalog.apply_wal_record(r)?;
+        }
+        let old_indexes = self.catalog.index_entries();
+        for e in &old_indexes {
+            catalog.create_index(&e.name, &e.table, &e.column)?;
+        }
+        self.catalog = catalog;
+        let mut wal = self.wal.lock();
+        wal.log = WriteAheadLog::new();
+        wal.next_txn = rec.txns.last().copied().unwrap_or(0) + 1;
+        Ok(RecoveryReport {
+            records_replayed: rec.records.len(),
+            committed_txns: rec.txns,
+            torn_tail: rec.torn_tail,
+            uncommitted_records: rec.uncommitted_records,
+            indexes_rebuilt: old_indexes.len(),
+        })
     }
 
     /// Build a paged B-tree secondary index (ledger schema v4) over a
@@ -1122,6 +1347,171 @@ mod tests {
             assert_eq!(p.disk.retry_bytes, 0);
             assert_eq!(p.backoff_ns, 0);
         }
+    }
+
+    #[test]
+    fn dml_round_trip_on_both_profiles_with_v5_charges() {
+        for profile in [EngineProfile::MemoryEngine, EngineProfile::CommercialDisk] {
+            let db = db(profile);
+            let (before, _) = db
+                .try_trace_sql("SELECT r_regionkey FROM region")
+                .expect("select");
+            let (rows, ins_trace) = db
+                .try_trace_sql("INSERT INTO region VALUES (99, 'ATLANTIS', 'sunk')")
+                .expect("insert");
+            assert_eq!(rows, vec![vec![Value::Int(1)]], "affected count");
+            // The DML trace carries the v5 charge classes: LogRecord
+            // CPU work (record + commit marker) and one block-rounded
+            // log fsync.
+            let logged: u64 = ins_trace
+                .phases()
+                .iter()
+                .map(|p| p.cpu.count(OpClass::LogRecord))
+                .sum();
+            assert_eq!(logged, 2, "insert + commit marker");
+            let log_ios: u64 = ins_trace.phases().iter().map(|p| p.disk.log_ios).sum();
+            let log_bytes: u64 = ins_trace.phases().iter().map(|p| p.disk.log_bytes).sum();
+            assert_eq!(log_ios, 1);
+            assert_eq!(
+                log_bytes % eco_storage::page::PAGE_SIZE as u64,
+                0,
+                "fsync rounds to whole device blocks"
+            );
+            assert!(log_bytes > 0);
+
+            let (after, _) = db
+                .try_trace_sql("SELECT r_regionkey FROM region")
+                .expect("select");
+            assert_eq!(after.len(), before.len() + 1, "insert is visible");
+
+            let (rows, _) = db
+                .try_trace_sql("UPDATE region SET r_name = 'LEMURIA' WHERE r_regionkey = 99")
+                .expect("update");
+            assert_eq!(rows, vec![vec![Value::Int(1)]]);
+            let (named, _) = db
+                .try_trace_sql("SELECT r_name FROM region WHERE r_regionkey = 99")
+                .expect("select");
+            assert_eq!(named, vec![vec![Value::Str("LEMURIA".into())]]);
+
+            let (rows, _) = db
+                .try_trace_sql("DELETE FROM region WHERE r_regionkey = 99")
+                .expect("delete");
+            assert_eq!(rows, vec![vec![Value::Int(1)]]);
+            let (final_rows, _) = db
+                .try_trace_sql("SELECT r_regionkey FROM region")
+                .expect("select");
+            assert_eq!(final_rows.len(), before.len(), "delete restored the count");
+        }
+    }
+
+    #[test]
+    fn read_only_runs_keep_v5_classes_exactly_zero() {
+        let db = db(EngineProfile::CommercialDisk);
+        db.flush_cache();
+        let (_, trace) = db.trace_q5_workload();
+        let (_, sql_trace) = db
+            .try_trace_sql("SELECT l_orderkey FROM lineitem WHERE l_quantity = 7")
+            .expect("select");
+        for t in [&trace, &sql_trace] {
+            for p in t.phases() {
+                assert_eq!(p.cpu.count(OpClass::LogRecord), 0);
+                assert_eq!(p.disk.log_ios, 0);
+                assert_eq!(p.disk.log_bytes, 0);
+            }
+        }
+        assert_eq!(db.wal_fsyncs(), 0);
+        assert_eq!(db.wal_pending_bytes(), 0);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs_and_charges_once() {
+        let db = db(EngineProfile::MemoryEngine);
+        let mut staged_traces = Vec::new();
+        for key in 200..205 {
+            let (rows, trace, pending) = db
+                .try_trace_sql_deferred(&format!(
+                    "INSERT INTO region VALUES ({key}, 'R{key}', 'c')"
+                ))
+                .expect("staged insert");
+            assert_eq!(rows, vec![vec![Value::Int(1)]]);
+            assert!(pending, "DML defers its fsync");
+            staged_traces.push(trace);
+        }
+        // Staged statements charge log *records* but no log I/O yet.
+        for t in &staged_traces {
+            assert!(t.phases().iter().all(|p| p.disk.log_ios == 0));
+            assert!(t.phases().iter().any(|p| p.cpu.count(OpClass::LogRecord) > 0));
+        }
+        assert!(db.wal_pending_bytes() > 0);
+        assert_eq!(db.wal_fsyncs(), 0);
+        // All five transactions are already visible (group commit
+        // defers durability, not visibility).
+        let (rows, _) = db
+            .try_trace_sql("SELECT r_regionkey FROM region WHERE r_regionkey >= 200")
+            .expect("select");
+        assert_eq!(rows.len(), 5);
+        // One commit covers the whole batch with a single fsync.
+        let (bytes, commit_trace) = db.commit_wal().expect("commit");
+        assert!(bytes > 0);
+        assert_eq!(db.wal_fsyncs(), 1);
+        assert_eq!(db.wal_pending_bytes(), 0);
+        let ios: u64 = commit_trace.phases().iter().map(|p| p.disk.log_ios).sum();
+        assert_eq!(ios, 1);
+        // An empty commit is free and uncounted.
+        let (bytes, trace) = db.commit_wal().expect("no-op commit");
+        assert_eq!(bytes, 0);
+        assert!(trace.phases().is_empty());
+        assert_eq!(db.wal_fsyncs(), 1);
+    }
+
+    #[test]
+    fn wal_crash_fails_statements_and_recovery_restores_committed_prefix() {
+        use eco_simhw::fault::{TornTail, WalCrash};
+        let mut db = db(EngineProfile::CommercialDisk);
+        // Arm a crash: the log dies on the 5th append with a torn tail.
+        // Statements 1-2 (2 records each: row + commit) commit; the
+        // third statement's row record is the 5th append and dies.
+        db.set_fault_plan(FaultPlan::none().with_wal_crash(WalCrash::KillAfterRecords {
+            records: 4,
+            torn: TornTail::MidPayload,
+        }));
+        db.try_trace_sql("INSERT INTO region VALUES (50, 'A', 'x')")
+            .expect("committed 1");
+        db.try_trace_sql("INSERT INTO region VALUES (51, 'B', 'y')")
+            .expect("committed 2");
+        let err = db
+            .try_trace_sql("INSERT INTO region VALUES (52, 'C', 'z')")
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Wal(_)), "typed WAL error: {err}");
+        assert!(db.wal_crashed());
+        // Every further mutation fails typed; reads keep serving.
+        let err = db
+            .try_trace_sql("DELETE FROM region WHERE r_regionkey = 50")
+            .unwrap_err();
+        assert!(matches!(err, ServerError::Wal(WalError::Crashed)));
+        db.try_trace_sql("SELECT r_regionkey FROM region")
+            .expect("reads keep serving after a WAL crash");
+
+        let report = db.recover().expect("recovery");
+        assert_eq!(report.committed_txns, vec![1, 2]);
+        assert_eq!(report.records_replayed, 2);
+        assert!(report.torn_tail, "the torn 5th append must be detected");
+        assert!(!db.wal_crashed());
+        let (rows, _) = db
+            .try_trace_sql("SELECT r_regionkey FROM region WHERE r_regionkey >= 50")
+            .expect("post-recovery select");
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(50)], vec![Value::Int(51)]],
+            "exactly the committed prefix survives"
+        );
+        // The write path is live again and the txn counter resumed.
+        db.try_trace_sql("INSERT INTO region VALUES (52, 'C', 'z')")
+            .expect("write path restored");
+        let (rows, _) = db
+            .try_trace_sql("SELECT r_regionkey FROM region WHERE r_regionkey >= 50")
+            .expect("select");
+        assert_eq!(rows.len(), 3);
     }
 
     #[test]

@@ -154,8 +154,8 @@ pub struct OrderKey {
     pub desc: bool,
 }
 
-/// A parsed SQL statement: a query, or one of the DDL forms the
-/// engine supports.
+/// A parsed SQL statement: a query, one of the DDL forms, or a DML
+/// mutation (write-ahead logged; ledger schema v5).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     /// `SELECT ...`
@@ -170,6 +170,43 @@ pub enum Statement {
         /// Indexed column (single-column indexes only).
         column: String,
     },
+    /// `INSERT INTO table [(cols)] VALUES (...), ...`
+    Insert(InsertStmt),
+    /// `UPDATE table SET col = expr, ... [WHERE pred]`
+    Update(UpdateStmt),
+    /// `DELETE FROM table [WHERE pred]`
+    Delete(DeleteStmt),
+}
+
+/// A parsed `INSERT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStmt {
+    /// Target table.
+    pub table: String,
+    /// Explicit column list; empty means schema order.
+    pub columns: Vec<String>,
+    /// One expression row per `VALUES` tuple.
+    pub rows: Vec<Vec<SqlExpr>>,
+}
+
+/// A parsed `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    /// Target table.
+    pub table: String,
+    /// `SET` assignments, in statement order.
+    pub sets: Vec<(String, SqlExpr)>,
+    /// Optional row filter; `None` updates every row.
+    pub where_clause: Option<SqlExpr>,
+}
+
+/// A parsed `DELETE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    /// Target table.
+    pub table: String,
+    /// Optional row filter; `None` deletes every row.
+    pub where_clause: Option<SqlExpr>,
 }
 
 /// A parsed `SELECT` statement.

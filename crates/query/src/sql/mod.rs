@@ -12,11 +12,15 @@
 //! (`0.07` ⇒ 7). Dates are written `DATE '1994-01-01'`.
 
 pub mod ast;
+pub mod dml;
 pub mod lexer;
 pub mod parser;
 pub mod plan;
 
-pub use ast::{BinOp, SelectItem, SelectStmt, SqlExpr, Statement};
+pub use ast::{
+    BinOp, DeleteStmt, InsertStmt, SelectItem, SelectStmt, SqlExpr, Statement, UpdateStmt,
+};
+pub use dml::{execute_dml, DmlOutcome};
 pub use lexer::{tokenize, tokenize_spanned, Spanned, Token};
 pub use parser::{parse_select, parse_statement};
 pub use plan::plan_select;

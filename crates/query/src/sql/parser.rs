@@ -8,6 +8,10 @@
 //!
 //! ```text
 //! stmt     := select | CREATE INDEX name ON name '(' name ')'
+//!           | INSERT INTO name ['(' name (',' name)* ')']
+//!             VALUES row (',' row)*         where row := '(' or_expr (',' or_expr)* ')'
+//!           | UPDATE name SET name '=' or_expr (',' name '=' or_expr)* [WHERE or_expr]
+//!           | DELETE FROM name [WHERE or_expr]
 //! select   := SELECT items FROM name (',' name)*
 //!             [WHERE or_expr] [GROUP BY name (',' name)*]
 //!             [ORDER BY key (',' key)*] [LIMIT int] [';']
@@ -25,7 +29,10 @@
 //!           | ident ['.' ident]
 //! ```
 
-use super::ast::{BinOp, OrderKey, SelectItem, SelectStmt, SqlExpr, Statement};
+use super::ast::{
+    BinOp, DeleteStmt, InsertStmt, OrderKey, SelectItem, SelectStmt, SqlExpr, Statement,
+    UpdateStmt,
+};
 use super::lexer::{tokenize_spanned, Spanned, Token};
 use super::{ParseError, ParseErrorKind, SqlError};
 use crate::expr::AggFunc;
@@ -54,8 +61,8 @@ pub fn parse_select(sql: &str) -> Result<SelectStmt, SqlError> {
     Ok(stmt)
 }
 
-/// Parse one statement: a `SELECT`, or
-/// `CREATE INDEX name ON table (column)`.
+/// Parse one statement: a `SELECT`, `CREATE INDEX name ON table
+/// (column)`, or one of the DML forms (`INSERT`/`UPDATE`/`DELETE`).
 pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
     let mut p = Parser {
         toks: tokenize_spanned(sql).map_err(SqlError::Lex)?,
@@ -64,6 +71,12 @@ pub fn parse_statement(sql: &str) -> Result<Statement, SqlError> {
     };
     let stmt = if p.peek_keyword("create") {
         p.create_index()?
+    } else if p.peek_keyword("insert") {
+        p.insert()?
+    } else if p.peek_keyword("update") {
+        p.update()?
+    } else if p.peek_keyword("delete") {
+        p.delete()?
     } else {
         Statement::Select(p.select()?)
     };
@@ -174,6 +187,82 @@ impl Parser {
             table,
             column,
         })
+    }
+
+    /// `INSERT INTO table ['(' cols ')'] VALUES '(' exprs ')' (',' '(' exprs ')')*`.
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_keyword("insert")?;
+        self.expect_keyword("into")?;
+        let table = self.ident()?;
+        let mut columns = Vec::new();
+        if self.eat_if(&Token::LParen) {
+            columns.push(self.ident()?);
+            while self.eat_if(&Token::Comma) {
+                columns.push(self.ident()?);
+            }
+            self.expect(Token::RParen)?;
+        }
+        self.expect_keyword("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(Token::LParen)?;
+            let mut row = vec![self.or_expr()?];
+            while self.eat_if(&Token::Comma) {
+                row.push(self.or_expr()?);
+            }
+            self.expect(Token::RParen)?;
+            rows.push(row);
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert(InsertStmt {
+            table,
+            columns,
+            rows,
+        }))
+    }
+
+    /// `UPDATE table SET col '=' expr (',' col '=' expr)* [WHERE pred]`.
+    fn update(&mut self) -> Result<Statement, SqlError> {
+        self.expect_keyword("update")?;
+        let table = self.ident()?;
+        self.expect_keyword("set")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(Token::Eq)?;
+            sets.push((col, self.or_expr()?));
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.keyword("where") {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(UpdateStmt {
+            table,
+            sets,
+            where_clause,
+        }))
+    }
+
+    /// `DELETE FROM table [WHERE pred]`.
+    fn delete(&mut self) -> Result<Statement, SqlError> {
+        self.expect_keyword("delete")?;
+        self.expect_keyword("from")?;
+        let table = self.ident()?;
+        let where_clause = if self.keyword("where") {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(DeleteStmt {
+            table,
+            where_clause,
+        }))
     }
 
     fn select(&mut self) -> Result<SelectStmt, SqlError> {
@@ -634,6 +723,55 @@ mod tests {
             "CREATE INDEX i ON t (c",
             "CREATE INDEX i ON t (c) junk",
             "CREATE TABLE t (c)",
+        ] {
+            assert!(parse_statement(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parses_dml_statements() {
+        let s = parse_statement("INSERT INTO region (r_regionkey, r_name) VALUES (5, 'X'), (6, 'Y');")
+            .unwrap();
+        let Statement::Insert(i) = s else {
+            panic!("expected insert")
+        };
+        assert_eq!(i.table, "region");
+        assert_eq!(i.columns, vec!["r_regionkey", "r_name"]);
+        assert_eq!(i.rows.len(), 2);
+        assert_eq!(i.rows[1], vec![SqlExpr::Int(6), SqlExpr::Str("Y".into())]);
+
+        let s = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE k < 3").unwrap();
+        let Statement::Update(u) = s else {
+            panic!("expected update")
+        };
+        assert_eq!(u.sets.len(), 2);
+        assert_eq!(u.sets[1].0, "b");
+        assert!(u.where_clause.is_some());
+
+        let s = parse_statement("DELETE FROM t").unwrap();
+        let Statement::Delete(d) = s else {
+            panic!("expected delete")
+        };
+        assert_eq!(d.table, "t");
+        assert!(d.where_clause.is_none());
+
+        for bad in [
+            "INSERT",
+            "INSERT INTO",
+            "INSERT INTO t",
+            "INSERT INTO t VALUES",
+            "INSERT INTO t VALUES (",
+            "INSERT INTO t VALUES ()",
+            "INSERT INTO t (a, ) VALUES (1)",
+            "INSERT INTO t VALUES (1), junk",
+            "UPDATE",
+            "UPDATE t",
+            "UPDATE t SET",
+            "UPDATE t SET a",
+            "UPDATE t SET a = ",
+            "DELETE",
+            "DELETE FROM",
+            "DELETE t WHERE x = 1",
         ] {
             assert!(parse_statement(bad).is_err(), "{bad:?} must not parse");
         }

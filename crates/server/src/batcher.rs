@@ -19,6 +19,7 @@
 //! responses.
 
 use eco_core::qed::WorkloadManager;
+use eco_storage::Tuple;
 use eco_tpch::QedQuery;
 
 use crate::session::SessionId;
@@ -55,8 +56,17 @@ pub struct BatchMember {
 pub enum DispatchKind {
     /// A merged selection over the distinct predicates of a batch.
     Merged(Vec<QedQuery>),
-    /// A solo ad-hoc SQL statement (never merged).
+    /// A solo ad-hoc SQL statement, durably executed (any DML fsyncs
+    /// inside its own trace — the per-statement-durability baseline).
     Sql(String),
+    /// A solo DML statement executed with *deferred* durability: its
+    /// log records are staged and applied, but the fsync rides a later
+    /// [`DispatchKind::Commit`].
+    StagedSql(String),
+    /// A group commit: one fsync covering every statement staged since
+    /// the previous commit (ledger schema v5 — one `log_ios`,
+    /// block-rounded `log_bytes`).
+    Commit,
 }
 
 /// One unit of work the scheduler dispatched onto the executor. The
@@ -138,6 +148,80 @@ impl OnlineBatcher {
     }
 }
 
+/// A durability ack owed to a session: its DML statement executed,
+/// staged its log records and applied them (visible immediately), but
+/// the fsync is deferred — the session's completion is released by the
+/// group commit that makes its transaction durable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingCommit {
+    /// Index of the originating request in the serve call's input.
+    pub request: usize,
+    /// The submitting session.
+    pub session: SessionId,
+    /// Arrival instant, seconds.
+    pub arrival_s: f64,
+    /// When the statement itself dispatched, seconds.
+    pub dispatch_s: f64,
+    /// When staging finished, seconds — starts the commit deadline.
+    pub staged_s: f64,
+    /// The statement's result rows (the affected count), held back
+    /// until the durability ack.
+    pub rows: Vec<Tuple>,
+}
+
+/// The group-commit batcher: the *same* [`WorkloadManager`]
+/// threshold/deadline policy the QED read path uses, applied to
+/// pending fsyncs instead of pending selections. Accumulate staged
+/// transactions until `threshold` of them wait, or the oldest has
+/// waited out the delay budget; one fsync then covers the whole group.
+#[derive(Debug, Clone)]
+pub struct CommitBatcher {
+    manager: WorkloadManager<PendingCommit>,
+    max_delay_s: f64,
+}
+
+impl CommitBatcher {
+    /// Batcher releasing a group commit at `threshold` staged
+    /// transactions, or once the oldest has waited `max_delay_s`.
+    pub fn new(threshold: usize, max_delay_s: f64) -> Self {
+        assert!(max_delay_s >= 0.0, "delay budget must be nonnegative");
+        Self {
+            manager: WorkloadManager::new(threshold),
+            max_delay_s,
+        }
+    }
+
+    /// Queue a staged transaction; returns the full group when the
+    /// threshold is reached.
+    pub fn submit(&mut self, p: PendingCommit) -> Option<Vec<PendingCommit>> {
+        self.manager.submit(p)
+    }
+
+    /// Staged transactions waiting for their fsync.
+    pub fn pending(&self) -> usize {
+        self.manager.pending()
+    }
+
+    /// The instant the oldest staged transaction's delay budget
+    /// expires (`None` when nothing is staged).
+    pub fn oldest_deadline(&self) -> Option<f64> {
+        self.manager
+            .queued()
+            .first()
+            .map(|p| p.staged_s + self.max_delay_s)
+    }
+
+    /// Force-release the staged group (deadline or end-of-input).
+    pub fn drain(&mut self) -> Vec<PendingCommit> {
+        self.manager.drain()
+    }
+
+    /// Group-release threshold.
+    pub fn threshold(&self) -> usize {
+        self.manager.threshold()
+    }
+}
+
 /// Turn a released batch into a dispatch: deduplicate predicates in
 /// first-arrival order and map each member to its distinct query.
 pub fn dedup_batch(batch: Vec<Pending>, dispatch_s: f64) -> Dispatch {
@@ -200,6 +284,31 @@ mod tests {
         let drained = b.drain();
         assert_eq!(drained.len(), 2);
         assert_eq!(b.oldest_deadline(), None);
+    }
+
+    #[test]
+    fn commit_batcher_groups_fsyncs_on_threshold_and_deadline() {
+        let staged = |request: usize, staged_s: f64| PendingCommit {
+            request,
+            session: SessionId(request as u64),
+            arrival_s: staged_s,
+            dispatch_s: staged_s,
+            staged_s,
+            rows: Vec::new(),
+        };
+        let mut c = CommitBatcher::new(3, 0.25);
+        assert_eq!(c.oldest_deadline(), None);
+        assert!(c.submit(staged(0, 1.0)).is_none());
+        assert!(c.submit(staged(1, 1.1)).is_none());
+        assert_eq!(c.pending(), 2);
+        assert_eq!(c.oldest_deadline(), Some(1.25));
+        let group = c.submit(staged(2, 1.2)).expect("threshold hit");
+        assert_eq!(group.len(), 3, "one fsync covers the whole group");
+        assert_eq!(c.pending(), 0);
+        // Deadline path: a lone straggler drains by force.
+        assert!(c.submit(staged(3, 2.0)).is_none());
+        assert_eq!(c.oldest_deadline(), Some(2.25));
+        assert_eq!(c.drain().len(), 1);
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod scheduler;
 pub mod session;
 
 pub use admission::{plan_admission, AdmissionConfig, AdmissionPlan};
-pub use batcher::{dedup_batch, Dispatch, DispatchKind, OnlineBatcher};
+pub use batcher::{dedup_batch, CommitBatcher, Dispatch, DispatchKind, OnlineBatcher, PendingCommit};
 pub use scheduler::{replay_serial, EcoServer, ServeReport, ServerConfig};
 pub use session::{LedgerTotals, Request, SessionId, SessionOutcome, Statement};
 
@@ -124,9 +124,10 @@ mod tests {
         assert_eq!(a.len(), 200);
         for (i, r) in a.iter().enumerate() {
             assert_eq!(r.session, SessionId(i as u64));
-            let Statement::Selection(q) = &r.statement else {
-                panic!("workload is selections only")
-            };
+            let q = r
+                .statement
+                .selection()
+                .expect("workload is selections only");
             assert!((1..=50).contains(&q.quantity));
         }
         // Arrivals are sorted.
@@ -135,11 +136,23 @@ mod tests {
         // do (200 uniform draws from 50 values collide w.h.p.).
         let distinct: std::collections::BTreeSet<i64> = a
             .iter()
-            .map(|r| match &r.statement {
-                Statement::Selection(q) => q.quantity,
-                _ => unreachable!(),
+            .map(|r| {
+                r.statement
+                    .selection()
+                    .expect("workload is selections only")
+                    .quantity
             })
             .collect();
         assert!(distinct.len() < a.len());
+    }
+
+    #[test]
+    fn non_selection_statements_are_typed_rejections_not_panics() {
+        use eco_core::ServerError;
+        let stmt = Statement::Sql("DELETE FROM region".to_string());
+        let err = stmt.selection().expect_err("SQL never batches");
+        assert!(matches!(err, ServerError::NotSelection { .. }));
+        // The error carries the offending statement for the session log.
+        assert!(err.to_string().contains("DELETE FROM region"));
     }
 }

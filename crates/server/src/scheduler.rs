@@ -26,7 +26,9 @@ use eco_simhw::opensys::{OpenSystemMeasurement, OpenSystemRun};
 use eco_simhw::trace::WorkTrace;
 
 use crate::admission::should_shed;
-use crate::batcher::{dedup_batch, Dispatch, DispatchKind, OnlineBatcher, Pending};
+use crate::batcher::{
+    dedup_batch, CommitBatcher, Dispatch, DispatchKind, OnlineBatcher, Pending, PendingCommit,
+};
 use crate::session::{LedgerTotals, Request, SessionId, SessionOutcome, Statement};
 
 /// Scheduler tunables.
@@ -54,6 +56,15 @@ pub struct ServerConfig {
     /// push more arrivals into the backlog cap's shedding path — until
     /// a dispatch succeeds again. `usize::MAX` disables degradation.
     pub fault_pressure_limit: usize,
+    /// Group-commit threshold: DML statements stage their write-ahead
+    /// log records without fsyncing, and durability acks batch through
+    /// the *same* `WorkloadManager` threshold/deadline policy the read
+    /// path uses for QED — one block-rounded fsync covers the whole
+    /// group (the delay budget is [`ServerConfig::max_delay_s`], shared
+    /// with the read batcher). `1` disables grouping: every DML
+    /// statement fsyncs inside its own trace — the per-statement-
+    /// durability baseline the `BENCH_wal` gate compares against.
+    pub commit_threshold: usize,
 }
 
 impl ServerConfig {
@@ -68,6 +79,7 @@ impl ServerConfig {
             machine: MachineConfig::stock(),
             short_circuit: true,
             fault_pressure_limit: 3,
+            commit_threshold: 8,
         }
     }
 
@@ -236,18 +248,33 @@ impl<'a> EcoServer<'a> {
             degraded: false,
         };
         let mut batcher = OnlineBatcher::new(cfg.threshold, cfg.max_delay_s);
+        let mut commits = CommitBatcher::new(cfg.commit_threshold, cfg.max_delay_s);
 
         for idx in order {
             let r = &requests[idx];
-            // Deadline drains that fire before this arrival.
-            while let Some(deadline) = batcher.oldest_deadline() {
+            // Deadline drains (read batches and commit groups) that
+            // fire before this arrival, earliest first.
+            loop {
+                let sel = batcher.oldest_deadline();
+                let com = commits.oldest_deadline();
+                let (deadline, is_selection) = match (sel, com) {
+                    (None, None) => break,
+                    (Some(a), None) => (a, true),
+                    (None, Some(b)) => (b, false),
+                    (Some(a), Some(b)) if a <= b => (a, true),
+                    (_, Some(b)) => (b, false),
+                };
                 if deadline > r.arrival_s {
                     break;
                 }
                 let t = deadline.max(state.now);
-                let d = dedup_batch(batcher.drain(), t);
-                self.dispatch_merged(d, &mut run, &mut state);
-                self.retune_for_fault_pressure(&mut batcher, &state);
+                if is_selection {
+                    let d = dedup_batch(batcher.drain(), t);
+                    self.dispatch_merged(d, &mut run, &mut state);
+                    self.retune_for_fault_pressure(&mut batcher, &state);
+                } else {
+                    self.dispatch_commit(commits.drain(), t, &mut run, &mut state);
+                }
             }
             match &r.statement {
                 Statement::Selection(q) => {
@@ -277,16 +304,27 @@ impl<'a> EcoServer<'a> {
                 }
                 Statement::Sql(sql) => {
                     let t = r.arrival_s.max(state.now);
-                    self.dispatch_sql(idx, r, sql, t, &mut run, &mut state);
+                    if let Some(group) =
+                        self.dispatch_sql(idx, r, sql, t, &mut run, &mut state, &mut commits)
+                    {
+                        let t = state.now;
+                        self.dispatch_commit(group, t, &mut run, &mut state);
+                    }
                 }
             }
         }
-        // End of input: the last partial batch drains at its deadline.
+        // End of input: the last partial read batch drains at its
+        // deadline, then the last staged commit group fsyncs.
         if batcher.pending() > 0 {
             let deadline = batcher.oldest_deadline().unwrap_or(state.now);
             let t = deadline.max(state.now);
             let d = dedup_batch(batcher.drain(), t);
             self.dispatch_merged(d, &mut run, &mut state);
+        }
+        if commits.pending() > 0 {
+            let deadline = commits.oldest_deadline().unwrap_or(state.now);
+            let t = deadline.max(state.now);
+            self.dispatch_commit(commits.drain(), t, &mut run, &mut state);
         }
 
         let served = state
@@ -342,7 +380,7 @@ impl<'a> EcoServer<'a> {
         let cfg = &self.cfg;
         let queries = match &d.kind {
             DispatchKind::Merged(qs) => qs,
-            DispatchKind::Sql(_) => unreachable!("merged dispatch carries queries"),
+            _ => unreachable!("merged dispatch carries queries"),
         };
         match self
             .db
@@ -404,7 +442,13 @@ impl<'a> EcoServer<'a> {
     }
 
     /// Execute a solo SQL dispatch. A compile failure rejects only the
-    /// submitting session and charges nothing.
+    /// submitting session and charges nothing. With group commit
+    /// enabled ([`ServerConfig::commit_threshold`] > 1) a DML statement
+    /// stages its log records without fsyncing and its durability ack
+    /// is queued on the commit batcher — the returned group, if any, is
+    /// the commit batch the submission filled (the caller dispatches
+    /// it).
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_sql(
         &self,
         idx: usize,
@@ -413,9 +457,18 @@ impl<'a> EcoServer<'a> {
         t: f64,
         run: &mut OpenSystemRun,
         state: &mut ServeState,
-    ) {
-        match self.db.try_trace_sql(sql) {
-            Ok((rows, trace)) => {
+        commits: &mut CommitBatcher,
+    ) -> Option<Vec<PendingCommit>> {
+        let grouped = self.cfg.commit_threshold > 1;
+        let result = if grouped {
+            self.db.try_trace_sql_deferred(sql)
+        } else {
+            self.db
+                .try_trace_sql(sql)
+                .map(|(rows, trace)| (rows, trace, false))
+        };
+        match result {
+            Ok((rows, trace, staged)) => {
                 if t > state.now {
                     run.idle(t - state.now);
                 }
@@ -434,19 +487,38 @@ impl<'a> EcoServer<'a> {
                     .entry(r.session)
                     .or_default()
                     .merge(&totals);
-                state.outcomes[idx] = Some(SessionOutcome::Completed {
-                    session: r.session,
-                    rows,
-                    arrival_s: r.arrival_s,
-                    dispatch_s: t,
-                    response_s: state.now - r.arrival_s,
-                    queue_delay_s: t - r.arrival_s,
-                });
                 state.dispatches.push(Dispatch {
                     dispatch_s: t,
-                    kind: DispatchKind::Sql(sql.to_string()),
+                    kind: if staged {
+                        DispatchKind::StagedSql(sql.to_string())
+                    } else {
+                        DispatchKind::Sql(sql.to_string())
+                    },
                     members: Vec::new(),
                 });
+                if staged {
+                    // The transaction is applied and visible but not
+                    // yet durable: the session's completion is released
+                    // by the group commit that fsyncs it.
+                    commits.submit(PendingCommit {
+                        request: idx,
+                        session: r.session,
+                        arrival_s: r.arrival_s,
+                        dispatch_s: t,
+                        staged_s: state.now,
+                        rows,
+                    })
+                } else {
+                    state.outcomes[idx] = Some(SessionOutcome::Completed {
+                        session: r.session,
+                        rows,
+                        arrival_s: r.arrival_s,
+                        dispatch_s: t,
+                        response_s: state.now - r.arrival_s,
+                        queue_delay_s: t - r.arrival_s,
+                    });
+                    None
+                }
             }
             Err(e) => {
                 state.outcomes[idx] = Some(SessionOutcome::Rejected {
@@ -455,6 +527,73 @@ impl<'a> EcoServer<'a> {
                     error: e,
                 });
                 state.failed += 1;
+                None
+            }
+        }
+    }
+
+    /// Execute a group commit: one fsync covering every staged
+    /// transaction in the group, priced as v5 log I/O on core 0 and
+    /// split exactly across the member sessions. An fsync failure (an
+    /// injected [`WalCrash`](eco_simhw::fault::WalCrash) or a crashed
+    /// log) rejects the group's members with the typed error — their
+    /// transactions were applied but not made durable, exactly the
+    /// window the crash-replay equivalence property pins down — and the
+    /// server keeps serving reads.
+    fn dispatch_commit(
+        &self,
+        members: Vec<PendingCommit>,
+        t: f64,
+        run: &mut OpenSystemRun,
+        state: &mut ServeState,
+    ) {
+        if members.is_empty() {
+            return;
+        }
+        match self.db.commit_wal() {
+            Ok((_bytes, trace)) => {
+                if t > state.now {
+                    run.idle(t - state.now);
+                }
+                state.now = t;
+                let mut core_traces = vec![WorkTrace::new(); self.cfg.workers];
+                core_traces[0] = trace;
+                let m = run.burst(&core_traces);
+                state.now += m.elapsed_s;
+
+                let totals = LedgerTotals::from_traces(&core_traces);
+                state.ledger.merge(&totals);
+                let k = members.len();
+                for (i, member) in members.iter().enumerate() {
+                    state
+                        .session_ledgers
+                        .entry(member.session)
+                        .or_default()
+                        .merge(&totals.exact_share(i, k));
+                    state.outcomes[member.request] = Some(SessionOutcome::Completed {
+                        session: member.session,
+                        rows: member.rows.clone(),
+                        arrival_s: member.arrival_s,
+                        dispatch_s: member.dispatch_s,
+                        response_s: state.now - member.arrival_s,
+                        queue_delay_s: member.dispatch_s - member.arrival_s,
+                    });
+                }
+                state.dispatches.push(Dispatch {
+                    dispatch_s: t,
+                    kind: DispatchKind::Commit,
+                    members: Vec::new(),
+                });
+            }
+            Err(e) => {
+                for member in &members {
+                    state.outcomes[member.request] = Some(SessionOutcome::Rejected {
+                        session: member.session,
+                        arrival_s: member.arrival_s,
+                        error: e.clone(),
+                    });
+                    state.failed += 1;
+                }
             }
         }
     }
@@ -477,8 +616,16 @@ struct ServeState {
 /// Re-execute a serve run's dispatch transcript serially — the same
 /// statements, in the same order, through the same shared
 /// `MergedSelection` path — and return the summed ledger. Must equal
-/// the serve run's [`ServeReport::ledger`] bit for bit when the buffer
-/// pool starts in the same state (see the module docs).
+/// the serve run's [`ServeReport::ledger`] bit for bit when the
+/// database starts in the same state (see the module docs). For
+/// read-only transcripts that means restoring the buffer pool
+/// (`flush_cache`, plus `warm_up` for warm comparisons); a transcript
+/// carrying DML must replay against a *fresh* database opened with the
+/// same profile, scale and seed, because mutations move the table
+/// state the statements' scan pricing depends on. Staged statements
+/// and group commits replay through the same deferred-durability
+/// entry points the serve loop used, so the fsync boundaries — and
+/// therefore the block-rounded `log_bytes` — land identically.
 pub fn replay_serial(
     db: &EcoDb,
     dispatches: &[Dispatch],
@@ -498,6 +645,18 @@ pub fn replay_serial(
                 let (_, trace) = db
                     .try_trace_sql(sql)
                     .unwrap_or_else(|e| panic!("a dispatched statement replays cleanly: {e}"));
+                total.absorb_traces(std::slice::from_ref(&trace));
+            }
+            DispatchKind::StagedSql(sql) => {
+                let (_, trace, _) = db
+                    .try_trace_sql_deferred(sql)
+                    .unwrap_or_else(|e| panic!("a staged statement replays cleanly: {e}"));
+                total.absorb_traces(std::slice::from_ref(&trace));
+            }
+            DispatchKind::Commit => {
+                let (_, trace) = db
+                    .commit_wal()
+                    .unwrap_or_else(|e| panic!("a group commit replays cleanly: {e}"));
                 total.absorb_traces(std::slice::from_ref(&trace));
             }
         }
@@ -703,6 +862,130 @@ mod tests {
             report.ledger.disk.retry_ios > 0 || report.ledger.backoff_ns > 0,
             "injected faults must leave a ledger trail"
         );
+    }
+
+    fn dml(idx: u64, arrival_s: f64, key: i64) -> Request {
+        Request {
+            session: SessionId(idx),
+            arrival_s,
+            statement: Statement::Sql(format!("INSERT INTO region VALUES ({key}, 'R{key}', 'c')")),
+        }
+    }
+
+    #[test]
+    fn group_commit_batches_dml_fsyncs_and_keeps_ledger_identity() {
+        // Per-statement durability: every DML fsyncs alone.
+        let db_solo = db();
+        let requests: Vec<Request> = (0..8).map(|i| dml(i, i as f64 * 1e-4, 300 + i as i64)).collect();
+        let mut solo_cfg = ServerConfig::batched(2, 4);
+        solo_cfg.commit_threshold = 1;
+        let solo = EcoServer::new(&db_solo, solo_cfg).serve(&requests);
+        assert_eq!(solo.served, 8);
+        assert_eq!(solo.ledger.disk.log_ios, 8, "one fsync per statement");
+        assert!(solo.ledger_identity());
+
+        // Group commit: the same eight statements share two fsyncs.
+        let db_grouped = db();
+        let mut cfg = ServerConfig::batched(2, 4);
+        cfg.commit_threshold = 4;
+        let grouped = EcoServer::new(&db_grouped, cfg).serve(&requests);
+        assert_eq!(grouped.served, 8, "durability acks complete every session");
+        assert_eq!(grouped.ledger.disk.log_ios, 2, "8 txns / group of 4");
+        assert!(
+            grouped.ledger.disk.log_bytes < solo.ledger.disk.log_bytes,
+            "batched fsyncs push fewer block-rounded bytes: {} vs {}",
+            grouped.ledger.disk.log_bytes,
+            solo.ledger.disk.log_bytes
+        );
+        assert!(grouped.ledger_identity(), "commit shares split exactly");
+        // Both servers applied the same mutations.
+        let (a, _) = db_solo
+            .try_trace_sql("SELECT r_regionkey FROM region WHERE r_regionkey >= 300")
+            .expect("select");
+        let (b, _) = db_grouped
+            .try_trace_sql("SELECT r_regionkey FROM region WHERE r_regionkey >= 300")
+            .expect("select");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+
+        // The transcript records the fsync boundaries and replays to a
+        // bit-identical ledger on a fresh database.
+        let commits = grouped
+            .dispatches
+            .iter()
+            .filter(|d| matches!(d.kind, DispatchKind::Commit))
+            .count();
+        assert_eq!(commits, 2);
+        let fresh = db();
+        let replay = replay_serial(&fresh, &grouped.dispatches, 2, true);
+        assert_eq!(grouped.ledger, replay, "serve vs serial replay with DML");
+    }
+
+    #[test]
+    fn commit_deadline_releases_a_lone_transaction() {
+        let db = db();
+        let mut cfg = ServerConfig::batched(1, 4);
+        cfg.commit_threshold = 64;
+        cfg.max_delay_s = 0.005;
+        // One DML arrival, then a selection far later: the staged
+        // transaction must not wait for a commit group that never
+        // fills.
+        let requests = vec![dml(0, 0.0, 400), selection(1, 1.0, 4)];
+        let report = EcoServer::new(&db, cfg).serve(&requests);
+        assert_eq!(report.served, 2);
+        match &report.outcomes[0] {
+            SessionOutcome::Completed { response_s, .. } => {
+                assert!(
+                    *response_s >= 0.005,
+                    "the ack waits for the deadline-drained commit, got {response_s}"
+                );
+                assert!(*response_s < 0.5, "but not for the far-future arrival");
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert_eq!(report.ledger.disk.log_ios, 1);
+        assert!(report.ledger_identity());
+    }
+
+    #[test]
+    fn wal_crash_rejects_writers_with_typed_errors_and_reads_survive() {
+        use eco_simhw::fault::{FaultPlan, TornTail, WalCrash};
+        let db = db();
+        // The log dies on its 4th append: txn 1 (2 records) commits,
+        // txn 2's commit marker is the 4th append and dies.
+        db.set_fault_plan(FaultPlan::none().with_wal_crash(WalCrash::KillAfterRecords {
+            records: 3,
+            torn: TornTail::MidHeader,
+        }));
+        let requests = vec![
+            dml(0, 0.0, 500),
+            dml(1, 1e-4, 501),
+            dml(2, 2e-4, 502),
+            selection(3, 3e-4, 7),
+        ];
+        let mut cfg = ServerConfig::batched(1, 1);
+        cfg.commit_threshold = 1;
+        let report = EcoServer::new(&db, cfg).serve(&requests);
+        // First writer commits; the second dies at its commit marker;
+        // the third finds the log crashed. The read still serves.
+        assert_eq!(report.served, 2);
+        assert_eq!(report.failed, 2);
+        assert!(matches!(
+            &report.outcomes[1],
+            SessionOutcome::Rejected {
+                error: ServerError::Wal(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &report.outcomes[2],
+            SessionOutcome::Rejected {
+                error: ServerError::Wal(_),
+                ..
+            }
+        ));
+        assert!(report.outcomes[3].is_completed(), "reads keep serving");
+        assert!(report.ledger_identity());
     }
 
     #[test]

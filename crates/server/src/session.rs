@@ -27,8 +27,24 @@ pub enum Statement {
     /// scheduler may delay and merge it with other sessions' selections.
     Selection(QedQuery),
     /// Ad-hoc SQL; executes alone (never merged). A malformed string
-    /// comes back as a typed [`ServerError`] to its session only.
+    /// comes back as a typed [`ServerError`] to its session only. DML
+    /// statements additionally stage write-ahead-log records whose
+    /// fsync rides the group commit (see the scheduler).
     Sql(String),
+}
+
+impl Statement {
+    /// The predicate of a batchable selection, or a typed
+    /// [`ServerError::NotSelection`] for anything else — the accessor
+    /// batch-path consumers use instead of panicking on the variant.
+    pub fn selection(&self) -> Result<&QedQuery, ServerError> {
+        match self {
+            Statement::Selection(q) => Ok(q),
+            Statement::Sql(sql) => Err(ServerError::NotSelection {
+                statement: format!("{sql:?}"),
+            }),
+        }
+    }
 }
 
 /// One arrival: a session submitting a statement at a point in time.
@@ -165,6 +181,10 @@ impl LedgerTotals {
         disk.random_bytes = split(self.disk.random_bytes);
         disk.retry_ios = split(self.disk.retry_ios);
         disk.retry_bytes = split(self.disk.retry_bytes);
+        disk.index_ios = split(self.disk.index_ios);
+        disk.index_bytes = split(self.disk.index_bytes);
+        disk.log_ios = split(self.disk.log_ios);
+        disk.log_bytes = split(self.disk.log_bytes);
         LedgerTotals {
             cpu,
             mem_stream_bytes: split(self.mem_stream_bytes),
@@ -197,6 +217,10 @@ mod tests {
         p.disk.random_ios = 5;
         p.disk.retry_ios = 3;
         p.disk.retry_bytes = 3 * 8192;
+        p.disk.index_ios = 9;
+        p.disk.index_bytes = 9 * 8192 + 1;
+        p.disk.log_ios = 2;
+        p.disk.log_bytes = 3 * 8192;
         p.backoff_ns = 123_457;
         let mut t = WorkTrace::new();
         t.push(Phase::client_gap(999_999_999));
@@ -226,6 +250,16 @@ mod tests {
         let max = *shares.iter().max().unwrap();
         let min = *shares.iter().min().unwrap();
         assert!(max - min <= 1, "shares {shares:?}");
+    }
+
+    #[test]
+    fn selection_accessor_types_non_batchable_statements() {
+        let sel = Statement::Selection(QedQuery { quantity: 3 });
+        assert_eq!(sel.selection().expect("selection").quantity, 3);
+        let sql = Statement::Sql("INSERT INTO region VALUES (9, 'x', 'y')".to_string());
+        let err = sql.selection().expect_err("SQL is not batchable");
+        assert!(matches!(err, ServerError::NotSelection { .. }));
+        assert!(err.to_string().contains("not a batchable selection"));
     }
 
     #[test]

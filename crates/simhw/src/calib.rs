@@ -89,7 +89,7 @@ pub const IDLE_MULTIPLIER: f64 = 6.0;
 // memory. Indexed by `OpClass as usize`:
 //   [TupleFetch, PredEval, HashBuild, HashProbe, Arith, AggUpdate,
 //    ResultEmit, Parse, SortCmp, RowCopy, SplitRoute, DictLookup,
-//    NodeSearch]
+//    NodeSearch, LogRecord]
 
 /// Cycles per operation for each [`crate::trace::OpClass`].
 pub const OP_CYCLES: [f64; N_OP_CLASSES] = [
@@ -106,6 +106,7 @@ pub const OP_CYCLES: [f64; N_OP_CLASSES] = [
     800.0,  // SplitRoute: QED split bookkeeping per result row
     4.0,    // DictLookup: one dictionary id translation (array index, L1-resident)
     70.0,   // NodeSearch: one B-tree binary-search step (key compare + slot pick)
+    150.0,  // LogRecord: serialize one WAL record + FNV checksum its payload
 ];
 
 /// Switching-activity factor per [`crate::trace::OpClass`].
@@ -123,6 +124,7 @@ pub const OP_ACTIVITY: [f64; N_OP_CLASSES] = [
     0.45, // SplitRoute
     0.80, // DictLookup (tight indexed loads, cache-resident dictionary)
     0.65, // NodeSearch (branchy compares, latency-bound page pointer chases)
+    0.45, // LogRecord (buffer formatting + streaming checksum, copy-bound)
 ];
 
 // ---------------------------------------------------------------------------

@@ -98,9 +98,12 @@ impl DiskSpec {
     /// (ledger schema v2) and index I/O (schema v4) price exactly like
     /// random I/O — a re-read or a B-tree probe repositions the head
     /// and bursts the block again — they are only *ledgered* separately
-    /// so fault-free and index-free runs stay bit-identical.
+    /// so fault-free and index-free runs stay bit-identical. Log I/O
+    /// (schema v5) prices exactly like *sequential* transfer: the
+    /// write-ahead log is an append-only stream the head never leaves,
+    /// so an fsync pays streaming-rate bytes and no seek.
     pub fn cost(&self, work: &DiskWork) -> DiskCost {
-        let seq_xfer = work.sequential_bytes as f64 / self.seq_rate;
+        let seq_xfer = (work.sequential_bytes + work.log_bytes) as f64 / self.seq_rate;
         let rand_seek =
             (work.random_ios + work.retry_ios + work.index_ios) as f64 * self.rand_overhead_s;
         let rand_xfer =
@@ -295,6 +298,28 @@ mod tests {
         let ci = d.cost(&index);
         assert_eq!(cr.busy_s, ci.busy_s);
         assert_eq!(cr.busy_joules(), ci.busy_joules());
+    }
+
+    #[test]
+    fn log_io_prices_exactly_like_sequential_io() {
+        // Schema v5: an fsync streams the pending log tail at the
+        // drive's sequential rate with no repositioning — the class
+        // split is bookkeeping only, and log_ios carry no seek charge.
+        let d = DiskSpec::default();
+        let sequential = DiskWork {
+            sequential_bytes: 40 * 8192,
+            ..DiskWork::none()
+        };
+        let log = DiskWork {
+            log_ios: 40,
+            log_bytes: 40 * 8192,
+            ..DiskWork::none()
+        };
+        let cs = d.cost(&sequential);
+        let cl = d.cost(&log);
+        assert_eq!(cs.busy_s, cl.busy_s);
+        assert_eq!(cs.busy_joules(), cl.busy_joules());
+        assert_eq!(cl.seek_s, 0.0, "fsyncs never seek");
     }
 
     #[test]

@@ -69,12 +69,53 @@ pub enum PageFault {
     },
 }
 
+/// How the final, partially-written log record looks after a crash
+/// that interrupts an append (ledger schema v5 write path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornTail {
+    /// The crash lands exactly on a record boundary: the tail is clean.
+    None,
+    /// The crash truncates the final record inside its fixed-size
+    /// header (length prefix + checksum), leaving fewer header bytes
+    /// than a complete header needs.
+    MidHeader,
+    /// The crash truncates the final record inside its payload: the
+    /// header is intact but promises more bytes than survive.
+    MidPayload,
+}
+
+/// A deterministic crash point on the mutating write path. Like page
+/// faults, crash points are data, not control flow: the WAL consults
+/// the plan and reports a typed error at the scheduled moment, so the
+/// same plan always kills the same workload at the same record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalCrash {
+    /// The process dies after `records` log records have been appended;
+    /// the on-disk image ends with the fsynced prefix plus a torn
+    /// fragment of whatever was appended but not yet synced, shaped by
+    /// `torn`.
+    KillAfterRecords {
+        /// Appends that complete before the kill.
+        records: u64,
+        /// Shape of the final, partially-written record.
+        torn: TornTail,
+    },
+    /// The `fsync`-th sync call (0-based) fails: the pending tail never
+    /// reaches stable storage and the in-flight transactions abort with
+    /// a typed error instead of becoming durable.
+    FsyncFailure {
+        /// Index of the failing sync call.
+        fsync: u64,
+    },
+}
+
 /// A seeded, deterministic schedule of page read faults.
 ///
 /// Construction fixes the seed and the per-read fault rate; whether a
 /// given `(table, page)` faults is a pure hash of the three. Fault
 /// kind shares within the faulting fraction: 70 % transient, 15 %
-/// permanent, 15 % stall.
+/// permanent, 15 % stall. A plan may also carry one [`WalCrash`]
+/// point for the mutating write path (schema v5).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultPlan {
     seed: u64,
@@ -83,6 +124,8 @@ pub struct FaultPlan {
     /// Demote permanent faults to worst-case transients (see
     /// [`FaultPlan::recoverable`]).
     recoverable_only: bool,
+    /// Scheduled crash on the write-ahead-log path, if any.
+    wal_crash: Option<WalCrash>,
 }
 
 impl FaultPlan {
@@ -93,7 +136,19 @@ impl FaultPlan {
             seed,
             rate_ppm: rate_ppm.min(1_000_000),
             recoverable_only: false,
+            wal_crash: None,
         }
+    }
+
+    /// The same plan with a scheduled write-path crash point installed.
+    pub fn with_wal_crash(mut self, crash: WalCrash) -> Self {
+        self.wal_crash = Some(crash);
+        self
+    }
+
+    /// The scheduled write-path crash point, if any.
+    pub fn wal_crash(&self) -> Option<WalCrash> {
+        self.wal_crash
     }
 
     /// The same plan with every [`PageFault::Permanent`] draw demoted
@@ -127,9 +182,10 @@ impl FaultPlan {
         self.rate_ppm
     }
 
-    /// True when this plan can never inject a fault.
+    /// True when this plan can never inject a fault — no page faults
+    /// and no scheduled write-path crash.
     pub fn is_none(&self) -> bool {
-        self.rate_ppm == 0
+        self.rate_ppm == 0 && self.wal_crash.is_none()
     }
 
     /// The fault (if any) injected into reads of `page` in `table`.
@@ -261,6 +317,33 @@ mod tests {
             .faults_in_table(1, 5_000)
             .iter()
             .any(|(_, f)| matches!(f, PageFault::Permanent)));
+    }
+
+    #[test]
+    fn wal_crash_points_ride_along_without_touching_page_faults() {
+        let base = FaultPlan::new(5, 120_000);
+        let crash = base.with_wal_crash(WalCrash::KillAfterRecords {
+            records: 7,
+            torn: TornTail::MidPayload,
+        });
+        assert_eq!(base.wal_crash(), None);
+        assert_eq!(
+            crash.wal_crash(),
+            Some(WalCrash::KillAfterRecords {
+                records: 7,
+                torn: TornTail::MidPayload,
+            })
+        );
+        // Page-fault draws are untouched by the crash point.
+        for page in 0..2_000u64 {
+            assert_eq!(base.fault_for(1, page), crash.fault_for(1, page));
+        }
+        // A crash point alone makes the plan non-trivial even with a
+        // zero page-fault rate.
+        let crash_only =
+            FaultPlan::none().with_wal_crash(WalCrash::FsyncFailure { fsync: 0 });
+        assert!(!crash_only.is_none());
+        assert!(FaultPlan::none().is_none());
     }
 
     #[test]

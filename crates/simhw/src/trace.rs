@@ -46,7 +46,19 @@ use crate::calib;
 ///   an index plan prices its probe overhead through these classes and
 ///   nowhere else, which is what makes the paper's fig5
 ///   random-vs-sequential energy split reproducible from real plans.
-pub const LEDGER_SCHEMA_VERSION: u32 = 4;
+///
+/// * **v5** — adds the durability charge classes: **log I/O**
+///   ([`DiskWork::log_ios`] / [`DiskWork::log_bytes`], the write-ahead
+///   log appends an fsync pushes to stable storage — priced as
+///   *sequential* transfer because the log is an append-only stream the
+///   head never leaves, with no per-fsync seek) and the log-record CPU
+///   class ([`OpClass::LogRecord`], formatting + checksumming one WAL
+///   record). Read-only runs charge nothing to the v5 classes, so every
+///   v1–v4 figure stays byte-for-byte unchanged; a mutating workload
+///   prices its durability overhead through these classes and nowhere
+///   else, which is what makes group commit (fsync batching as
+///   QED-for-writes) measurable as joules per transaction.
+pub const LEDGER_SCHEMA_VERSION: u32 = 5;
 
 /// How the ledger prices column-store memory traffic (ledger schema
 /// v3; see [`LEDGER_SCHEMA_VERSION`]).
@@ -115,10 +127,15 @@ pub enum OpClass {
     /// schema v4) — index-free runs never record it, keeping every
     /// pre-v4 figure bit-identical.
     NodeSearch = 12,
+    /// Format and checksum one write-ahead-log record (serialize the
+    /// mutation + FNV over the payload). Charged only by the mutating
+    /// write path (ledger schema v5) — read-only runs never record it,
+    /// keeping every pre-v5 figure bit-identical.
+    LogRecord = 13,
 }
 
 /// Number of [`OpClass`] variants.
-pub const N_OP_CLASSES: usize = 13;
+pub const N_OP_CLASSES: usize = 14;
 
 /// All op classes, in discriminant order.
 pub const ALL_OP_CLASSES: [OpClass; N_OP_CLASSES] = [
@@ -135,6 +152,7 @@ pub const ALL_OP_CLASSES: [OpClass; N_OP_CLASSES] = [
     OpClass::SplitRoute,
     OpClass::DictLookup,
     OpClass::NodeSearch,
+    OpClass::LogRecord,
 ];
 
 impl OpClass {
@@ -174,6 +192,7 @@ impl OpClass {
             OpClass::SplitRoute => "split_route",
             OpClass::DictLookup => "dict_lookup",
             OpClass::NodeSearch => "node_search",
+            OpClass::LogRecord => "log_record",
         }
     }
 }
@@ -280,6 +299,18 @@ pub struct DiskWork {
     pub index_ios: u64,
     /// Bytes transferred by those index I/Os (schema v4).
     pub index_bytes: u64,
+    /// Log fsyncs: stable-storage syncs of the write-ahead log. Each
+    /// fsync pushes the pending log tail as one sequential burst (the
+    /// log is append-only, so the head never repositions) — priced like
+    /// [`DiskWork::sequential_bytes`] but ledgered separately so
+    /// read-only runs stay bit-identical (ledger schema v5; see
+    /// [`LEDGER_SCHEMA_VERSION`]).
+    pub log_ios: u64,
+    /// Bytes pushed to stable storage by those fsyncs, rounded up to
+    /// whole device blocks per fsync — which is exactly why group
+    /// commit wins: many small commits each pay a full block, one
+    /// batched fsync pays it once (schema v5).
+    pub log_bytes: u64,
 }
 
 impl DiskWork {
@@ -297,11 +328,17 @@ impl DiskWork {
             && self.retry_bytes == 0
             && self.index_ios == 0
             && self.index_bytes == 0
+            && self.log_ios == 0
+            && self.log_bytes == 0
     }
 
     /// Total bytes moved.
     pub fn total_bytes(&self) -> u64 {
-        self.sequential_bytes + self.random_bytes + self.retry_bytes + self.index_bytes
+        self.sequential_bytes
+            + self.random_bytes
+            + self.retry_bytes
+            + self.index_bytes
+            + self.log_bytes
     }
 
     /// Merge another disk ledger into this one.
@@ -313,6 +350,8 @@ impl DiskWork {
         self.retry_bytes += other.retry_bytes;
         self.index_ios += other.index_ios;
         self.index_bytes += other.index_bytes;
+        self.log_ios += other.log_ios;
+        self.log_bytes += other.log_bytes;
     }
 
     /// Subtract `other` from this ledger. Panics if `other` records
@@ -346,6 +385,14 @@ impl DiskWork {
             .index_bytes
             .checked_sub(other.index_bytes)
             .expect("subtracting more index bytes than were recorded");
+        self.log_ios = self
+            .log_ios
+            .checked_sub(other.log_ios)
+            .expect("subtracting more log I/Os than were recorded");
+        self.log_bytes = self
+            .log_bytes
+            .checked_sub(other.log_bytes)
+            .expect("subtracting more log bytes than were recorded");
     }
 }
 
@@ -608,5 +655,32 @@ mod tests {
         assert_eq!(a.random_bytes, 0);
         assert_eq!(a.retry_ios, 0);
         assert_eq!(a.sequential_bytes, 0);
+    }
+
+    #[test]
+    fn log_classes_are_separate_and_zero_by_default() {
+        // Read-only construction charges nothing to the v5 classes.
+        let p = Phase::execute("read only");
+        assert_eq!(p.disk.log_ios, 0);
+        assert_eq!(p.disk.log_bytes, 0);
+        assert_eq!(p.cpu.count(OpClass::LogRecord), 0);
+
+        let mut a = DiskWork::none();
+        a.log_ios = 3;
+        a.log_bytes = 3 * 8192;
+        assert!(!a.is_empty());
+        assert_eq!(a.total_bytes(), 3 * 8192);
+        let mut b = DiskWork::none();
+        b.log_ios = 1;
+        b.log_bytes = 8192;
+        a.merge(&b);
+        assert_eq!(a.log_ios, 4);
+        a.subtract(&b);
+        assert_eq!(a.log_ios, 3);
+        // Log I/O never leaks into any earlier-schema disk class.
+        assert_eq!(a.sequential_bytes, 0);
+        assert_eq!(a.random_ios, 0);
+        assert_eq!(a.retry_ios, 0);
+        assert_eq!(a.index_ios, 0);
     }
 }

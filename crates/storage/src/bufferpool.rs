@@ -340,6 +340,29 @@ impl BufferPool {
         g.stats.resident = 0;
     }
 
+    /// Drop every cached page of one table (or index — indexes share
+    /// the id space) and its scan positions. This is the invalidation
+    /// the mutating write path needs: a mutated [`crate::disk_table::DiskTable`]
+    /// is rebuilt under the *same* table id, so any pages cached before
+    /// the mutation would otherwise serve stale tuples. Deliberate
+    /// invalidations are not counted as LRU evictions.
+    pub fn evict_table(&self, table: u32) {
+        let mut g = self.inner.lock();
+        let victims: Vec<PageId> = g
+            .frames
+            .keys()
+            .filter(|id| id.table == table)
+            .copied()
+            .collect();
+        for id in victims {
+            if let Some(frame) = g.frames.remove(&id) {
+                g.by_stamp.remove(&frame.stamp);
+            }
+        }
+        g.last_page.retain(|&(t, _), _| t != table);
+        g.stats.resident = g.frames.len();
+    }
+
     /// Current statistics.
     pub fn stats(&self) -> PoolStats {
         let mut g = self.inner.lock();

@@ -10,7 +10,8 @@ use crate::btree::{BTreeIndex, FIRST_INDEX_ID};
 use crate::bufferpool::BufferPool;
 use crate::disk_table::DiskTable;
 use crate::heap::HeapTable;
-use crate::value::Schema;
+use crate::value::{Schema, Tuple};
+use crate::wal::{WalError, WalRecord};
 
 /// Physical storage of one table.
 #[derive(Debug)]
@@ -116,7 +117,11 @@ pub struct IndexEntry {
 /// Named tables + the shared buffer pool.
 #[derive(Debug)]
 pub struct Catalog {
-    tables: BTreeMap<String, Arc<StoredTable>>,
+    /// Interior-mutable since the write path landed: a WAL replay
+    /// applies mutations through `&self` (the executor holds the
+    /// catalog shared), swapping each mutated table's `Arc` for a
+    /// rebuilt copy — copy-on-write at table granularity.
+    tables: Mutex<BTreeMap<String, Arc<StoredTable>>>,
     pool: Arc<BufferPool>,
     next_table_id: u32,
     /// Secondary indexes, by index name. Interior-mutable because
@@ -130,7 +135,7 @@ impl Catalog {
     /// Empty catalog with a pool of `pool_pages` pages.
     pub fn new(pool_pages: usize) -> Self {
         Self {
-            tables: BTreeMap::new(),
+            tables: Mutex::new(BTreeMap::new()),
             pool: Arc::new(BufferPool::new(pool_pages)),
             next_table_id: 1,
             indexes: Mutex::new(BTreeMap::new()),
@@ -157,7 +162,7 @@ impl Catalog {
     }
 
     fn insert(&mut self, name: &str, data: TableData) {
-        let prev = self.tables.insert(
+        let prev = self.tables.lock().insert(
             name.to_string(),
             Arc::new(StoredTable {
                 name: name.to_string(),
@@ -169,7 +174,7 @@ impl Catalog {
 
     /// Look up a table by name.
     pub fn get(&self, name: &str) -> Option<Arc<StoredTable>> {
-        self.tables.get(name).cloned()
+        self.tables.lock().get(name).cloned()
     }
 
     /// Look up a table, panicking with context if absent.
@@ -179,18 +184,147 @@ impl Catalog {
     }
 
     /// All table names, sorted.
-    pub fn names(&self) -> Vec<&str> {
-        self.tables.keys().map(String::as_str).collect()
+    pub fn names(&self) -> Vec<String> {
+        self.tables.lock().keys().cloned().collect()
     }
 
     /// Number of tables.
     pub fn len(&self) -> usize {
-        self.tables.len()
+        self.tables.lock().len()
     }
 
     /// True when no tables are registered.
     pub fn is_empty(&self) -> bool {
-        self.tables.is_empty()
+        self.tables.lock().is_empty()
+    }
+
+    /// Apply one redo record to table state — the single entry point
+    /// both live execution (after its commit fsync) and crash recovery
+    /// use, which is what makes recovered state bit-identical to a
+    /// clean replay. Commit markers are no-ops here (durability is the
+    /// log's business); mutations validate against the *current* table
+    /// state and fail with a typed [`WalError`] — never a panic — so a
+    /// corrupt or misdirected record fails only its own transaction.
+    pub fn apply_wal_record(&self, rec: &WalRecord) -> Result<(), WalError> {
+        match rec {
+            WalRecord::Commit { .. } => Ok(()),
+            WalRecord::Insert { table, tuple } => self.apply_mutation(table, Mutation::Insert(tuple)),
+            WalRecord::Update { table, row, tuple } => {
+                self.apply_mutation(table, Mutation::Update(*row, tuple))
+            }
+            WalRecord::Delete { table, row } => self.apply_mutation(table, Mutation::Delete(*row)),
+        }
+    }
+
+    fn apply_mutation(&self, table: &str, m: Mutation<'_>) -> Result<(), WalError> {
+        let stored = self.get(table).ok_or_else(|| WalError::NoSuchTable {
+            table: table.to_string(),
+        })?;
+        match &m {
+            Mutation::Insert(t) | Mutation::Update(_, t) => {
+                if !stored.schema().check(t) {
+                    return Err(WalError::SchemaMismatch {
+                        table: table.to_string(),
+                    });
+                }
+            }
+            Mutation::Delete(_) => {}
+        }
+        if let Mutation::Update(row, _) | Mutation::Delete(row) = m {
+            if row >= stored.len() {
+                return Err(WalError::RowOutOfRange {
+                    table: table.to_string(),
+                    row,
+                    len: stored.len(),
+                });
+            }
+        }
+        let data = match &stored.data {
+            TableData::Memory(heap) => {
+                let mut h = heap.clone();
+                match m {
+                    Mutation::Insert(t) => h.insert(t.clone()),
+                    Mutation::Update(row, t) => h.set_row(row, t.clone()),
+                    Mutation::Delete(row) => {
+                        h.remove_row(row);
+                    }
+                }
+                TableData::Memory(h)
+            }
+            TableData::Disk(disk) => {
+                let mut tuples = disk.all_tuples();
+                match m {
+                    Mutation::Insert(t) => tuples.push(t.clone()),
+                    Mutation::Update(row, t) => tuples[row] = t.clone(),
+                    Mutation::Delete(row) => {
+                        tuples.remove(row);
+                    }
+                }
+                // The rebuilt table reuses its id, so stale cached
+                // pages must go first.
+                self.pool.evict_table(disk.table_id());
+                TableData::Disk(DiskTable::load(
+                    disk.table_id(),
+                    disk.schema().clone(),
+                    &tuples,
+                    Arc::clone(&self.pool),
+                ))
+            }
+        };
+        self.tables.lock().insert(
+            table.to_string(),
+            Arc::new(StoredTable {
+                name: table.to_string(),
+                data,
+            }),
+        );
+        self.rebuild_indexes_on(table);
+        Ok(())
+    }
+
+    /// Rebuild every secondary index over `table` from its mutated
+    /// pages, reusing each index's id (after evicting its stale node
+    /// pages). Bulk rebuilds are I/O-free like initial builds; the
+    /// energy cost of the mutation itself is charged by the write path.
+    fn rebuild_indexes_on(&self, table: &str) {
+        let Some(stored) = self.get(table) else {
+            return;
+        };
+        let TableData::Disk(disk) = &stored.data else {
+            return;
+        };
+        let mut indexes = self.indexes.lock();
+        let names: Vec<String> = indexes
+            .values()
+            .filter(|e| e.table == table)
+            .map(|e| e.name.clone())
+            .collect();
+        for name in names {
+            let Some(entry) = indexes.get(&name).cloned() else {
+                continue;
+            };
+            let Some(col) = disk.schema().index_of(&entry.column) else {
+                continue;
+            };
+            let key_type = disk.schema().columns()[col].ty;
+            let id = entry.index.index_id();
+            self.pool.evict_table(id);
+            let rebuilt = Arc::new(BTreeIndex::build(
+                id,
+                key_type,
+                disk.column_with_row_ids(col),
+                Arc::clone(&self.pool),
+            ));
+            indexes.insert(
+                name.clone(),
+                Arc::new(IndexEntry {
+                    name,
+                    table: entry.table.clone(),
+                    column: entry.column.clone(),
+                    index: rebuilt,
+                }),
+            );
+        }
     }
 
     /// Build and register a B-tree secondary index named `name` over
@@ -263,6 +397,20 @@ impl Catalog {
     pub fn index_names(&self) -> Vec<String> {
         self.indexes.lock().keys().cloned().collect()
     }
+
+    /// Every registered index entry, sorted by name. Crash recovery
+    /// uses this to re-create the crashed catalog's indexes over the
+    /// rebuilt tables (indexes are derivable state, not WAL-logged).
+    pub fn index_entries(&self) -> Vec<Arc<IndexEntry>> {
+        self.indexes.lock().values().cloned().collect()
+    }
+}
+
+/// A validated single-row mutation, borrowed out of a [`WalRecord`].
+enum Mutation<'a> {
+    Insert(&'a Tuple),
+    Update(usize, &'a Tuple),
+    Delete(usize),
 }
 
 #[cfg(test)]
@@ -283,7 +431,7 @@ mod tests {
         );
         c.add_disk_table("d", schema(), &[vec![Value::Int(2)], vec![Value::Int(3)]]);
         assert_eq!(c.len(), 2);
-        assert_eq!(c.names(), vec!["d", "m"]);
+        assert_eq!(c.names(), vec!["d".to_string(), "m".to_string()]);
         assert_eq!(c.expect("m").len(), 1);
         assert_eq!(c.expect("d").len(), 2);
         assert!(c.get("x").is_none());
@@ -302,6 +450,122 @@ mod tests {
     #[should_panic(expected = "no table named")]
     fn expect_missing_panics() {
         Catalog::new(16).expect("ghost");
+    }
+
+    #[test]
+    fn apply_wal_record_mutates_both_engines() {
+        let mut c = Catalog::new(16);
+        c.add_memory_table(
+            "m",
+            HeapTable::from_tuples(schema(), vec![vec![Value::Int(1)], vec![Value::Int(2)]]),
+        );
+        c.add_disk_table("d", schema(), &[vec![Value::Int(1)], vec![Value::Int(2)]]);
+        for t in ["m", "d"] {
+            c.apply_wal_record(&WalRecord::Insert {
+                table: t.to_string(),
+                tuple: vec![Value::Int(3)],
+            })
+            .expect("insert");
+            c.apply_wal_record(&WalRecord::Update {
+                table: t.to_string(),
+                row: 0,
+                tuple: vec![Value::Int(10)],
+            })
+            .expect("update");
+            c.apply_wal_record(&WalRecord::Delete {
+                table: t.to_string(),
+                row: 1,
+            })
+            .expect("delete");
+            assert_eq!(c.expect(t).len(), 2, "{t}");
+        }
+        // Memory engine state is directly inspectable…
+        let m = c.expect("m");
+        let TableData::Memory(h) = &m.data else {
+            panic!("m is memory");
+        };
+        assert_eq!(h.tuples(), &[vec![Value::Int(10)], vec![Value::Int(3)]]);
+        // …and the rebuilt disk table reads back the same rows.
+        let d = c.expect("d");
+        let TableData::Disk(t) = &d.data else {
+            panic!("d is disk");
+        };
+        assert_eq!(t.all_tuples(), vec![vec![Value::Int(10)], vec![Value::Int(3)]]);
+        // Commit markers are no-ops.
+        c.apply_wal_record(&WalRecord::Commit { txn: 1 }).expect("commit");
+    }
+
+    #[test]
+    fn apply_wal_record_rejects_bad_records_with_typed_errors() {
+        let mut c = Catalog::new(16);
+        c.add_memory_table("m", HeapTable::from_tuples(schema(), vec![vec![Value::Int(1)]]));
+        assert_eq!(
+            c.apply_wal_record(&WalRecord::Insert {
+                table: "ghost".into(),
+                tuple: vec![Value::Int(1)],
+            })
+            .unwrap_err(),
+            crate::wal::WalError::NoSuchTable {
+                table: "ghost".into()
+            }
+        );
+        assert_eq!(
+            c.apply_wal_record(&WalRecord::Insert {
+                table: "m".into(),
+                tuple: vec![Value::str("wrong type")],
+            })
+            .unwrap_err(),
+            crate::wal::WalError::SchemaMismatch { table: "m".into() }
+        );
+        assert_eq!(
+            c.apply_wal_record(&WalRecord::Delete {
+                table: "m".into(),
+                row: 5,
+            })
+            .unwrap_err(),
+            crate::wal::WalError::RowOutOfRange {
+                table: "m".into(),
+                row: 5,
+                len: 1
+            }
+        );
+        // Failed records leave the table untouched.
+        assert_eq!(c.expect("m").len(), 1);
+    }
+
+    #[test]
+    fn disk_mutation_rebuilds_indexes_and_evicts_stale_pages() {
+        let mut c = Catalog::new(64);
+        let rows: Vec<_> = (0..2000).map(|i| vec![Value::Int(i)]).collect();
+        c.add_disk_table("d", schema(), &rows);
+        let e = c.create_index("ix", "d", "k").expect("create");
+        assert_eq!(e.index.len(), 2000);
+        // Warm the pool with pre-mutation pages.
+        let d = c.expect("d");
+        let TableData::Disk(t) = &d.data else {
+            panic!("disk")
+        };
+        for p in 0..t.num_pages() {
+            t.read_page(p);
+        }
+        c.pool().take_io();
+        c.apply_wal_record(&WalRecord::Insert {
+            table: "d".into(),
+            tuple: vec![Value::Int(9999)],
+        })
+        .expect("insert");
+        // The index was rebuilt over the mutated table, same id.
+        let ix = c.index("ix").expect("still registered");
+        assert_eq!(ix.index.len(), 2001);
+        assert_eq!(ix.index.index_id(), e.index.index_id());
+        // Reads now go to the rebuilt table and see the new row (a
+        // stale cached page would have hidden it).
+        let d = c.expect("d");
+        let TableData::Disk(t) = &d.data else {
+            panic!("disk")
+        };
+        let last = t.read_page(t.num_pages() - 1);
+        assert_eq!(last.last(), Some(&vec![Value::Int(9999)]));
     }
 
     #[test]

@@ -275,6 +275,20 @@ impl DiskTable {
         out
     }
 
+    /// Every tuple in row order, straight from the pages — never
+    /// through the buffer pool, so no I/O is charged. This is the
+    /// mutating write path's rebuild source: a logical single-row
+    /// mutation of a paged table is modelled as collect → mutate →
+    /// reload under the same table id (after evicting the stale pages;
+    /// see [`BufferPool::evict_table`]).
+    pub fn all_tuples(&self) -> Vec<Tuple> {
+        let mut out = Vec::with_capacity(self.num_tuples);
+        for page in &self.pages {
+            out.extend(page.all_tuples());
+        }
+        out
+    }
+
     /// Read one page through the buffer pool (charging I/O on a miss).
     pub fn read_page(&self, page_no: usize) -> Arc<Vec<Tuple>> {
         assert!(page_no < self.pages.len(), "page {page_no} out of range");

@@ -59,6 +59,35 @@ impl HeapTable {
         self.encoded.take();
     }
 
+    /// Overwrite row `row` in place. Panics on an out-of-range row or a
+    /// schema mismatch — the write path validates both before applying
+    /// (see `Catalog::apply_wal_record`), so a panic here is a caller
+    /// bug, not a data error.
+    pub fn set_row(&mut self, row: usize, tuple: Tuple) {
+        assert!(
+            self.schema.check(&tuple),
+            "tuple does not match schema {:?}",
+            self.schema.names()
+        );
+        self.bytes -= tuple_width(&self.tuples[row]);
+        self.bytes += tuple_width(&tuple);
+        self.tuples[row] = tuple;
+        self.columns.take();
+        self.encoded.take();
+    }
+
+    /// Remove row `row`, shifting later rows down by one (multi-row
+    /// deletes are therefore applied in descending row order — see
+    /// `eco_storage::wal`). Panics on an out-of-range row; callers
+    /// validate first.
+    pub fn remove_row(&mut self, row: usize) -> Tuple {
+        let old = self.tuples.remove(row);
+        self.bytes -= tuple_width(&old);
+        self.columns.take();
+        self.encoded.take();
+        old
+    }
+
     /// The whole table as one columnar [`DataChunk`] mirror, built
     /// lazily on first use and shared thereafter. The mirror holds
     /// exactly the tuples of [`Self::tuples`] in insertion order; the

@@ -46,6 +46,21 @@
 //! See the [`btree`] module docs for the pricing model, and the
 //! repository's `docs/ARCHITECTURE.md` for how v4 fits the versioned
 //! pricing-schema history.
+//!
+//! # Write-ahead logging (ledger schema v5)
+//!
+//! Mutations go through a redo-only [`wal::WriteAheadLog`]:
+//! length-prefixed, checksummed records with commit markers, torn-tail
+//! detection, and deterministic crash injection. Every redo record
+//! charges the v5 `LogRecord` op class, and each fsync charges the
+//! pending tail rounded up to whole 8 KB blocks as **log sequential
+//! I/O** (`log_ios`/`log_bytes`, ledgered apart from table I/O) — the
+//! rounding is what makes group commit an energy optimization rather
+//! than just a latency one. [`Catalog::apply_wal_record`] is the
+//! single mutation entry point shared by live execution and recovery
+//! replay, so crash recovery provably lands on the committed-prefix
+//! state. Read-only workloads log nothing and stay bit-identical to
+//! every pre-v5 ledger.
 
 pub mod btree;
 pub mod bufferpool;
@@ -57,6 +72,7 @@ pub mod heap;
 pub mod loader;
 pub mod page;
 pub mod value;
+pub mod wal;
 
 pub use btree::{BTreeIndex, IndexProbe, KeyBound};
 pub use bufferpool::{BufferPool, PageId};
@@ -67,3 +83,4 @@ pub use encode::{BitPacked, EncodedChunk, EncodedColumn};
 pub use heap::HeapTable;
 pub use loader::{load_tbl, load_tpch, parse_tbl, EngineKind, LoadError};
 pub use value::{tuple_width, Column, ColumnType, Schema, Tuple, Value};
+pub use wal::{Recovery, WalError, WalRecord, WriteAheadLog};

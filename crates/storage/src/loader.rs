@@ -502,7 +502,7 @@ mod tests {
         let db = TpchGenerator::new(0.001).generate();
         let cat = load_tpch(&db, EngineKind::Memory, 0);
         for name in cat.names() {
-            let t = cat.expect(name);
+            let t = cat.expect(&name);
             if let crate::catalog::TableData::Memory(h) = &t.data {
                 for tup in h.tuples().iter().take(10) {
                     assert!(t.schema().check(tup), "{name} tuple fails schema");

@@ -17,8 +17,8 @@ use ecodb::core::ServerError;
 use ecodb::query::context::ExecCtx;
 use ecodb::query::exec::execute;
 use ecodb::query::sql::{compile, parse_select, tokenize};
-use ecodb::server::{session_workload, EcoServer, ServerConfig, SessionOutcome};
-use ecodb::simhw::fault::{FaultPlan, PageFault};
+use ecodb::server::{session_workload, EcoServer, ServerConfig, SessionOutcome, Statement};
+use ecodb::simhw::fault::{FaultPlan, PageFault, TornTail, WalCrash};
 use ecodb::simhw::machine::MachineConfig;
 use ecodb::storage::page::PAGE_SIZE;
 use ecodb::storage::{load_tpch, Catalog, EngineKind, TableData};
@@ -196,25 +196,52 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// Chaos: random fault plans × random session mixes × both storage
-    /// profiles. The server must never panic; every rejection is typed
-    /// (`Io` only when the plan holds a permanent fault); and for
-    /// plans without permanent faults the run completes in full, with
-    /// `retry_ios` exactly equal to the injected transient-failure
-    /// count and every base ledger class bit-identical to a no-fault
-    /// run of the same sessions.
+    /// profiles — with write-path fault points in the mix. Every
+    /// fourth session submits an `INSERT` (staged through the WAL and
+    /// group-committed), and the plan may carry a [`WalCrash`] point.
+    /// The server must never panic; every rejection is typed (`Io`
+    /// only when the plan holds a permanent page fault, `Wal` only
+    /// when a crash point is installed); and for plans whose crash
+    /// never fires the read-path accounting is exact: `retry_ios`
+    /// equals the injected transient-failure count and every base
+    /// ledger class is bit-identical to a no-fault run of the same
+    /// sessions (inserts are constant-cost, so the rerun's ledger
+    /// matches even though the first run already grew `region`).
     #[test]
     fn chaos_random_fault_plans_degrade_gracefully(
         seed in 0u64..1_000_000,
         rate_ppm in 0u32..400_000,
         sessions in 4usize..20,
         threshold in 1usize..6,
+        wal_kind in 0u8..8,
+        wal_at in 0u64..24,
     ) {
+        // Five of eight draws install a write-path crash point; the
+        // rest keep the original pure read-fault chaos.
+        let wal_crash = match wal_kind {
+            0 => Some(WalCrash::KillAfterRecords { records: wal_at, torn: TornTail::None }),
+            1 => Some(WalCrash::KillAfterRecords { records: wal_at, torn: TornTail::MidHeader }),
+            2 => Some(WalCrash::KillAfterRecords { records: wal_at, torn: TornTail::MidPayload }),
+            3 | 4 => Some(WalCrash::FsyncFailure { fsync: wal_at / 4 }),
+            _ => None,
+        };
         for profile in [EngineProfile::MemoryEngine, EngineProfile::CommercialDisk] {
-            let db = EcoDb::tpch(profile, 0.002);
-            let plan = FaultPlan::new(seed, rate_ppm);
+            let mut db = EcoDb::tpch(profile, 0.002);
+            let mut plan = FaultPlan::new(seed, rate_ppm);
+            if let Some(crash) = wal_crash {
+                plan = plan.with_wal_crash(crash);
+            }
             db.set_fault_plan(plan);
             db.flush_cache();
-            let requests = session_workload(sessions, 500.0, seed);
+            let mut requests = session_workload(sessions, 500.0, seed);
+            for (i, r) in requests.iter_mut().enumerate() {
+                if i % 4 == 3 {
+                    let key = 1000 + i;
+                    r.statement = Statement::Sql(format!(
+                        "INSERT INTO region VALUES ({key}, 'C{key}', 'chaos')"
+                    ));
+                }
+            }
             let cfg = ServerConfig::batched(2, threshold);
             // The serve loop must terminate with one typed outcome per
             // request, whatever the plan injects.
@@ -222,21 +249,50 @@ proptest! {
             prop_assert_eq!(report.outcomes.len(), sessions);
 
             let (expected_retries, any_permanent) = lineitem_faults(&db, plan);
+            let mut wal_rejections = 0usize;
             for o in &report.outcomes {
                 if let SessionOutcome::Rejected { error, .. } = o {
-                    prop_assert!(
-                        matches!(error, ServerError::Io(_)),
-                        "unexpected rejection class: {}", error
-                    );
-                    prop_assert!(any_permanent, "Io rejection needs a permanent fault");
+                    match error {
+                        ServerError::Io(_) => {
+                            prop_assert!(any_permanent, "Io rejection needs a permanent fault");
+                        }
+                        ServerError::Wal(_) => {
+                            prop_assert!(wal_crash.is_some(), "Wal rejection needs a crash point");
+                            wal_rejections += 1;
+                        }
+                        other => {
+                            return Err(TestCaseError::fail(format!(
+                                "unexpected rejection class: {other}"
+                            )));
+                        }
+                    }
                 }
             }
+            let wal_fired = db.wal_crashed();
+            prop_assert_eq!(
+                wal_fired, wal_rejections > 0,
+                "a fired crash point rejects at least one writer, an unfired one rejects none"
+            );
+            prop_assert!(report.ledger_identity());
 
-            // No-fault baseline over the same sessions, same pool state.
+            // No-fault baseline over the same sessions, same pool
+            // state. A fired crash point poisons the log, so recovery
+            // must first restore the write path.
             db.set_fault_plan(FaultPlan::none());
+            if wal_fired {
+                db.recover().expect("recovery restores the write path after chaos");
+            }
             db.flush_cache();
             let clean = EcoServer::new(&db, cfg).serve(&requests);
             prop_assert_eq!(clean.io_failed, 0);
+
+            if wal_fired {
+                // The crash truncated the first run mid-workload:
+                // ledger comparisons against the clean rerun are
+                // meaningless, but the healed server serves in full.
+                prop_assert!(clean.outcomes.iter().all(|o| o.is_completed()));
+                continue;
+            }
 
             if matches!(profile, EngineProfile::MemoryEngine) {
                 // Heap tables never touch the buffer pool: any fault
